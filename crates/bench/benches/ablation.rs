@@ -1,0 +1,99 @@
+//! Ablation benchmarks for design choices called out in DESIGN.md:
+//!
+//! * DRRIP's set-dueling vs its fixed components (SRRIP, BRRIP) on a
+//!   thrashing stream — dueling should track the better component;
+//! * SHiP vs plain SRRIP on a stream with learnable dead PCs;
+//! * Hawkeye vs Glider vs MPPPB (different predictors over comparable
+//!   training signals) on a PC-history-sensitive mix.
+//!
+//! Each benchmark prints the LLC hit rates once (the quality axis) and
+//! measures simulation time (the cost axis).
+
+use ccsim_core::{simulate, SimConfig};
+use ccsim_policies::PolicyKind;
+use ccsim_trace::synth::{PatternGen, PointerChase, SequentialStream};
+use ccsim_trace::{Trace, TraceBuffer};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn thrash_trace() -> Trace {
+    let mut buf = TraceBuffer::new("thrash2mb");
+    SequentialStream::new(0x1000_0000, 2 << 20).stride(64).laps(6).emit(&mut buf);
+    buf.finish()
+}
+
+fn dead_pc_trace() -> Trace {
+    let mut buf = TraceBuffer::new("dead_pcs");
+    for lap in 0..4u64 {
+        // PC A: streaming (dead on arrival), PC B: tight reuse.
+        SequentialStream::new(0x1000_0000 + lap * (4 << 20), 4 << 20)
+            .stride(64)
+            .sites(0x100, 0x104)
+            .emit(&mut buf);
+        SequentialStream::new(0x4000_0000, 512 << 10)
+            .stride(64)
+            .laps(2)
+            .sites(0x200, 0x204)
+            .emit(&mut buf);
+    }
+    buf.finish()
+}
+
+fn history_trace() -> Trace {
+    let mut buf = TraceBuffer::new("history_mix");
+    for phase in 0..6u64 {
+        PointerChase::new(0x1000_0000, 1 << 14, 64)
+            .steps(40_000)
+            .seed(phase)
+            .site(0x300 + phase * 4)
+            .emit(&mut buf);
+        SequentialStream::new(0x8000_0000, 1 << 20)
+            .stride(64)
+            .sites(0x400 + phase * 4, 0x404 + phase * 4)
+            .emit(&mut buf);
+    }
+    buf.finish()
+}
+
+fn bench_policies(c: &mut Criterion, group_name: &str, trace: &Trace, policies: &[PolicyKind]) {
+    let config = SimConfig::cascade_lake();
+    let mut group = c.benchmark_group(group_name);
+    group.sample_size(10);
+    for &p in policies {
+        let r = simulate(trace, &config, p);
+        eprintln!(
+            "{group_name}[{}]: llc hit rate {:.3}, ipc {:.3}",
+            p.name(),
+            r.llc.hit_rate(),
+            r.ipc()
+        );
+        group.bench_function(p.name(), |b| {
+            b.iter(|| simulate(black_box(trace), &config, p))
+        });
+    }
+    group.finish();
+}
+
+fn ablation(c: &mut Criterion) {
+    bench_policies(
+        c,
+        "ablation_dueling",
+        &thrash_trace(),
+        &[PolicyKind::Srrip, PolicyKind::Brrip, PolicyKind::Drrip],
+    );
+    bench_policies(
+        c,
+        "ablation_signature",
+        &dead_pc_trace(),
+        &[PolicyKind::Srrip, PolicyKind::Ship],
+    );
+    bench_policies(
+        c,
+        "ablation_predictor",
+        &history_trace(),
+        &[PolicyKind::Hawkeye, PolicyKind::Glider, PolicyKind::Mpppb],
+    );
+}
+
+criterion_group!(benches, ablation);
+criterion_main!(benches);

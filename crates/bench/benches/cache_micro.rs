@@ -1,0 +1,63 @@
+//! Microbenchmarks of the cache tag array and MSHR bank.
+
+use ccsim_core::cache::MshrGrant;
+use ccsim_core::{Cache, CacheConfig};
+use ccsim_policies::{AccessInfo, AccessType, PolicyKind};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn llc_cache() -> Cache {
+    let cfg = CacheConfig { sets: 2048, ways: 11, latency: 44, mshrs: 64 };
+    Cache::new("LLC", cfg, PolicyKind::Lru.build(cfg.sets, cfg.ways))
+}
+
+fn lookup_fill_cycle(n: u64) -> u64 {
+    let mut c = llc_cache();
+    let mut state = 0xDEAD_BEEF_u64;
+    let mut hits = 0u64;
+    for _ in 0..n {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+        let block = (state >> 20) & 0x3_FFFF;
+        let info = AccessInfo {
+            pc: 0x400,
+            block,
+            set: c.set_of(block),
+            kind: AccessType::Load,
+        };
+        match c.lookup(&info) {
+            Some(_) => hits += 1,
+            None => {
+                let _ = c.fill(&info);
+            }
+        }
+    }
+    hits
+}
+
+fn mshr_pressure(n: u64) -> u64 {
+    let mut c = llc_cache();
+    let mut acc = 0u64;
+    for i in 0..n {
+        match c.mshrs().acquire(i & 0xFF, i) {
+            MshrGrant::Issue { slot, start_at } => {
+                c.mshrs().complete(slot, i & 0xFF, start_at + 100);
+                acc += start_at;
+            }
+            MshrGrant::Merged { completes_at } => acc += completes_at,
+        }
+    }
+    acc
+}
+
+fn cache_micro(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cache_micro");
+    group.sample_size(20);
+    group.bench_function("lookup_fill_cycle", |b| {
+        b.iter(|| lookup_fill_cycle(black_box(100_000)))
+    });
+    group.bench_function("mshr_pressure", |b| b.iter(|| mshr_pressure(black_box(100_000))));
+    group.finish();
+}
+
+criterion_group!(benches, cache_micro);
+criterion_main!(benches);

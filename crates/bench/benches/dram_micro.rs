@@ -1,0 +1,42 @@
+//! Microbenchmarks of the DDR4 model under contrasting address streams.
+
+use ccsim_core::{Dram, SimConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn stream_pattern(n: u64) -> u64 {
+    let mut d = Dram::new(SimConfig::cascade_lake().dram);
+    let mut t = 0;
+    for b in 0..n {
+        t = d.access(b, t, false);
+    }
+    t
+}
+
+fn random_pattern(n: u64) -> u64 {
+    let mut d = Dram::new(SimConfig::cascade_lake().dram);
+    let mut state = 0x9E37_79B9u64;
+    let mut t = 0;
+    let mut last = 0;
+    for _ in 0..n {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+        last = d.access(state >> 30, t, state & 8 == 0);
+        t += 10;
+    }
+    last
+}
+
+fn dram_micro(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dram_micro");
+    group.sample_size(30);
+    group.bench_function("sequential_row_hits", |b| {
+        b.iter(|| stream_pattern(black_box(100_000)))
+    });
+    group.bench_function("random_row_conflicts", |b| {
+        b.iter(|| random_pattern(black_box(100_000)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, dram_micro);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Criterion benchmark for the Figure 2 pipeline: measures the MPKI
+//! characterization path (simulate a GAP trace under LRU) at quick scale
+//! and reports the measured MPKI once per workload so the series can be
+//! eyeballed alongside the timing. The full-fidelity table comes from the
+//! `fig2` binary.
+
+use ccsim_core::{simulate, SimConfig};
+use ccsim_policies::PolicyKind;
+use ccsim_workloads::{GapGraph, GapKernel, GapScale, GapWorkload};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn fig2_mpki(c: &mut Criterion) {
+    let config = SimConfig::cascade_lake();
+    let mut group = c.benchmark_group("fig2_mpki");
+    group.sample_size(10);
+    for (kernel, graph) in [
+        (GapKernel::Bfs, GapGraph::Kron),
+        (GapKernel::Pr, GapGraph::Urand),
+        (GapKernel::Cc, GapGraph::Twitter),
+        (GapKernel::Sssp, GapGraph::Road),
+        (GapKernel::Bc, GapGraph::Web),
+        (GapKernel::Tc, GapGraph::Friendster),
+    ] {
+        let w = GapWorkload { kernel, graph };
+        let trace = w.trace(GapScale::Quick);
+        let r = simulate(&trace, &config, PolicyKind::Lru);
+        eprintln!(
+            "fig2[{w}]: mpki l1d={:.1} l2={:.1} llc={:.1}",
+            r.mpki_l1d(),
+            r.mpki_l2(),
+            r.mpki_llc()
+        );
+        group.bench_function(w.to_string(), |b| {
+            b.iter(|| simulate(black_box(&trace), &config, PolicyKind::Lru))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig2_mpki);
+criterion_main!(benches);

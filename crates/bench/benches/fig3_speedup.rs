@@ -1,0 +1,41 @@
+//! Criterion benchmark for the Figure 3 pipeline: one quick workload per
+//! suite, simulated under each of the paper's policies. Prints the
+//! speed-up series once so the sign pattern can be checked alongside the
+//! timings; the full-fidelity table comes from the `fig3` binary.
+
+use ccsim_core::{simulate, SimConfig};
+use ccsim_policies::PolicyKind;
+use ccsim_workloads::{Suite, SuiteScale};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn fig3_speedup(c: &mut Criterion) {
+    let config = SimConfig::cascade_lake();
+    let mut group = c.benchmark_group("fig3_speedup");
+    group.sample_size(10);
+    for suite in Suite::ALL {
+        let trace = suite
+            .traces(SuiteScale::Quick)
+            .into_iter()
+            .next()
+            .expect("suite non-empty");
+        let lru = simulate(&trace, &config, PolicyKind::Lru);
+        for policy in PolicyKind::PAPER_POLICIES {
+            let r = simulate(&trace, &config, policy);
+            eprintln!(
+                "fig3[{}:{}] {} {:+.2}%",
+                suite.name(),
+                trace.name(),
+                policy,
+                r.speedup_over(&lru)
+            );
+            group.bench_function(format!("{}/{}", suite.name(), policy), |b| {
+                b.iter(|| simulate(black_box(&trace), &config, policy))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig3_speedup);
+criterion_main!(benches);

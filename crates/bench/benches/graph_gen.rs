@@ -1,0 +1,27 @@
+//! Benchmarks of the synthetic graph generators (trace-production cost is
+//! part of the experiment budget, so generator throughput matters).
+
+use ccsim_graph::generators;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn graph_gen(c: &mut Criterion) {
+    let mut group = c.benchmark_group("graph_gen");
+    group.sample_size(10);
+    let scale = 13;
+    group.bench_function("uniform", |b| {
+        b.iter(|| generators::uniform(black_box(scale), 8, 1))
+    });
+    group.bench_function("kronecker", |b| {
+        b.iter(|| generators::kronecker(black_box(scale), 8, 1))
+    });
+    group.bench_function("road", |b| b.iter(|| generators::road(black_box(scale), 1)));
+    group.bench_function("power_law", |b| {
+        b.iter(|| generators::power_law(black_box(scale), 8, 1.85, 1))
+    });
+    group.bench_function("web", |b| b.iter(|| generators::web(black_box(scale), 8, 1)));
+    group.finish();
+}
+
+criterion_group!(benches, graph_gen);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Benchmarks of instrumented-kernel trace capture (arena overhead plus
+//! algorithm execution).
+
+use ccsim_graph::{generators, traced};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn kernel_trace(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernel_trace");
+    group.sample_size(10);
+    let g = generators::kronecker(12, 8, 7);
+    let gw = generators::uniform(12, 8, 7).with_random_weights(64, 3);
+    let gt = g.transpose();
+    group.bench_function("bfs", |b| b.iter(|| traced::bfs(black_box(&g), 0)));
+    group.bench_function("pagerank_2iter", |b| {
+        b.iter(|| traced::pagerank(black_box(&g), &gt, 2, 0.85))
+    });
+    group.bench_function("cc", |b| {
+        b.iter(|| traced::connected_components(black_box(&g)))
+    });
+    group.bench_function("sssp", |b| b.iter(|| traced::sssp(black_box(&gw), 0, 16)));
+    group.bench_function("bc", |b| b.iter(|| traced::betweenness(black_box(&g), &[0])));
+    group.bench_function("tc", |b| b.iter(|| traced::triangle_count(black_box(&g))));
+    group.finish();
+}
+
+criterion_group!(benches, kernel_trace);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Microbenchmarks of raw policy decision throughput: fill/hit/victim
+//! cycles driven directly, isolating the policies from the cache model.
+
+use ccsim_policies::{AccessInfo, AccessType, PolicyKind, Victim};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+/// Drives `n` pseudo-random policy events and returns a checksum of
+/// victim ways (defeats dead-code elimination).
+fn drive(policy: PolicyKind, sets: u32, ways: u32, n: u64) -> u64 {
+    let mut p = policy.build(sets, ways);
+    let mut filled = vec![0u32; sets as usize];
+    let mut state = 0x1234_5678_9ABC_DEF0u64;
+    let mut sum = 0u64;
+    for _ in 0..n {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+        let set = (state >> 33) as u32 % sets;
+        let block = (state >> 17) & 0xFFFFF;
+        let pc = 0x400000 + ((state >> 7) & 0x3F) * 4;
+        let info = AccessInfo {
+            pc,
+            block,
+            set,
+            kind: if state & 0xF == 0 { AccessType::Writeback } else { AccessType::Load },
+        };
+        if filled[set as usize] < ways {
+            let way = filled[set as usize];
+            filled[set as usize] += 1;
+            p.on_fill(set, way, &info, None);
+        } else if state & 1 == 0 {
+            match p.victim(set, &info, &[]) {
+                Victim::Way(w) => {
+                    sum += w as u64;
+                    p.on_fill(set, w, &info, Some(block ^ 1));
+                }
+                Victim::Bypass => sum += 100,
+            }
+        } else {
+            p.on_hit(set, (state >> 45) as u32 % ways, &info);
+        }
+    }
+    sum
+}
+
+fn policy_micro(c: &mut Criterion) {
+    let mut group = c.benchmark_group("policy_micro");
+    group.sample_size(20);
+    for policy in PolicyKind::ALL {
+        group.bench_function(policy.name(), |b| {
+            b.iter(|| drive(black_box(policy), 256, 11, 50_000))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, policy_micro);
+criterion_main!(benches);

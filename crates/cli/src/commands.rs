@@ -1,0 +1,220 @@
+//! Subcommand implementations for the `ccsim` binary.
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+
+use ccsim_core::experiment::report::fmt_f;
+use ccsim_core::experiment::Table;
+use ccsim_core::{simulate, SimConfig};
+use ccsim_policies::PolicyKind;
+use ccsim_trace::stats::{ReuseProfile, TraceStats};
+use ccsim_trace::{read_trace, write_trace, Trace};
+use ccsim_workloads::{
+    paper_workloads, qualcomm_suite, spec_suite, xsbench_suite, GapScale, GapWorkload, SuiteScale,
+};
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+ccsim — trace-driven LLC replacement-policy characterization
+
+USAGE:
+    ccsim trace-gen <workload> <out.cctr> [--quick]
+    ccsim trace-stats <in.cctr>
+    ccsim sim <in.cctr> [--policy <name>]... [--llc-scale <power-of-two>]
+    ccsim workloads
+    ccsim policies
+";
+
+/// Builds the named workload's trace.
+fn build_workload(name: &str, quick: bool) -> Result<Trace, String> {
+    if let Ok(gap) = name.parse::<GapWorkload>() {
+        let scale = if quick { GapScale::Quick } else { GapScale::Full };
+        return Ok(gap.trace(scale));
+    }
+    let scale = if quick { SuiteScale::Quick } else { SuiteScale::Full };
+    let pool: Vec<Trace> = match name.split('.').next() {
+        Some("spec") => spec_suite(scale),
+        Some("xsbench") => xsbench_suite(scale),
+        Some("qcom") => qualcomm_suite(scale),
+        _ => return Err(format!("unknown workload {name:?}; try `ccsim workloads`")),
+    };
+    pool.into_iter()
+        .find(|t| t.name() == name)
+        .ok_or_else(|| format!("unknown workload {name:?}; try `ccsim workloads`"))
+}
+
+/// `ccsim trace-gen <workload> <out> [--quick]`
+pub fn trace_gen(args: &[String]) -> Result<(), String> {
+    let positional: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    let [workload, out] = positional[..] else {
+        return Err(format!("expected <workload> <out.cctr>\n\n{USAGE}"));
+    };
+    let quick = args.iter().any(|a| a == "--quick");
+    let trace = build_workload(workload, quick)?;
+    let file = File::create(out).map_err(|e| format!("creating {out}: {e}"))?;
+    write_trace(&trace, BufWriter::new(file)).map_err(|e| format!("writing {out}: {e}"))?;
+    println!(
+        "wrote {}: {} records, {} instructions",
+        out,
+        trace.len(),
+        trace.instructions()
+    );
+    Ok(())
+}
+
+fn load_trace(path: &str) -> Result<Trace, String> {
+    let file = File::open(path).map_err(|e| format!("opening {path}: {e}"))?;
+    read_trace(BufReader::new(file)).map_err(|e| format!("decoding {path}: {e}"))
+}
+
+/// `ccsim trace-stats <in>`
+pub fn trace_stats(args: &[String]) -> Result<(), String> {
+    let [path] = args else {
+        return Err(format!("expected <in.cctr>\n\n{USAGE}"));
+    };
+    let trace = load_trace(path)?;
+    let s = TraceStats::compute(&trace);
+    println!("workload            : {}", trace.name());
+    println!("memory records      : {}", trace.len());
+    println!("instructions        : {}", s.instructions);
+    println!("loads / stores      : {} / {}", s.loads, s.stores);
+    println!("mem per kinstr      : {:.1}", s.mem_per_kilo_instruction());
+    println!("footprint           : {} blocks ({:.2} MB)", s.footprint_blocks,
+             s.footprint_bytes as f64 / (1 << 20) as f64);
+    println!("distinct PCs        : {}", s.distinct_pcs);
+    println!("blocks per PC       : mean {:.1}, max {}", s.mean_blocks_per_pc, s.max_blocks_per_pc);
+    let p = ReuseProfile::compute(&trace);
+    println!("cold accesses       : {:.1}%", 100.0 * p.cold() as f64 / p.total().max(1) as f64);
+    for (cap, label) in [(512u64, "L1D-sized"), (16_384, "L2-sized"), (22_528, "LLC-sized")] {
+        println!(
+            "reuse within {:>6} blocks ({label:>9}): {:.1}%",
+            cap,
+            100.0 * p.hit_fraction_within(cap)
+        );
+    }
+    Ok(())
+}
+
+/// `ccsim sim <in> [--policy P]... [--llc-scale N]`
+pub fn sim(args: &[String]) -> Result<(), String> {
+    let positional: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    let path = positional
+        .first()
+        .ok_or_else(|| format!("expected <in.cctr>\n\n{USAGE}"))?;
+    let mut policies: Vec<PolicyKind> = Vec::new();
+    let mut llc_scale = 1u32;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--policy" => {
+                let v = it.next().ok_or("--policy needs a value")?;
+                policies.push(v.parse().map_err(|e| format!("{e}"))?);
+            }
+            "--llc-scale" => {
+                let v = it.next().ok_or("--llc-scale needs a value")?;
+                llc_scale = v.parse().map_err(|_| format!("bad llc scale {v:?}"))?;
+                if !llc_scale.is_power_of_two() {
+                    return Err("llc scale must be a power of two".into());
+                }
+            }
+            _ => {}
+        }
+    }
+    if policies.is_empty() {
+        policies.push(PolicyKind::Lru);
+    }
+    let trace = load_trace(path)?;
+    let config = SimConfig::cascade_lake().with_llc_scale(llc_scale);
+    println!("platform: {config}");
+    let mut table = Table::new(vec![
+        "policy".into(),
+        "ipc".into(),
+        "l1d_mpki".into(),
+        "l2_mpki".into(),
+        "llc_mpki".into(),
+        "llc_hit_%".into(),
+        "dram_reach_%".into(),
+    ]);
+    for policy in policies {
+        let r = simulate(&trace, &config, policy);
+        table.row(vec![
+            r.policy.clone(),
+            fmt_f(r.ipc(), 3),
+            fmt_f(r.mpki_l1d(), 1),
+            fmt_f(r.mpki_l2(), 1),
+            fmt_f(r.mpki_llc(), 1),
+            fmt_f(100.0 * r.llc.hit_rate(), 1),
+            fmt_f(100.0 * r.dram_reach_fraction(), 1),
+        ]);
+    }
+    println!("{}", table.render());
+    Ok(())
+}
+
+/// `ccsim workloads`
+pub fn list_workloads() -> Result<(), String> {
+    println!("GAP (kernel.graph):");
+    for w in paper_workloads() {
+        println!("  {w}");
+    }
+    println!("SPEC-like:");
+    for t in spec_suite(SuiteScale::Quick) {
+        println!("  {}", t.name());
+    }
+    println!("XSBench-like:");
+    for t in xsbench_suite(SuiteScale::Quick) {
+        println!("  {}", t.name());
+    }
+    println!("Qualcomm-like:");
+    for t in qualcomm_suite(SuiteScale::Quick) {
+        println!("  {}", t.name());
+    }
+    Ok(())
+}
+
+/// `ccsim policies`
+pub fn list_policies() -> Result<(), String> {
+    for k in PolicyKind::ALL {
+        println!("{}", k.name());
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_workload_accepts_gap_and_suite_names() {
+        assert!(build_workload("bfs.kron", true).is_ok());
+        assert!(build_workload("spec.stream", true).is_ok());
+        assert!(build_workload("xsbench.small", true).is_ok());
+        assert!(build_workload("qcom.srv0", true).is_ok());
+        assert!(build_workload("nope.nothing", true).is_err());
+        assert!(build_workload("spec.nothing", true).is_err());
+    }
+
+    #[test]
+    fn trace_gen_roundtrips_through_disk() {
+        let dir = std::env::temp_dir().join("ccsim_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.cctr");
+        let path_s = path.to_str().unwrap().to_owned();
+        trace_gen(&["xsbench.small".into(), path_s.clone(), "--quick".into()]).unwrap();
+        trace_stats(std::slice::from_ref(&path_s)).unwrap();
+        sim(&[path_s.clone(), "--policy".into(), "srrip".into()]).unwrap();
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn sim_rejects_bad_policy_and_scale() {
+        assert!(sim(&["x.cctr".into(), "--policy".into(), "bogus".into()]).is_err());
+        assert!(sim(&["x.cctr".into(), "--llc-scale".into(), "3".into()]).is_err());
+    }
+
+    #[test]
+    fn listings_do_not_fail() {
+        list_workloads().unwrap();
+        list_policies().unwrap();
+    }
+}

@@ -1,0 +1,40 @@
+//! `ccsim` — command-line front end for the simulation suite.
+//!
+//! ```text
+//! ccsim trace-gen <workload> <out.cctr>   capture a workload trace to disk
+//! ccsim trace-stats <in.cctr>             footprint / PC / reuse statistics
+//! ccsim sim <in.cctr> [--policy P]...     simulate a trace file
+//! ccsim workloads                         list available workload names
+//! ccsim policies                          list available policy names
+//! ```
+//!
+//! Workload names: any GAP pair (`bfs.kron`, `pr.twitter`, ...) or a
+//! synthetic suite member (`spec.stream`, `xsbench.large`, `qcom.srv0`).
+//! Add `--quick` to `trace-gen` for reduced-scale captures.
+
+use std::process::ExitCode;
+
+mod commands;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match args.first().map(String::as_str) {
+        Some("trace-gen") => commands::trace_gen(&args[1..]),
+        Some("trace-stats") => commands::trace_stats(&args[1..]),
+        Some("sim") => commands::sim(&args[1..]),
+        Some("workloads") => commands::list_workloads(),
+        Some("policies") => commands::list_policies(),
+        Some("--help") | Some("-h") | None => {
+            print!("{}", commands::USAGE);
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command {other:?}\n\n{}", commands::USAGE)),
+    };
+    match code {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

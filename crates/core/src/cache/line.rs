@@ -1,0 +1,28 @@
+//! Cache line state.
+
+/// One cache line: validity, dirtiness and the block it holds.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheLine {
+    /// Whether the line holds a valid block.
+    pub valid: bool,
+    /// Whether the line has been written since allocation.
+    pub dirty: bool,
+    /// Block address (full address >> 6).
+    pub block: u64,
+}
+
+impl CacheLine {
+    /// An invalid line.
+    pub const INVALID: CacheLine = CacheLine { valid: false, dirty: false, block: 0 };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn invalid_constant_is_clean() {
+        assert!(!CacheLine::INVALID.valid);
+        assert!(!CacheLine::INVALID.dirty);
+    }
+}

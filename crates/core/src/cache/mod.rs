@@ -1,0 +1,317 @@
+//! Set-associative cache level with pluggable replacement.
+
+mod line;
+mod mshr;
+mod stats;
+
+pub use line::CacheLine;
+pub use mshr::{MshrBank, MshrGrant};
+pub use stats::CacheStats;
+
+use ccsim_policies::{AccessInfo, AccessType, LineView, ReplacementPolicy, Victim};
+
+use crate::config::CacheConfig;
+
+/// Result of a fill: what (if anything) was displaced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FillOutcome {
+    /// The block was cached; a dirty victim (if any) must be written back.
+    Filled {
+        /// Displaced dirty block that must be written to the level below.
+        writeback: Option<u64>,
+    },
+    /// The policy bypassed the fill (block not cached).
+    Bypassed,
+}
+
+/// One cache level: tag array + replacement policy + statistics + MSHRs.
+///
+/// The cache is *write-back, write-allocate* and stores full block
+/// addresses as tags. The set index is the block address modulo the set
+/// count (sets are a power of two, validated by
+/// [`CacheConfig::validate`]).
+#[derive(Debug)]
+pub struct Cache {
+    name: &'static str,
+    sets: u32,
+    ways: u32,
+    latency: u64,
+    lines: Vec<CacheLine>,
+    policy: Box<dyn ReplacementPolicy>,
+    mshrs: MshrBank,
+    stats: CacheStats,
+}
+
+impl Cache {
+    /// Builds a cache from `config` with the given `policy`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (callers validate configs at
+    /// the simulator boundary; this is a defence in depth).
+    pub fn new(name: &'static str, config: CacheConfig, policy: Box<dyn ReplacementPolicy>) -> Self {
+        config.validate().expect("invalid cache config");
+        Cache {
+            name,
+            sets: config.sets,
+            ways: config.ways,
+            latency: config.latency,
+            lines: vec![CacheLine::INVALID; (config.sets * config.ways) as usize],
+            policy,
+            mshrs: MshrBank::new(config.mshrs),
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Cache name (for reports).
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Access (hit) latency in cycles.
+    pub fn latency(&self) -> u64 {
+        self.latency
+    }
+
+    /// Statistics accumulated so far.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// Set index for `block`.
+    #[inline]
+    pub fn set_of(&self, block: u64) -> u32 {
+        (block & (self.sets as u64 - 1)) as u32
+    }
+
+    /// The MSHR bank (the hierarchy drives miss timing through it).
+    pub fn mshrs(&mut self) -> &mut MshrBank {
+        &mut self.mshrs
+    }
+
+    /// Policy diagnostic line.
+    pub fn policy_diag(&self) -> String {
+        self.policy.diag()
+    }
+
+    #[inline]
+    fn idx(&self, set: u32, way: u32) -> usize {
+        (set * self.ways + way) as usize
+    }
+
+    /// Looks up `block` without changing any state.
+    pub fn probe(&self, block: u64) -> Option<u32> {
+        let set = self.set_of(block);
+        let base = self.idx(set, 0);
+        self.lines[base..base + self.ways as usize]
+            .iter()
+            .position(|l| l.valid && l.block == block)
+            .map(|w| w as u32)
+    }
+
+    /// Processes a lookup: returns `Some(way)` and updates policy/stats on a
+    /// hit, or `None` after counting a miss.
+    ///
+    /// Store (RFO) hits and writeback hits mark the line dirty.
+    pub fn lookup(&mut self, info: &AccessInfo) -> Option<u32> {
+        debug_assert_eq!(info.set, self.set_of(info.block));
+        let hit = self.probe(info.block);
+        match info.kind {
+            AccessType::Writeback => {
+                self.stats.writeback_accesses += 1;
+                if hit.is_some() {
+                    self.stats.writeback_hits += 1;
+                }
+            }
+            _ => {
+                self.stats.demand_accesses += 1;
+                if hit.is_some() {
+                    self.stats.demand_hits += 1;
+                } else {
+                    self.stats.demand_misses += 1;
+                }
+            }
+        }
+        if let Some(way) = hit {
+            if matches!(info.kind, AccessType::Rfo | AccessType::Writeback) {
+                let i = self.idx(info.set, way);
+                self.lines[i].dirty = true;
+            }
+            self.policy.on_hit(info.set, way, info);
+        }
+        hit
+    }
+
+    /// Allocates `info.block`, consulting the policy for a victim when the
+    /// set is full. Returns what was displaced, or [`FillOutcome::Bypassed`]
+    /// if the policy declined a demand fill.
+    ///
+    /// The line is installed clean for loads and dirty for RFOs/writebacks.
+    pub fn fill(&mut self, info: &AccessInfo) -> FillOutcome {
+        debug_assert_eq!(info.set, self.set_of(info.block));
+        debug_assert!(self.probe(info.block).is_none(), "fill of resident block");
+        let set = info.set;
+        let base = self.idx(set, 0);
+        let way = match self.lines[base..base + self.ways as usize]
+            .iter()
+            .position(|l| !l.valid)
+        {
+            Some(w) => w as u32,
+            None => {
+                let views: Vec<LineView> = self.lines[base..base + self.ways as usize]
+                    .iter()
+                    .map(|l| LineView { valid: l.valid, block: l.block, dirty: l.dirty })
+                    .collect();
+                match self.policy.victim(set, info, &views) {
+                    Victim::Way(w) => {
+                        assert!(w < self.ways, "{}: policy victim out of range", self.name);
+                        w
+                    }
+                    Victim::Bypass => {
+                        if info.kind.is_demand() {
+                            self.stats.bypasses += 1;
+                            return FillOutcome::Bypassed;
+                        }
+                        // Writebacks cannot bypass: fall back to way 0's
+                        // aging-independent choice via policy re-query is
+                        // not possible, so evict way 0 deterministically.
+                        0
+                    }
+                }
+            }
+        };
+        let i = self.idx(set, way);
+        let old = self.lines[i];
+        let mut writeback = None;
+        if old.valid {
+            self.stats.evictions += 1;
+            if old.dirty {
+                self.stats.writebacks_out += 1;
+                writeback = Some(old.block);
+            }
+        }
+        self.lines[i] = CacheLine {
+            valid: true,
+            dirty: matches!(info.kind, AccessType::Rfo | AccessType::Writeback),
+            block: info.block,
+        };
+        self.stats.fills += 1;
+        self.policy
+            .on_fill(set, way, info, old.valid.then_some(old.block));
+        FillOutcome::Filled { writeback }
+    }
+
+    /// Number of valid lines (for tests and occupancy reports).
+    pub fn occupancy(&self) -> usize {
+        self.lines.iter().filter(|l| l.valid).count()
+    }
+
+    /// Notes a demand miss that merged into an outstanding MSHR.
+    pub fn note_mshr_merge(&mut self) {
+        self.stats.mshr_merges += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccsim_policies::PolicyKind;
+
+    fn small() -> Cache {
+        let cfg = CacheConfig { sets: 4, ways: 2, latency: 1, mshrs: 2 };
+        Cache::new("test", cfg, PolicyKind::Lru.build(cfg.sets, cfg.ways))
+    }
+
+    fn load(cache: &Cache, block: u64) -> AccessInfo {
+        AccessInfo { pc: 0x400, block, set: cache.set_of(block), kind: AccessType::Load }
+    }
+
+    fn rfo(cache: &Cache, block: u64) -> AccessInfo {
+        AccessInfo { pc: 0x404, block, set: cache.set_of(block), kind: AccessType::Rfo }
+    }
+
+    fn wb(cache: &Cache, block: u64) -> AccessInfo {
+        AccessInfo { pc: 0, block, set: cache.set_of(block), kind: AccessType::Writeback }
+    }
+
+    #[test]
+    fn miss_then_fill_then_hit() {
+        let mut c = small();
+        let a = load(&c, 0x100);
+        assert_eq!(c.lookup(&a), None);
+        assert_eq!(c.fill(&a), FillOutcome::Filled { writeback: None });
+        assert!(c.lookup(&a).is_some());
+        assert_eq!(c.stats().demand_misses, 1);
+        assert_eq!(c.stats().demand_hits, 1);
+    }
+
+    #[test]
+    fn set_mapping_uses_low_bits() {
+        let c = small();
+        assert_eq!(c.set_of(0), 0);
+        assert_eq!(c.set_of(5), 1);
+        assert_eq!(c.set_of(7), 3);
+        assert_eq!(c.set_of(8), 0);
+    }
+
+    #[test]
+    fn dirty_eviction_reports_writeback() {
+        let mut c = small();
+        // Blocks 0, 4, 8 all map to set 0 (sets=4).
+        let w = rfo(&c, 0);
+        c.fill(&w); // dirty
+        c.fill(&load(&c, 4));
+        // Set full; filling 8 evicts LRU = block 0 (dirty).
+        let out = c.fill(&load(&c, 8));
+        assert_eq!(out, FillOutcome::Filled { writeback: Some(0) });
+        assert_eq!(c.stats().writebacks_out, 1);
+        assert_eq!(c.stats().evictions, 1);
+    }
+
+    #[test]
+    fn clean_eviction_has_no_writeback() {
+        let mut c = small();
+        c.fill(&load(&c, 0));
+        c.fill(&load(&c, 4));
+        let out = c.fill(&load(&c, 8));
+        assert_eq!(out, FillOutcome::Filled { writeback: None });
+    }
+
+    #[test]
+    fn rfo_hit_marks_dirty() {
+        let mut c = small();
+        c.fill(&load(&c, 0x20));
+        assert!(c.lookup(&rfo(&c, 0x20)).is_some());
+        c.fill(&load(&c, 0x24));
+        // Evicting 0x20 must now produce a writeback.
+        let out = c.fill(&load(&c, 0x28));
+        assert_eq!(out, FillOutcome::Filled { writeback: Some(0x20) });
+    }
+
+    #[test]
+    fn writeback_lookup_counts_separately() {
+        let mut c = small();
+        c.fill(&load(&c, 0x30));
+        assert!(c.lookup(&wb(&c, 0x30)).is_some());
+        assert_eq!(c.stats().writeback_accesses, 1);
+        assert_eq!(c.stats().writeback_hits, 1);
+        assert_eq!(c.stats().demand_accesses, 0);
+    }
+
+    #[test]
+    fn occupancy_counts_valid_lines() {
+        let mut c = small();
+        assert_eq!(c.occupancy(), 0);
+        c.fill(&load(&c, 1));
+        c.fill(&load(&c, 2));
+        assert_eq!(c.occupancy(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "fill of resident block")]
+    fn double_fill_rejected_in_debug() {
+        let mut c = small();
+        c.fill(&load(&c, 9));
+        c.fill(&load(&c, 9));
+    }
+}

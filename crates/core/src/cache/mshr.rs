@@ -1,0 +1,146 @@
+//! Miss-status holding registers: bounded outstanding-miss tracking with
+//! same-block merging.
+
+use std::collections::HashMap;
+
+/// Outcome of requesting an MSHR for a missing block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MshrGrant {
+    /// A new miss may issue; the slot index must be passed to
+    /// [`MshrBank::complete`], and `start_at` is when the miss can leave
+    /// (delayed past `ready` if all MSHRs were busy).
+    Issue {
+        /// Slot to fill in later.
+        slot: u32,
+        /// Earliest cycle the miss can be sent downstream.
+        start_at: u64,
+    },
+    /// An outstanding miss to the same block absorbs this one; it completes
+    /// when that miss fills.
+    Merged {
+        /// Completion cycle of the outstanding miss.
+        completes_at: u64,
+    },
+}
+
+/// A bank of MSHRs. Each slot remembers when it frees; a full bank delays
+/// new misses until the earliest slot frees (modelling miss-bandwidth
+/// limits), and misses to an already-outstanding block merge.
+#[derive(Debug)]
+pub struct MshrBank {
+    free_at: Vec<u64>,
+    outstanding: HashMap<u64, u64>,
+}
+
+impl MshrBank {
+    /// Creates a bank of `count` registers.
+    pub fn new(count: u32) -> Self {
+        assert!(count > 0, "mshr bank must have at least one register");
+        MshrBank { free_at: vec![0; count as usize], outstanding: HashMap::new() }
+    }
+
+    /// Requests a register for a miss to `block` observed at cycle `ready`.
+    pub fn acquire(&mut self, block: u64, ready: u64) -> MshrGrant {
+        if let Some(&completes) = self.outstanding.get(&block) {
+            if completes > ready {
+                return MshrGrant::Merged { completes_at: completes };
+            }
+            // Stale entry: the miss already completed.
+            self.outstanding.remove(&block);
+        }
+        // Opportunistic pruning keeps the map proportional to the bank.
+        if self.outstanding.len() > 4 * self.free_at.len() {
+            self.outstanding.retain(|_, &mut c| c > ready);
+        }
+        let (slot, &free) = self
+            .free_at
+            .iter()
+            .enumerate()
+            .min_by_key(|&(_, &f)| f)
+            .expect("bank non-empty");
+        MshrGrant::Issue { slot: slot as u32, start_at: ready.max(free) }
+    }
+
+    /// Records that the miss in `slot` for `block` completes at
+    /// `completes_at`, freeing the register at that time.
+    pub fn complete(&mut self, slot: u32, block: u64, completes_at: u64) {
+        self.free_at[slot as usize] = completes_at;
+        self.outstanding.insert(block, completes_at);
+    }
+
+    /// Completion time of an outstanding (or recently completed) miss to
+    /// `block`, if one was recorded. Used by the hit path: a tag hit on a
+    /// block whose fill is still in flight cannot return data before the
+    /// fill arrives.
+    pub fn pending(&self, block: u64) -> Option<u64> {
+        self.outstanding.get(&block).copied()
+    }
+
+    /// Number of registers.
+    pub fn len(&self) -> usize {
+        self.free_at.len()
+    }
+
+    /// Always false: constructor requires at least one register.
+    pub fn is_empty(&self) -> bool {
+        self.free_at.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_bank_issues_immediately() {
+        let mut b = MshrBank::new(2);
+        match b.acquire(0xA, 100) {
+            MshrGrant::Issue { start_at, .. } => assert_eq!(start_at, 100),
+            g => panic!("expected issue, got {g:?}"),
+        }
+    }
+
+    #[test]
+    fn same_block_merges_while_outstanding() {
+        let mut b = MshrBank::new(2);
+        let MshrGrant::Issue { slot, .. } = b.acquire(0xA, 10) else { panic!() };
+        b.complete(slot, 0xA, 500);
+        assert_eq!(b.acquire(0xA, 20), MshrGrant::Merged { completes_at: 500 });
+        // After completion time, no merge.
+        match b.acquire(0xA, 600) {
+            MshrGrant::Issue { .. } => {}
+            g => panic!("expected fresh issue, got {g:?}"),
+        }
+    }
+
+    #[test]
+    fn full_bank_delays_new_misses() {
+        let mut b = MshrBank::new(1);
+        let MshrGrant::Issue { slot, start_at } = b.acquire(0xA, 0) else { panic!() };
+        assert_eq!(start_at, 0);
+        b.complete(slot, 0xA, 300);
+        match b.acquire(0xB, 10) {
+            MshrGrant::Issue { start_at, .. } => {
+                assert_eq!(start_at, 300, "must wait for the busy mshr");
+            }
+            g => panic!("expected delayed issue, got {g:?}"),
+        }
+    }
+
+    #[test]
+    fn distinct_blocks_use_distinct_slots() {
+        let mut b = MshrBank::new(2);
+        let MshrGrant::Issue { slot: s0, .. } = b.acquire(0xA, 0) else { panic!() };
+        b.complete(s0, 0xA, 1000);
+        let MshrGrant::Issue { slot: s1, start_at } = b.acquire(0xB, 5) else { panic!() };
+        assert_ne!(s0, s1);
+        assert_eq!(start_at, 5, "second mshr is free");
+        b.complete(s1, 0xB, 900);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one register")]
+    fn zero_mshrs_rejected() {
+        let _ = MshrBank::new(0);
+    }
+}

@@ -1,0 +1,12 @@
+//! Experiment harness: parallel sweeps and report formatting.
+//!
+//! The binaries in `ccsim-bench` use this module to regenerate the paper's
+//! figures: [`run_matrix`] simulates every (trace x policy) combination in
+//! parallel, and [`report`] renders aligned
+//! ASCII tables and CSV for the results.
+
+pub mod report;
+mod runner;
+
+pub use report::Table;
+pub use runner::{run_matrix, MatrixEntry};

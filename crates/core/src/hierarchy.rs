@@ -1,0 +1,284 @@
+//! The three-level memory hierarchy: L1D -> L2 -> LLC -> DRAM.
+//!
+//! The hierarchy is *non-inclusive* with fill-on-miss at every level (the
+//! ChampSim model): a demand miss walks down until it hits (or reaches
+//! DRAM) and fills every level on the way back. Dirty victims become
+//! posted writebacks to the level below; they update state and occupy DRAM
+//! banks but do not lengthen the demand path that displaced them.
+//!
+//! Timing composes per level: a lookup costs the level's hit latency; a
+//! miss acquires an MSHR (merging with an outstanding miss to the same
+//! block, or waiting when the bank is exhausted) and then pays the
+//! downstream path.
+
+use ccsim_policies::{AccessInfo, AccessType, PolicyKind, ReplacementPolicy};
+
+use crate::cache::{Cache, CacheStats, FillOutcome, MshrGrant};
+use crate::config::SimConfig;
+use crate::dram::{Dram, DramStats};
+
+/// Identifies the cache levels for stats queries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Level {
+    /// First-level data cache.
+    L1d,
+    /// Unified second-level cache.
+    L2,
+    /// Last-level cache.
+    Llc,
+}
+
+/// The memory hierarchy. L1D and L2 always use true LRU (as in the paper's
+/// setup); the LLC runs the policy under study.
+#[derive(Debug)]
+pub struct Hierarchy {
+    l1d: Cache,
+    l2: Cache,
+    llc: Cache,
+    dram: Dram,
+    /// Optional capture of the LLC demand stream (set, block) for offline
+    /// OPT analysis.
+    llc_log: Option<Vec<(u32, u64)>>,
+}
+
+impl Hierarchy {
+    /// Builds the hierarchy with `llc_policy` at the last level.
+    pub fn new(config: &SimConfig, llc_policy: Box<dyn ReplacementPolicy>) -> Self {
+        Hierarchy {
+            l1d: Cache::new("L1D", config.l1d, PolicyKind::Lru.build(config.l1d.sets, config.l1d.ways)),
+            l2: Cache::new("L2", config.l2, PolicyKind::Lru.build(config.l2.sets, config.l2.ways)),
+            llc: Cache::new("LLC", config.llc, llc_policy),
+            dram: Dram::new(config.dram),
+            llc_log: None,
+        }
+    }
+
+    /// Enables recording of the LLC demand stream (for Belady analysis).
+    pub fn enable_llc_log(&mut self) {
+        self.llc_log = Some(Vec::new());
+    }
+
+    /// Takes the recorded LLC demand stream, if logging was enabled.
+    pub fn take_llc_log(&mut self) -> Option<Vec<(u32, u64)>> {
+        self.llc_log.take()
+    }
+
+    /// Stats of one cache level.
+    pub fn cache_stats(&self, level: Level) -> &CacheStats {
+        match level {
+            Level::L1d => self.l1d.stats(),
+            Level::L2 => self.l2.stats(),
+            Level::Llc => self.llc.stats(),
+        }
+    }
+
+    /// DRAM statistics.
+    pub fn dram_stats(&self) -> &DramStats {
+        self.dram.stats()
+    }
+
+    /// Diagnostic line from the LLC policy.
+    pub fn llc_policy_diag(&self) -> String {
+        self.llc.policy_diag()
+    }
+
+    /// Issues a demand access (load or store) at cycle `at`; returns the
+    /// cycle its data is available.
+    pub fn demand_access(&mut self, pc: u64, vaddr: u64, is_store: bool, at: u64) -> u64 {
+        let block = vaddr >> ccsim_trace::BLOCK_SHIFT;
+        let kind = if is_store { AccessType::Rfo } else { AccessType::Load };
+        self.access_l1(pc, block, kind, at)
+    }
+
+    fn access_l1(&mut self, pc: u64, block: u64, kind: AccessType, at: u64) -> u64 {
+        let info = AccessInfo { pc, block, set: self.l1d.set_of(block), kind };
+        let after_tag = at + self.l1d.latency();
+        if self.l1d.lookup(&info).is_some() {
+            // A tag hit on a block whose fill is still in flight must wait
+            // for the fill (fills update tags eagerly, timing lags).
+            let fill_ready = self.l1d.mshrs().pending(block).unwrap_or(0);
+            return after_tag.max(fill_ready);
+        }
+        match self.l1d.mshrs().acquire(block, after_tag) {
+            MshrGrant::Merged { completes_at } => {
+                self.l1d.note_mshr_merge();
+                completes_at
+            }
+            MshrGrant::Issue { slot, start_at } => {
+                let done = self.access_l2(pc, block, kind, start_at);
+                if let FillOutcome::Filled { writeback: Some(victim) } = self.l1d.fill(&info) {
+                    self.writeback_to_l2(victim, done);
+                }
+                self.l1d.mshrs().complete(slot, block, done);
+                done
+            }
+        }
+    }
+
+    fn access_l2(&mut self, pc: u64, block: u64, kind: AccessType, at: u64) -> u64 {
+        let info = AccessInfo { pc, block, set: self.l2.set_of(block), kind };
+        let after_tag = at + self.l2.latency();
+        if self.l2.lookup(&info).is_some() {
+            let fill_ready = self.l2.mshrs().pending(block).unwrap_or(0);
+            return after_tag.max(fill_ready);
+        }
+        match self.l2.mshrs().acquire(block, after_tag) {
+            MshrGrant::Merged { completes_at } => {
+                self.l2.note_mshr_merge();
+                completes_at
+            }
+            MshrGrant::Issue { slot, start_at } => {
+                let done = self.access_llc(pc, block, kind, start_at);
+                if let FillOutcome::Filled { writeback: Some(victim) } = self.l2.fill(&info) {
+                    self.writeback_to_llc(victim, done);
+                }
+                self.l2.mshrs().complete(slot, block, done);
+                done
+            }
+        }
+    }
+
+    fn access_llc(&mut self, pc: u64, block: u64, kind: AccessType, at: u64) -> u64 {
+        let info = AccessInfo { pc, block, set: self.llc.set_of(block), kind };
+        if let Some(log) = &mut self.llc_log {
+            log.push((info.set, block));
+        }
+        let after_tag = at + self.llc.latency();
+        if self.llc.lookup(&info).is_some() {
+            let fill_ready = self.llc.mshrs().pending(block).unwrap_or(0);
+            return after_tag.max(fill_ready);
+        }
+        match self.llc.mshrs().acquire(block, after_tag) {
+            MshrGrant::Merged { completes_at } => {
+                self.llc.note_mshr_merge();
+                completes_at
+            }
+            MshrGrant::Issue { slot, start_at } => {
+                let done = self.dram.access(block, start_at, false);
+                match self.llc.fill(&info) {
+                    FillOutcome::Filled { writeback: Some(victim) } => {
+                        // Posted write: occupies a DRAM bank at fill time.
+                        let _ = self.dram.access(victim, done, true);
+                    }
+                    FillOutcome::Filled { writeback: None } | FillOutcome::Bypassed => {}
+                }
+                self.llc.mshrs().complete(slot, block, done);
+                done
+            }
+        }
+    }
+
+    /// Posted writeback from L1 into L2 (updates in place on hit, allocates
+    /// otherwise).
+    fn writeback_to_l2(&mut self, block: u64, at: u64) {
+        let info =
+            AccessInfo { pc: 0, block, set: self.l2.set_of(block), kind: AccessType::Writeback };
+        if self.l2.lookup(&info).is_some() {
+            return;
+        }
+        if let FillOutcome::Filled { writeback: Some(victim) } = self.l2.fill(&info) {
+            self.writeback_to_llc(victim, at);
+        }
+    }
+
+    /// Posted writeback from L2 into the LLC.
+    fn writeback_to_llc(&mut self, block: u64, at: u64) {
+        let info =
+            AccessInfo { pc: 0, block, set: self.llc.set_of(block), kind: AccessType::Writeback };
+        if self.llc.lookup(&info).is_some() {
+            return;
+        }
+        if let FillOutcome::Filled { writeback: Some(victim) } = self.llc.fill(&info) {
+            let _ = self.dram.access(victim, at, true);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hierarchy() -> Hierarchy {
+        let cfg = SimConfig::tiny();
+        Hierarchy::new(&cfg, PolicyKind::Lru.build(cfg.llc.sets, cfg.llc.ways))
+    }
+
+    #[test]
+    fn cold_miss_walks_all_levels_and_fills() {
+        let mut h = hierarchy();
+        let t = h.demand_access(0x400, 0x10_000, false, 0);
+        // Full path: L1 tag + L2 tag + LLC tag + DRAM(empty row).
+        let cfg = SimConfig::tiny();
+        let dram_lat = cfg.dram.t_controller + cfg.dram.t_rcd + cfg.dram.t_cas + cfg.dram.t_burst;
+        assert_eq!(t, cfg.l1d.latency + cfg.l2.latency + cfg.llc.latency + dram_lat);
+        assert_eq!(h.cache_stats(Level::L1d).demand_misses, 1);
+        assert_eq!(h.cache_stats(Level::L2).demand_misses, 1);
+        assert_eq!(h.cache_stats(Level::Llc).demand_misses, 1);
+        // Second access: L1 hit.
+        let t2 = h.demand_access(0x400, 0x10_000, false, t);
+        assert_eq!(t2, t + cfg.l1d.latency);
+        assert_eq!(h.cache_stats(Level::L1d).demand_hits, 1);
+    }
+
+    #[test]
+    fn fills_populate_every_level() {
+        let mut h = hierarchy();
+        h.demand_access(0x400, 0x20_000, false, 0);
+        // Evict from L1 by touching conflicting blocks; the block must
+        // still hit in L2.
+        let block = 0x20_000u64 >> 6;
+        assert!(h.l1d.probe(block).is_some());
+        assert!(h.l2.probe(block).is_some());
+        assert!(h.llc.probe(block).is_some());
+    }
+
+    #[test]
+    fn access_during_outstanding_fill_waits_for_it() {
+        let mut h = hierarchy();
+        let t1 = h.demand_access(0x400, 0x30_000, false, 0);
+        // A second access to the same block issued before the fill arrives
+        // hits in the (eagerly updated) tags but cannot complete before the
+        // in-flight fill, and must not issue a second DRAM read.
+        let reads_before = h.dram_stats().reads;
+        let t2 = h.demand_access(0x404, 0x30_010, false, 1);
+        assert_eq!(t2, t1, "must wait for the outstanding fill");
+        assert_eq!(h.dram_stats().reads, reads_before);
+    }
+
+    #[test]
+    fn store_misses_issue_rfo_and_dirty_the_line() {
+        let mut h = hierarchy();
+        h.demand_access(0x400, 0x40_000, true, 0);
+        assert_eq!(h.cache_stats(Level::L1d).demand_misses, 1);
+        // Force the dirty line out of L1: two more conflicting blocks in
+        // the same L1 set (l1 tiny: 2 sets, 2 ways).
+        let base = 0x40_000u64;
+        let step = 64 * 2; // same set every 2 blocks
+        h.demand_access(0x400, base + step, false, 100);
+        h.demand_access(0x400, base + 2 * step, false, 200);
+        // The dirty block was written back to L2 (writeback hit there).
+        assert!(h.cache_stats(Level::L2).writeback_accesses >= 1);
+    }
+
+    #[test]
+    fn llc_log_captures_demand_stream() {
+        let mut h = hierarchy();
+        h.enable_llc_log();
+        h.demand_access(0x400, 0x50_000, false, 0);
+        h.demand_access(0x400, 0x50_000, false, 1000); // L1 hit: no LLC access
+        let log = h.take_llc_log().unwrap();
+        assert_eq!(log.len(), 1);
+        assert_eq!(log[0].1, 0x50_000 >> 6);
+    }
+
+    #[test]
+    fn dram_reached_only_on_llc_miss() {
+        let mut h = hierarchy();
+        h.demand_access(0x400, 0x60_000, false, 0);
+        assert_eq!(h.dram_stats().reads, 1);
+        // Evict from L1+L2 but not LLC is hard to arrange in tiny config;
+        // instead verify an immediate re-access stays out of DRAM.
+        h.demand_access(0x400, 0x60_000, false, 5000);
+        assert_eq!(h.dram_stats().reads, 1);
+    }
+}

@@ -1,0 +1,164 @@
+//! Simulation results and derived metrics.
+
+use crate::cache::CacheStats;
+use crate::dram::DramStats;
+
+/// Everything measured by one simulation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimResult {
+    /// Workload (trace) name.
+    pub workload: String,
+    /// LLC replacement policy name.
+    pub policy: String,
+    /// Instructions executed.
+    pub instructions: u64,
+    /// Cycles elapsed.
+    pub cycles: u64,
+    /// L1D statistics.
+    pub l1d: CacheStats,
+    /// L2 statistics.
+    pub l2: CacheStats,
+    /// LLC statistics.
+    pub llc: CacheStats,
+    /// DRAM statistics.
+    pub dram: DramStats,
+    /// LLC policy diagnostic line.
+    pub llc_diag: String,
+}
+
+impl SimResult {
+    /// Instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            return 0.0;
+        }
+        self.instructions as f64 / self.cycles as f64
+    }
+
+    /// L1D demand misses per kilo-instruction (the paper's Figure 2 metric).
+    pub fn mpki_l1d(&self) -> f64 {
+        self.l1d.mpki(self.instructions)
+    }
+
+    /// L2 demand misses per kilo-instruction.
+    pub fn mpki_l2(&self) -> f64 {
+        self.l2.mpki(self.instructions)
+    }
+
+    /// LLC demand misses per kilo-instruction.
+    pub fn mpki_llc(&self) -> f64 {
+        self.llc.mpki(self.instructions)
+    }
+
+    /// Fraction of L1D demand misses that also miss the L2 and LLC and are
+    /// served by DRAM (the paper reports 78.6 % for GAP).
+    pub fn dram_reach_fraction(&self) -> f64 {
+        if self.l1d.demand_misses == 0 {
+            return 0.0;
+        }
+        self.llc.demand_misses as f64 / self.l1d.demand_misses as f64
+    }
+
+    /// Percentage speed-up of this run over `baseline` (same workload):
+    /// `(ipc / ipc_base - 1) * 100`.
+    pub fn speedup_over(&self, baseline: &SimResult) -> f64 {
+        let base = baseline.ipc();
+        if base == 0.0 {
+            return 0.0;
+        }
+        (self.ipc() / base - 1.0) * 100.0
+    }
+}
+
+/// Geometric mean of `values` (arithmetic-in-log-space).
+///
+/// # Panics
+///
+/// Panics if `values` is empty or contains non-positive entries.
+pub fn geomean(values: &[f64]) -> f64 {
+    assert!(!values.is_empty(), "geomean of empty slice");
+    let log_sum: f64 = values
+        .iter()
+        .map(|&v| {
+            assert!(v > 0.0, "geomean requires positive values, got {v}");
+            v.ln()
+        })
+        .sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+/// Geometric-mean *speed-up in percent* from per-workload IPC ratios:
+/// `(geomean(ratios) - 1) * 100`, the exact quantity in the paper's
+/// Figure 3.
+pub fn geomean_speedup_percent(ipc_ratios: &[f64]) -> f64 {
+    (geomean(ipc_ratios) - 1.0) * 100.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result(instr: u64, cycles: u64) -> SimResult {
+        SimResult {
+            workload: "w".into(),
+            policy: "p".into(),
+            instructions: instr,
+            cycles,
+            l1d: CacheStats::default(),
+            l2: CacheStats::default(),
+            llc: CacheStats::default(),
+            dram: DramStats::default(),
+            llc_diag: String::new(),
+        }
+    }
+
+    #[test]
+    fn ipc_and_speedup() {
+        let base = result(1000, 1000);
+        let fast = result(1000, 800);
+        assert!((fast.ipc() - 1.25).abs() < 1e-12);
+        assert!((fast.speedup_over(&base) - 25.0).abs() < 1e-9);
+        assert!((base.speedup_over(&fast) + 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mpki_uses_instruction_count() {
+        let mut r = result(10_000, 1);
+        r.llc.demand_misses = 420;
+        assert!((r.mpki_llc() - 42.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dram_reach_fraction_ratio() {
+        let mut r = result(1, 1);
+        r.l1d.demand_misses = 100;
+        r.llc.demand_misses = 78;
+        assert!((r.dram_reach_fraction() - 0.78).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geomean(&[4.0, 1.0]) - 2.0).abs() < 1e-12);
+        assert!((geomean(&[2.0, 2.0, 2.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geomean_speedup_percent_matches_figure_semantics() {
+        // Two workloads at +2% and -1%: geomean of 1.02 and 0.99 is
+        // sqrt(1.0098) = 1.004888 -> +0.4888 %.
+        let pct = geomean_speedup_percent(&[1.02, 0.99]);
+        assert!((pct - 0.4888).abs() < 1e-3);
+    }
+
+    #[test]
+    #[should_panic(expected = "geomean of empty slice")]
+    fn geomean_empty_panics() {
+        let _ = geomean(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive values")]
+    fn geomean_nonpositive_panics() {
+        let _ = geomean(&[1.0, 0.0]);
+    }
+}

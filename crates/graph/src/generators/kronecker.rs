@@ -1,0 +1,74 @@
+//! Kronecker (R-MAT) graphs with Graph500 parameters (the GAP `kron`
+//! input).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::Graph;
+
+/// R-MAT edge-quadrant probabilities used by Graph500 and GAP's `kron`:
+/// A = 0.57, B = 0.19, C = 0.19 (D implied 0.05).
+const A: f64 = 0.57;
+/// Upper-right quadrant probability.
+const B: f64 = 0.19;
+/// Lower-left quadrant probability.
+const C: f64 = 0.19;
+
+/// Generates a Kronecker graph with `2^scale` vertices and
+/// `edge_factor * n` undirected edges by recursive R-MAT quadrant descent.
+/// Produces the heavy-tailed degree distribution with large hubs that
+/// characterizes `kron`.
+pub fn kronecker(scale: u32, edge_factor: u32, seed: u64) -> Graph {
+    assert!(scale <= 28, "scale {scale} unreasonably large for simulation");
+    let n = 1u32 << scale;
+    let m = n as u64 * edge_factor as u64 / 2;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges = Vec::with_capacity(m as usize);
+    for _ in 0..m {
+        let (mut u, mut v) = (0u32, 0u32);
+        for _ in 0..scale {
+            u <<= 1;
+            v <<= 1;
+            let r: f64 = rng.gen();
+            if r < A {
+                // upper-left: no bits set
+            } else if r < A + B {
+                v |= 1;
+            } else if r < A + B + C {
+                u |= 1;
+            } else {
+                u |= 1;
+                v |= 1;
+            }
+        }
+        edges.push((u, v));
+    }
+    Graph::from_edges(n, &edges, true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn produces_hubs() {
+        let g = kronecker(12, 16, 1);
+        let n = g.num_vertices();
+        let max = (0..n).map(|v| g.degree(v)).max().unwrap();
+        let avg = g.num_edges() as f64 / n as f64;
+        assert!(
+            max as f64 > 10.0 * avg,
+            "kron should have hubs: max {max}, avg {avg:.1}"
+        );
+    }
+
+    #[test]
+    fn has_isolated_or_low_degree_tail() {
+        let g = kronecker(12, 16, 2);
+        let low = (0..g.num_vertices()).filter(|&v| g.degree(v) <= 1).count();
+        assert!(
+            low > g.num_vertices() as usize / 20,
+            "kron's skew should leave many near-isolated vertices, got {low}"
+        );
+    }
+}

@@ -1,0 +1,76 @@
+//! Chung–Lu power-law graphs (the GAP `twitter` / `friendster` inputs).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::Graph;
+
+/// Generates a Chung–Lu random graph with `2^scale` vertices whose expected
+/// degree sequence follows a power law with exponent `gamma` and the given
+/// average degree: vertex `i` gets weight `(i + i0)^(-1/(gamma - 1))`,
+/// normalized, and `avg_degree * n / 2` undirected edges are sampled with
+/// probability proportional to the endpoint weight product.
+///
+/// `gamma ~ 1.8-2.2` reproduces social-network skew (twitter/friendster):
+/// a few celebrity hubs adjacent to a large fraction of all vertices.
+pub fn power_law(scale: u32, avg_degree: u32, gamma: f64, seed: u64) -> Graph {
+    assert!(scale <= 28, "scale {scale} unreasonably large for simulation");
+    assert!(gamma > 1.0, "power-law exponent must exceed 1");
+    let n = 1u32 << scale;
+    let m = n as u64 * avg_degree as u64 / 2;
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Cumulative weight table for inverse-CDF endpoint sampling.
+    let exponent = -1.0 / (gamma - 1.0);
+    let mut cum = Vec::with_capacity(n as usize);
+    let mut acc = 0.0f64;
+    for i in 0..n {
+        acc += ((i + 10) as f64).powf(exponent);
+        cum.push(acc);
+    }
+    let total = acc;
+    let sample = |rng: &mut StdRng| -> u32 {
+        let t: f64 = rng.gen::<f64>() * total;
+        match cum.binary_search_by(|c| c.partial_cmp(&t).expect("finite")) {
+            Ok(i) => i as u32,
+            Err(i) => (i as u32).min(n - 1),
+        }
+    };
+    let mut edges = Vec::with_capacity(m as usize);
+    for _ in 0..m {
+        let u = sample(&mut rng);
+        let v = sample(&mut rng);
+        edges.push((u, v));
+    }
+    Graph::from_edges(n, &edges, true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn head_vertices_are_hubs() {
+        let g = power_law(12, 16, 1.9, 1);
+        let avg = g.num_edges() as f64 / g.num_vertices() as f64;
+        let head_max = (0..10).map(|v| g.degree(v)).max().unwrap();
+        assert!(
+            head_max as f64 > 20.0 * avg,
+            "low-id vertices should be hubs: max {head_max}, avg {avg:.1}"
+        );
+    }
+
+    #[test]
+    fn tail_is_sparse() {
+        let g = power_law(12, 16, 1.9, 2);
+        let n = g.num_vertices();
+        let tail_avg: f64 = (n - 1000..n).map(|v| g.degree(v) as f64).sum::<f64>() / 1000.0;
+        let avg = g.num_edges() as f64 / n as f64;
+        assert!(tail_avg < avg, "tail should be below average: {tail_avg} vs {avg}");
+    }
+
+    #[test]
+    #[should_panic(expected = "power-law exponent must exceed 1")]
+    fn gamma_validated() {
+        let _ = power_law(8, 4, 0.9, 1);
+    }
+}

@@ -1,0 +1,74 @@
+//! Road-network-like graphs (the GAP `road` input).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::Graph;
+
+/// A road-like graph: a sqrt(n) x sqrt(n) grid (degree ~4) with a sprinkle
+/// of diagonal shortcuts, yielding the constant low degree and enormous
+/// diameter of road networks — the one GAP input whose frontier stays tiny
+/// and whose working set exhibits real locality.
+pub fn road(scale: u32, seed: u64) -> Graph {
+    assert!(scale % 2 == 0 || scale <= 28, "scale {scale} unreasonable");
+    let n = 1u32 << scale;
+    let side = 1u32 << (scale / 2);
+    let side_y = n / side;
+    let idx = |x: u32, y: u32| y * side + x;
+    let mut edges = Vec::with_capacity(2 * n as usize);
+    for y in 0..side_y {
+        for x in 0..side {
+            if x + 1 < side {
+                edges.push((idx(x, y), idx(x + 1, y)));
+            }
+            if y + 1 < side_y {
+                edges.push((idx(x, y), idx(x, y + 1)));
+            }
+        }
+    }
+    // ~2% diagonal shortcuts model highways/bridges.
+    let mut rng = StdRng::seed_from_u64(seed);
+    let shortcuts = n / 50;
+    for _ in 0..shortcuts {
+        let x = rng.gen_range(0..side.saturating_sub(1));
+        let y = rng.gen_range(0..side_y.saturating_sub(1));
+        edges.push((idx(x, y), idx(x + 1, y + 1)));
+    }
+    Graph::from_edges(n, &edges, true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn degree_is_constant_and_small() {
+        let g = road(12, 1);
+        let max = (0..g.num_vertices()).map(|v| g.degree(v)).max().unwrap();
+        let avg = g.num_edges() as f64 / g.num_vertices() as f64;
+        assert!(max <= 8, "road max degree {max}");
+        assert!((3.0..=4.6).contains(&avg), "road avg degree {avg}");
+    }
+
+    #[test]
+    fn is_connected_enough_for_bfs() {
+        // A BFS from vertex 0 must reach nearly everything (grid is
+        // connected; shortcuts only add edges).
+        let g = road(10, 2);
+        let n = g.num_vertices() as usize;
+        let mut seen = vec![false; n];
+        let mut queue = std::collections::VecDeque::from([0u32]);
+        seen[0] = true;
+        let mut count = 1;
+        while let Some(u) = queue.pop_front() {
+            for &v in g.neighbors(u) {
+                if !seen[v as usize] {
+                    seen[v as usize] = true;
+                    count += 1;
+                    queue.push_back(v);
+                }
+            }
+        }
+        assert_eq!(count, n, "grid must be fully connected");
+    }
+}

@@ -1,0 +1,44 @@
+//! Uniform random graphs (the GAP `urand` input).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::Graph;
+
+/// Erdős–Rényi-style graph: `2^scale` vertices, `avg_degree/2 * n`
+/// undirected edges with uniformly random endpoints. Degree is tightly
+/// concentrated and there is no locality whatsoever — the worst case for
+/// any cache.
+pub fn uniform(scale: u32, avg_degree: u32, seed: u64) -> Graph {
+    assert!(scale <= 28, "scale {scale} unreasonably large for simulation");
+    let n = 1u32 << scale;
+    let undirected_edges = (n as u64 * avg_degree as u64 / 2) as usize;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges = Vec::with_capacity(undirected_edges);
+    for _ in 0..undirected_edges {
+        let u = rng.gen_range(0..n);
+        let v = rng.gen_range(0..n);
+        edges.push((u, v));
+    }
+    Graph::from_edges(n, &edges, true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn average_degree_close_to_requested() {
+        let g = uniform(12, 16, 3);
+        let avg = g.num_edges() as f64 / g.num_vertices() as f64;
+        // Undirected edges doubled; duplicates/self-loops shave a little.
+        assert!((14.0..=16.5).contains(&avg), "avg degree {avg}");
+    }
+
+    #[test]
+    fn degrees_are_concentrated() {
+        let g = uniform(12, 16, 4);
+        let max = (0..g.num_vertices()).map(|v| g.degree(v)).max().unwrap();
+        assert!(max < 64, "uniform graph should have no hubs, max degree {max}");
+    }
+}

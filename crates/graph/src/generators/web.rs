@@ -1,0 +1,91 @@
+//! Web-crawl-like graphs (the GAP `web` input, sk-2005).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::Graph;
+
+/// Web crawls are power-law graphs with one crucial extra property: *host
+/// locality* — pages link overwhelmingly within their own site, and crawl
+/// ordering assigns neighbouring ids to same-site pages. We model hosts as
+/// contiguous id blocks of geometric size; each edge stays within its host
+/// with probability 0.8 and otherwise targets a power-law-sampled global
+/// vertex. The result keeps `web`'s signature: skewed degrees *and* much
+/// better spatial locality than twitter-class graphs.
+pub fn web(scale: u32, avg_degree: u32, seed: u64) -> Graph {
+    assert!(scale <= 28, "scale {scale} unreasonably large for simulation");
+    let n = 1u32 << scale;
+    let m = n as u64 * avg_degree as u64 / 2;
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Host boundaries: geometric sizes between 16 and 4096 pages.
+    let mut hosts = Vec::new();
+    let mut start = 0u32;
+    while start < n {
+        let size = 16u32 << rng.gen_range(0..9); // 16..=4096
+        let end = (start + size).min(n);
+        hosts.push((start, end));
+        start = end;
+    }
+    // Global power-law weight for cross-host links (gamma ~ 2.1).
+    let mut cum = Vec::with_capacity(n as usize);
+    let mut acc = 0.0f64;
+    for i in 0..n {
+        acc += ((i + 10) as f64).powf(-1.0 / 1.1);
+        cum.push(acc);
+    }
+    let total = acc;
+    let global = |rng: &mut StdRng| -> u32 {
+        let t: f64 = rng.gen::<f64>() * total;
+        match cum.binary_search_by(|c| c.partial_cmp(&t).expect("finite")) {
+            Ok(i) => i as u32,
+            Err(i) => (i as u32).min(n - 1),
+        }
+    };
+    let mut edges = Vec::with_capacity(m as usize);
+    for _ in 0..m {
+        let h = rng.gen_range(0..hosts.len());
+        let (lo, hi) = hosts[h];
+        let u = rng.gen_range(lo..hi);
+        let v = if rng.gen::<f64>() < 0.8 {
+            rng.gen_range(lo..hi) // intra-host link
+        } else {
+            global(&mut rng)
+        };
+        edges.push((u, v));
+    }
+    Graph::from_edges(n, &edges, true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn most_edges_are_short_range() {
+        let g = web(12, 12, 1);
+        let n = g.num_vertices();
+        let mut near = 0u64;
+        let mut far = 0u64;
+        for v in 0..n {
+            for &u in g.neighbors(v) {
+                if (u as i64 - v as i64).unsigned_abs() < 4096 {
+                    near += 1;
+                } else {
+                    far += 1;
+                }
+            }
+        }
+        assert!(
+            near > 2 * far,
+            "web should be locality-dominated: near={near} far={far}"
+        );
+    }
+
+    #[test]
+    fn still_has_degree_skew() {
+        let g = web(12, 12, 2);
+        let avg = g.num_edges() as f64 / g.num_vertices() as f64;
+        let max = (0..g.num_vertices()).map(|v| g.degree(v)).max().unwrap();
+        assert!(max as f64 > 5.0 * avg, "web keeps hubs: max {max}, avg {avg:.1}");
+    }
+}

@@ -1,0 +1,100 @@
+//! Betweenness centrality (Brandes' algorithm).
+
+use crate::Graph;
+
+/// Brandes betweenness centrality approximated from the given source
+/// vertices (GAP's `bc` uses a small sample of sources; exact BC would
+/// iterate all of them).
+///
+/// For each source: a BFS computes shortest-path counts `sigma`, then a
+/// reverse sweep accumulates dependencies `delta` along the BFS DAG.
+/// Returns per-vertex centrality scores (unnormalized).
+pub fn betweenness(g: &Graph, sources: &[u32]) -> Vec<f64> {
+    let n = g.num_vertices() as usize;
+    let mut centrality = vec![0.0f64; n];
+    for &s in sources {
+        assert!((s as usize) < n, "source out of range");
+        // Forward BFS recording order, depth and path counts.
+        let mut depth = vec![u32::MAX; n];
+        let mut sigma = vec![0.0f64; n];
+        let mut order = Vec::with_capacity(n);
+        depth[s as usize] = 0;
+        sigma[s as usize] = 1.0;
+        let mut frontier = vec![s];
+        while !frontier.is_empty() {
+            let mut next = Vec::new();
+            for &u in &frontier {
+                order.push(u);
+                for &v in g.neighbors(u) {
+                    let (du, dv) = (depth[u as usize], depth[v as usize]);
+                    if dv == u32::MAX {
+                        depth[v as usize] = du + 1;
+                        sigma[v as usize] += sigma[u as usize];
+                        next.push(v);
+                    } else if dv == du + 1 {
+                        sigma[v as usize] += sigma[u as usize];
+                    }
+                }
+            }
+            frontier = next;
+        }
+        // Backward dependency accumulation.
+        let mut delta = vec![0.0f64; n];
+        for &u in order.iter().rev() {
+            for &v in g.neighbors(u) {
+                if depth[v as usize] == depth[u as usize] + 1 {
+                    let share = sigma[u as usize] / sigma[v as usize];
+                    delta[u as usize] += share * (1.0 + delta[v as usize]);
+                }
+            }
+            if u != s {
+                centrality[u as usize] += delta[u as usize];
+            }
+        }
+    }
+    centrality
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::uniform;
+
+    #[test]
+    fn path_center_has_highest_centrality() {
+        // 0 - 1 - 2: all shortest paths through 1.
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2)], true);
+        let c = betweenness(&g, &[0, 1, 2]);
+        assert!(c[1] > c[0]);
+        assert!(c[1] > c[2]);
+        // From source 0: path 0->2 passes through 1 (delta 1); same from 2.
+        assert!((c[1] - 2.0).abs() < 1e-9, "center score {}", c[1]);
+    }
+
+    #[test]
+    fn star_center_dominates() {
+        let g = Graph::from_edges(5, &[(0, 1), (0, 2), (0, 3), (0, 4)], true);
+        let c = betweenness(&g, &[1, 2, 3, 4]);
+        assert!(c[0] > 5.0, "star center {}", c[0]);
+        for leaf in 1..5 {
+            assert!(c[leaf] < 1e-9, "leaf {leaf} has {}", c[leaf]);
+        }
+    }
+
+    #[test]
+    fn sigma_counts_multiple_shortest_paths() {
+        // Diamond 0-1-3, 0-2-3: both 1 and 2 carry half the dependency.
+        let g = Graph::from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)], true);
+        let c = betweenness(&g, &[0]);
+        assert!((c[1] - 0.5).abs() < 1e-9);
+        assert!((c[2] - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scores_are_finite_on_random_graphs() {
+        let g = uniform(9, 8, 3);
+        let c = betweenness(&g, &[0, 7, 99]);
+        assert!(c.iter().all(|x| x.is_finite()));
+        assert!(c.iter().any(|&x| x > 0.0));
+    }
+}

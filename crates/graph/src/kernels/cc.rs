@@ -1,0 +1,97 @@
+//! Connected components (Shiloach–Vishkin).
+
+use crate::Graph;
+
+/// Shiloach–Vishkin connected components: repeated *hooking* (adopt the
+/// smaller label of any neighbour) and *pointer-jumping* (path compression
+/// of the label forest) until a fixpoint. Returns a label per vertex;
+/// two vertices share a label iff they are connected.
+///
+/// The access pattern — scanning NA while randomly chasing the `comp`
+/// array — is GAP `cc`'s signature load on the memory system.
+pub fn connected_components(g: &Graph) -> Vec<u32> {
+    let n = g.num_vertices();
+    let mut comp: Vec<u32> = (0..n).collect();
+    loop {
+        let mut changed = false;
+        // Hooking: adopt the smaller component label across each edge.
+        for u in 0..n {
+            for &v in g.neighbors(u) {
+                let (cu, cv) = (comp[u as usize], comp[v as usize]);
+                if cu < cv && cv == comp[cv as usize] {
+                    comp[cv as usize] = cu;
+                    changed = true;
+                }
+            }
+        }
+        // Pointer jumping: compress label chains.
+        for v in 0..n {
+            let mut c = comp[v as usize];
+            while c != comp[c as usize] {
+                c = comp[c as usize];
+            }
+            comp[v as usize] = c;
+        }
+        if !changed {
+            return comp;
+        }
+    }
+}
+
+/// Counts distinct component labels (test helper).
+#[cfg(test)]
+pub(crate) fn component_count(comp: &[u32]) -> usize {
+    let mut labels: Vec<u32> = comp.to_vec();
+    labels.sort_unstable();
+    labels.dedup();
+    labels.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{road, uniform};
+
+    #[test]
+    fn two_islands_two_labels() {
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (3, 4), (4, 5)], true);
+        let c = connected_components(&g);
+        assert_eq!(component_count(&c), 2);
+        assert_eq!(c[0], c[2]);
+        assert_eq!(c[3], c[5]);
+        assert_ne!(c[0], c[3]);
+    }
+
+    #[test]
+    fn isolated_vertices_are_their_own_component() {
+        let g = Graph::from_edges(4, &[(0, 1)], true);
+        let c = connected_components(&g);
+        assert_eq!(component_count(&c), 3);
+    }
+
+    #[test]
+    fn grid_is_one_component() {
+        let g = road(10, 3);
+        let c = connected_components(&g);
+        assert_eq!(component_count(&c), 1);
+    }
+
+    #[test]
+    fn labels_agree_with_bfs_reachability() {
+        let g = uniform(9, 2, 11); // sparse: several components
+        let c = connected_components(&g);
+        // BFS from vertex 0: all reached vertices share c[0], none others.
+        let p = crate::kernels::bfs(&g, 0);
+        for v in 0..g.num_vertices() {
+            let reached = p[v as usize] != crate::kernels::NO_PARENT;
+            assert_eq!(reached, c[v as usize] == c[0], "vertex {v}");
+        }
+    }
+
+    #[test]
+    fn labels_are_canonical_minimum() {
+        let g = Graph::from_edges(4, &[(3, 2), (2, 1), (1, 0)], true);
+        let c = connected_components(&g);
+        assert_eq!(c, vec![0, 0, 0, 0]);
+    }
+}

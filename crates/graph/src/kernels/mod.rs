@@ -1,0 +1,29 @@
+//! Reference (untraced) implementations of the six GAP benchmark kernels.
+//!
+//! These are the "golden" algorithms: the instrumented versions in
+//! [`crate::traced`] must produce identical results, which the test suites
+//! verify on randomized graphs. Algorithms follow the GAP benchmark
+//! specification: direction-optimizing BFS, pull PageRank, Shiloach–Vishkin
+//! connected components, Brandes betweenness centrality, delta-stepping
+//! SSSP and ordered-merge triangle counting.
+
+mod bc;
+mod bfs;
+mod cc;
+mod pr;
+mod sssp;
+mod tc;
+
+pub use bc::betweenness;
+pub use bfs::bfs;
+#[cfg(test)]
+pub(crate) use bfs::verify_bfs_tree;
+pub use cc::connected_components;
+pub use pr::pagerank;
+pub use sssp::{dijkstra, sssp};
+pub use tc::triangle_count;
+
+/// Sentinel for "no parent / unreached" in BFS trees.
+pub const NO_PARENT: u32 = u32::MAX;
+/// Sentinel distance for unreachable vertices in SSSP.
+pub const INF: u32 = u32::MAX;

@@ -1,0 +1,92 @@
+//! Triangle counting by ordered adjacency-list merging.
+
+use crate::Graph;
+
+/// Counts triangles: for each edge `(u, v)` with `u < v`, intersects the
+/// sorted neighbour lists of `u` and `v` counting common neighbours
+/// `w > v`. Each triangle `u < v < w` is counted exactly once — GAP's
+/// `tc` formulation after its degree-ordering preprocessing step.
+pub fn triangle_count(g: &Graph) -> u64 {
+    let mut count = 0u64;
+    for u in 0..g.num_vertices() {
+        let nu = g.neighbors(u);
+        for &v in nu.iter().filter(|&&v| v > u) {
+            let nv = g.neighbors(v);
+            count += intersect_above(nu, nv, v);
+        }
+    }
+    count
+}
+
+/// Counts elements above `floor` present in both sorted slices.
+fn intersect_above(a: &[u32], b: &[u32], floor: u32) -> u64 {
+    let (mut i, mut j) = (0usize, 0usize);
+    let mut count = 0u64;
+    while i < a.len() && j < b.len() {
+        let (x, y) = (a[i], b[j]);
+        if x <= floor {
+            i += 1;
+        } else if y <= floor {
+            j += 1;
+        } else if x == y {
+            count += 1;
+            i += 1;
+            j += 1;
+        } else if x < y {
+            i += 1;
+        } else {
+            j += 1;
+        }
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::uniform;
+
+    #[test]
+    fn single_triangle() {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2), (0, 2)], true);
+        assert_eq!(triangle_count(&g), 1);
+    }
+
+    #[test]
+    fn square_has_none_until_diagonal() {
+        let square = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)], true);
+        assert_eq!(triangle_count(&square), 0);
+        let with_diag = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)], true);
+        assert_eq!(triangle_count(&with_diag), 2);
+    }
+
+    #[test]
+    fn complete_graph_count() {
+        // K5 has C(5,3) = 10 triangles.
+        let mut edges = Vec::new();
+        for u in 0..5u32 {
+            for v in u + 1..5 {
+                edges.push((u, v));
+            }
+        }
+        let g = Graph::from_edges(5, &edges, true);
+        assert_eq!(triangle_count(&g), 10);
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_graph() {
+        let g = uniform(7, 6, 9);
+        let n = g.num_vertices();
+        let mut brute = 0u64;
+        for u in 0..n {
+            for &v in g.neighbors(u).iter().filter(|&&v| v > u) {
+                for &w in g.neighbors(v).iter().filter(|&&w| w > v) {
+                    if g.neighbors(u).binary_search(&w).is_ok() {
+                        brute += 1;
+                    }
+                }
+            }
+        }
+        assert_eq!(triangle_count(&g), brute);
+    }
+}

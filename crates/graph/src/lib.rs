@@ -1,0 +1,31 @@
+//! # ccsim-graph
+//!
+//! The graph-processing substrate of the ccsim characterization suite:
+//! CSR/CSC graph structures (the paper's Figure 1 layout), synthetic
+//! generators standing in for the GAP input graphs, and the six GAP
+//! benchmark kernels in two forms — reference implementations
+//! ([`kernels`]) and instrumented versions ([`traced`]) that execute
+//! through a [`ccsim_trace::TraceArena`] and capture every OA/NA/PA access
+//! as a trace record.
+//!
+//! # Example
+//!
+//! ```
+//! use ccsim_graph::{generators::kronecker, traced};
+//!
+//! let g = kronecker(10, 8, 42);
+//! let (trace, parents) = traced::bfs(&g, 0);
+//! println!("bfs touched {} blocks over {} memory ops",
+//!          ccsim_trace::stats::TraceStats::compute(&trace).footprint_blocks,
+//!          trace.len());
+//! assert_eq!(parents.len(), g.num_vertices() as usize);
+//! ```
+
+#![warn(missing_docs)]
+
+mod csr;
+pub mod generators;
+pub mod kernels;
+pub mod traced;
+
+pub use csr::Graph;

@@ -1,0 +1,141 @@
+//! Integer Support Vector Machines for Glider's online predictor.
+
+/// Weights per ISVM (one weight selected per PC-history feature).
+pub const ISVM_WEIGHTS: usize = 16;
+/// Weight saturation bound (6-bit signed hardware weights).
+pub const WEIGHT_MAX: i8 = 31;
+/// Weight saturation lower bound.
+pub const WEIGHT_MIN: i8 = -32;
+/// Training margin: stop reinforcing once the decision sum clears this.
+pub const TRAINING_THRESHOLD: i32 = 60;
+
+/// A bank of per-PC integer SVMs. Each table holds [`ISVM_WEIGHTS`] signed
+/// weights; the PC-history features of an access each select one weight and
+/// the prediction is their sum.
+#[derive(Debug)]
+pub struct IsvmBank {
+    tables: Vec<[i8; ISVM_WEIGHTS]>,
+}
+
+impl IsvmBank {
+    /// Creates `tables` zero-initialized ISVMs.
+    pub fn new(tables: usize) -> Self {
+        assert!(tables > 0, "need at least one table");
+        IsvmBank { tables: vec![[0; ISVM_WEIGHTS]; tables] }
+    }
+
+    /// Number of tables in the bank.
+    pub fn len(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// `true` if the bank has no tables (never: the constructor forbids it,
+    /// kept for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.tables.is_empty()
+    }
+
+    /// Decision sum for the access whose current-PC table is `table` and
+    /// whose history features are `feats`.
+    pub fn predict(&self, table: usize, feats: &[u8]) -> i32 {
+        let t = &self.tables[table % self.tables.len()];
+        feats
+            .iter()
+            .map(|&f| t[f as usize % ISVM_WEIGHTS] as i32)
+            .sum()
+    }
+
+    /// Perceptron-style update: push the selected weights toward `friendly`
+    /// unless the decision is already confidently correct.
+    pub fn train(&mut self, table: usize, feats: &[u8], friendly: bool) {
+        let sum = self.predict(table, feats);
+        if friendly && sum >= TRAINING_THRESHOLD {
+            return;
+        }
+        if !friendly && sum <= -TRAINING_THRESHOLD {
+            return;
+        }
+        let n = self.tables.len();
+        let t = &mut self.tables[table % n];
+        for &f in feats {
+            let w = &mut t[f as usize % ISVM_WEIGHTS];
+            *w = if friendly {
+                (*w + 1).min(WEIGHT_MAX)
+            } else {
+                (*w - 1).max(WEIGHT_MIN)
+            };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn training_moves_decision() {
+        let mut bank = IsvmBank::new(4);
+        let feats = [1u8, 5, 9, 13, 2];
+        assert_eq!(bank.predict(0, &feats), 0);
+        for _ in 0..5 {
+            bank.train(0, &feats, true);
+        }
+        assert_eq!(bank.predict(0, &feats), 25);
+        for _ in 0..10 {
+            bank.train(0, &feats, false);
+        }
+        assert!(bank.predict(0, &feats) < 0);
+    }
+
+    #[test]
+    fn training_stops_at_margin() {
+        let mut bank = IsvmBank::new(1);
+        let feats = [0u8, 1, 2, 3, 4];
+        for _ in 0..1000 {
+            bank.train(0, &feats, true);
+        }
+        let sum = bank.predict(0, &feats);
+        // 5 features: sum advances in steps of 5, halting at >= 60.
+        assert!(sum >= TRAINING_THRESHOLD && sum < TRAINING_THRESHOLD + 5);
+    }
+
+    #[test]
+    fn weights_saturate() {
+        // With a single feature the sum can never reach the -60 training
+        // margin, so training keeps firing and the weight must clamp.
+        let mut bank = IsvmBank::new(1);
+        let feats = [7u8];
+        for _ in 0..100 {
+            bank.train(0, &feats, false);
+        }
+        assert_eq!(bank.predict(0, &feats), WEIGHT_MIN as i32);
+    }
+
+    #[test]
+    fn training_margin_halts_multi_feature_updates() {
+        // Five identical features advance the sum by 5 per update; training
+        // halts at the first update whose starting sum clears the margin.
+        let mut bank = IsvmBank::new(1);
+        let feats = [7u8; 5];
+        for _ in 0..100 {
+            bank.train(0, &feats, false);
+        }
+        let sum = bank.predict(0, &feats);
+        assert!(sum <= -TRAINING_THRESHOLD);
+        assert!(sum > -TRAINING_THRESHOLD - 25);
+    }
+
+    #[test]
+    fn tables_are_independent() {
+        let mut bank = IsvmBank::new(2);
+        let feats = [3u8, 4, 5, 6, 7];
+        bank.train(0, &feats, true);
+        assert_eq!(bank.predict(1, &feats), 0);
+    }
+
+    #[test]
+    fn table_index_wraps() {
+        let bank = IsvmBank::new(8);
+        assert_eq!(bank.predict(8, &[0]), bank.predict(0, &[0]));
+    }
+}

@@ -1,0 +1,201 @@
+//! Set sampler shared by Hawkeye and Glider.
+//!
+//! A small number of *sampled sets* maintain, per set, (i) an [`OptGen`]
+//! instance and (ii) a bounded history of recently-seen blocks with a
+//! caller-supplied payload (the PC for Hawkeye, the PC plus its history
+//! features for Glider). Observing an access to a sampled set yields the
+//! training events the predictor needs.
+
+use std::collections::HashMap;
+
+use crate::hawkeye::optgen::OptGen;
+
+/// History depth multiplier: each sampled set remembers `8 x assoc`
+/// accesses, per the Hawkeye paper.
+pub const HISTORY_FACTOR: u32 = 8;
+/// Number of sampled sets (clamped to the total set count).
+pub const SAMPLED_SETS: u32 = 64;
+
+/// Training events produced by one sampled access.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SampleResult<P> {
+    /// The payload recorded at this block's *previous* access, together
+    /// with OPTgen's verdict for the reuse ending now (`true` = OPT hit:
+    /// train positively).
+    pub reuse: Option<(P, bool)>,
+    /// Payload of an entry evicted from the sampler without being re-used
+    /// (its last occupancy interval never closed: train negatively).
+    pub evicted: Option<P>,
+}
+
+#[derive(Debug)]
+struct SamplerEntry<P> {
+    partial_tag: u64,
+    last_quanta: u64,
+    payload: P,
+}
+
+#[derive(Debug)]
+struct SampledSet<P> {
+    entries: Vec<SamplerEntry<P>>,
+    optgen: OptGen,
+    quanta: u64,
+}
+
+/// The sampler: see the [module docs](self).
+#[derive(Debug)]
+pub struct Sampler<P> {
+    ratio: u32,
+    max_entries: usize,
+    sets: HashMap<u32, SampledSet<P>>,
+    assoc: u32,
+}
+
+impl<P: Clone> Sampler<P> {
+    /// Creates a sampler for a cache of `sets x ways`, sampling
+    /// [`SAMPLED_SETS`] sets (or all of them if fewer exist).
+    pub fn new(sets: u32, ways: u32) -> Self {
+        assert!(sets > 0 && ways > 0, "cache geometry must be non-zero");
+        let ratio = (sets / SAMPLED_SETS).max(1);
+        Sampler {
+            ratio,
+            max_entries: (ways * HISTORY_FACTOR) as usize,
+            sets: HashMap::new(),
+            assoc: ways,
+        }
+    }
+
+    /// `true` if `set` is one of the sampled sets.
+    #[inline]
+    pub fn is_sampled(&self, set: u32) -> bool {
+        set % self.ratio == 0
+    }
+
+    /// Observes a demand access to `set` for `block` carrying `payload`
+    /// (stored for future training). Returns `None` for unsampled sets.
+    pub fn observe(&mut self, set: u32, block: u64, payload: P) -> Option<SampleResult<P>> {
+        if !self.is_sampled(set) {
+            return None;
+        }
+        let assoc = self.assoc;
+        let max_entries = self.max_entries;
+        let sset = self.sets.entry(set).or_insert_with(|| SampledSet {
+            entries: Vec::with_capacity(max_entries),
+            optgen: OptGen::new(assoc, (assoc * HISTORY_FACTOR) as usize),
+            quanta: 0,
+        });
+        let now = sset.quanta;
+        sset.quanta += 1;
+        let window = sset.optgen.window();
+        let mut result = SampleResult { reuse: None, evicted: None };
+        if let Some(e) = sset.entries.iter_mut().find(|e| e.partial_tag == block) {
+            // Reuse: ask OPTgen whether the interval fits, train the payload
+            // recorded at the previous access.
+            let prev = if now - e.last_quanta < window { Some(e.last_quanta) } else { None };
+            let hit = sset.optgen.on_access(prev, now);
+            result.reuse = Some((e.payload.clone(), hit));
+            e.last_quanta = now;
+            e.payload = payload;
+        } else {
+            sset.optgen.on_access(None, now);
+            if sset.entries.len() >= self.max_entries {
+                // Evict the least recently used history entry: it was never
+                // re-used within the window.
+                let (idx, _) = sset
+                    .entries
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, e)| e.last_quanta)
+                    .expect("entries non-empty");
+                let evicted = sset.entries.swap_remove(idx);
+                result.evicted = Some(evicted.payload);
+            }
+            sset.entries.push(SamplerEntry { partial_tag: block, last_quanta: now, payload });
+        }
+        Some(result)
+    }
+
+    /// Aggregate OPTgen statistics over all sampled sets: (hits, misses).
+    pub fn optgen_stats(&self) -> (u64, u64) {
+        self.sets
+            .values()
+            .fold((0, 0), |(h, m), s| {
+                let (sh, sm) = s.optgen.stats();
+                (h + sh, m + sm)
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unsampled_sets_return_none() {
+        let mut s: Sampler<u64> = Sampler::new(2048, 11);
+        assert!(s.is_sampled(0));
+        assert!(!s.is_sampled(1));
+        assert_eq!(s.observe(1, 0xAA, 1), None);
+        assert!(s.observe(0, 0xAA, 1).is_some());
+    }
+
+    #[test]
+    fn small_caches_sample_every_set() {
+        let s: Sampler<u64> = Sampler::new(16, 4);
+        for set in 0..16 {
+            assert!(s.is_sampled(set));
+        }
+    }
+
+    #[test]
+    fn reuse_returns_previous_payload_with_opt_verdict() {
+        let mut s: Sampler<u64> = Sampler::new(64, 4);
+        assert_eq!(
+            s.observe(0, 0xAA, 111).unwrap(),
+            SampleResult { reuse: None, evicted: None }
+        );
+        let r = s.observe(0, 0xAA, 222).unwrap();
+        // Tight reuse, plenty of capacity: OPT hit training for payload 111.
+        assert_eq!(r.reuse, Some((111, true)));
+    }
+
+    #[test]
+    fn thrashing_pattern_trains_negative() {
+        // 4-way set, history 32: touch 40 distinct blocks then return to the
+        // first — distance exceeds the window, the reuse must be an OPT miss
+        // (if the entry even survives; with 32 entries it was evicted).
+        let mut s: Sampler<u64> = Sampler::new(64, 4);
+        let mut evictions = 0;
+        for b in 0..40u64 {
+            let r = s.observe(0, b, b).unwrap();
+            if r.evicted.is_some() {
+                evictions += 1;
+            }
+        }
+        assert!(evictions > 0, "bounded sampler must evict");
+        let r = s.observe(0, 0, 99).unwrap();
+        // Block 0 was evicted from the sampler, so this is a fresh insert.
+        assert_eq!(r.reuse, None);
+    }
+
+    #[test]
+    fn eviction_yields_lru_payload() {
+        let mut s: Sampler<u32> = Sampler::new(64, 1); // history = 8 entries
+        for b in 0..8u64 {
+            s.observe(0, b, b as u32).unwrap();
+        }
+        // Touch block 0 to refresh it; block 1 is now LRU.
+        s.observe(0, 0, 100).unwrap();
+        let r = s.observe(0, 999, 9).unwrap();
+        assert_eq!(r.evicted, Some(1));
+    }
+
+    #[test]
+    fn optgen_stats_accumulate() {
+        let mut s: Sampler<u64> = Sampler::new(64, 4);
+        s.observe(0, 1, 0).unwrap();
+        s.observe(0, 1, 0).unwrap();
+        let (h, m) = s.optgen_stats();
+        assert_eq!((h, m), (1, 1));
+    }
+}

@@ -1,0 +1,141 @@
+//! Incremental trace construction.
+
+use crate::{AccessKind, Trace, TraceRecord};
+
+/// Builder that accumulates [`TraceRecord`]s and pending non-memory
+/// instruction counts.
+///
+/// Non-memory instructions registered through [`TraceBuffer::nonmem`] are
+/// attached to the *next* emitted memory record (saturating at `u16::MAX` per
+/// record; overflow spills into synthetic zero-address... no — overflow is
+/// carried over to subsequent records, preserving the exact total).
+///
+/// # Examples
+///
+/// ```
+/// use ccsim_trace::TraceBuffer;
+///
+/// let mut buf = TraceBuffer::new("loop");
+/// buf.nonmem(2);
+/// buf.load(0x400_000, 0x1000, 8);
+/// buf.store(0x400_008, 0x1008, 8);
+/// let t = buf.finish();
+/// assert_eq!(t.instructions(), 2 + 1 + 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TraceBuffer {
+    name: String,
+    records: Vec<TraceRecord>,
+    pending_nonmem: u64,
+}
+
+impl TraceBuffer {
+    /// Creates an empty buffer for a workload called `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        TraceBuffer { name: name.into(), records: Vec::new(), pending_nonmem: 0 }
+    }
+
+    /// Creates an empty buffer with capacity pre-allocated for `records`.
+    pub fn with_capacity(name: impl Into<String>, records: usize) -> Self {
+        TraceBuffer {
+            name: name.into(),
+            records: Vec::with_capacity(records),
+            pending_nonmem: 0,
+        }
+    }
+
+    /// Accounts `n` non-memory instructions at the current position.
+    #[inline]
+    pub fn nonmem(&mut self, n: u64) {
+        self.pending_nonmem += n;
+    }
+
+    /// Emits a load of `size` bytes at `vaddr` from instruction `pc`.
+    #[inline]
+    pub fn load(&mut self, pc: u64, vaddr: u64, size: u8) {
+        self.push(pc, vaddr, size, AccessKind::Load);
+    }
+
+    /// Emits a store of `size` bytes at `vaddr` from instruction `pc`.
+    #[inline]
+    pub fn store(&mut self, pc: u64, vaddr: u64, size: u8) {
+        self.push(pc, vaddr, size, AccessKind::Store);
+    }
+
+    /// Emits an arbitrary record, draining the pending non-memory count.
+    #[inline]
+    pub fn push(&mut self, pc: u64, vaddr: u64, size: u8, kind: AccessKind) {
+        debug_assert!(size as u64 <= crate::BLOCK_BYTES, "operand larger than a block");
+        let take = self.pending_nonmem.min(u16::MAX as u64);
+        self.pending_nonmem -= take;
+        self.records.push(TraceRecord { pc, vaddr, size, kind, nonmem_before: take as u16 });
+    }
+
+    /// Number of memory records emitted so far.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// `true` if no memory records have been emitted.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Total instructions represented so far (memory + non-memory).
+    pub fn instructions(&self) -> u64 {
+        self.pending_nonmem
+            + self.records.iter().map(TraceRecord::instructions).sum::<u64>()
+    }
+
+    /// Finalizes the buffer into an immutable [`Trace`]. Any non-memory
+    /// instructions still pending become the trace's trailing epilogue.
+    pub fn finish(self) -> Trace {
+        Trace::from_parts(self.name, self.records, self.pending_nonmem)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pending_nonmem_attaches_to_next_record() {
+        let mut b = TraceBuffer::new("t");
+        b.nonmem(5);
+        b.load(1, 0, 8);
+        b.store(2, 8, 8);
+        let t = b.finish();
+        assert_eq!(t.records()[0].nonmem_before, 5);
+        assert_eq!(t.records()[1].nonmem_before, 0);
+    }
+
+    #[test]
+    fn nonmem_overflow_carries_to_later_records() {
+        let mut b = TraceBuffer::new("t");
+        b.nonmem(u16::MAX as u64 + 10);
+        b.load(1, 0, 8);
+        b.load(1, 64, 8);
+        let t = b.finish();
+        assert_eq!(t.records()[0].nonmem_before, u16::MAX);
+        assert_eq!(t.records()[1].nonmem_before, 10);
+        assert_eq!(t.instructions(), u16::MAX as u64 + 10 + 2);
+    }
+
+    #[test]
+    fn trailing_nonmem_preserved_by_finish() {
+        let mut b = TraceBuffer::new("t");
+        b.load(1, 0, 8);
+        b.nonmem(42);
+        assert_eq!(b.instructions(), 43);
+        let t = b.finish();
+        assert_eq!(t.trailing_nonmem(), 42);
+        assert_eq!(t.instructions(), 43);
+    }
+
+    #[test]
+    fn with_capacity_reserves() {
+        let b = TraceBuffer::with_capacity("t", 128);
+        assert!(b.is_empty());
+        assert_eq!(b.len(), 0);
+    }
+}

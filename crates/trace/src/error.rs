@@ -1,0 +1,73 @@
+//! Error types for trace serialization.
+
+use std::error::Error;
+use std::fmt;
+use std::io;
+
+/// Error returned when decoding a serialized trace fails.
+#[derive(Debug)]
+pub enum DecodeTraceError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The stream does not begin with the `CCTR` magic bytes.
+    BadMagic([u8; 4]),
+    /// The format version is newer than this library understands.
+    UnsupportedVersion(u32),
+    /// A length or count field is implausible (corrupt stream).
+    Corrupt(&'static str),
+    /// The workload name is not valid UTF-8.
+    BadName,
+}
+
+impl fmt::Display for DecodeTraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeTraceError::Io(e) => write!(f, "i/o error while decoding trace: {e}"),
+            DecodeTraceError::BadMagic(m) => {
+                write!(f, "bad trace magic {m:02x?}, expected \"CCTR\"")
+            }
+            DecodeTraceError::UnsupportedVersion(v) => {
+                write!(f, "unsupported trace format version {v}")
+            }
+            DecodeTraceError::Corrupt(what) => write!(f, "corrupt trace stream: {what}"),
+            DecodeTraceError::BadName => write!(f, "trace name is not valid utf-8"),
+        }
+    }
+}
+
+impl Error for DecodeTraceError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            DecodeTraceError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for DecodeTraceError {
+    fn from(e: io::Error) -> Self {
+        DecodeTraceError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = DecodeTraceError::BadMagic(*b"NOPE");
+        assert!(e.to_string().contains("CCTR"));
+        let e = DecodeTraceError::UnsupportedVersion(99);
+        assert!(e.to_string().contains("99"));
+        let e = DecodeTraceError::Corrupt("record count");
+        assert!(e.to_string().contains("record count"));
+    }
+
+    #[test]
+    fn io_errors_are_wrapped_with_source() {
+        let inner = io::Error::new(io::ErrorKind::UnexpectedEof, "eof");
+        let e = DecodeTraceError::from(inner);
+        assert!(e.source().is_some());
+    }
+}

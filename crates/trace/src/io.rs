@@ -1,0 +1,210 @@
+//! Binary trace serialization.
+//!
+//! Format (`CCTR` version 1), all integers little-endian:
+//!
+//! ```text
+//! magic   : 4 bytes  "CCTR"
+//! version : u32      (1)
+//! namelen : u32
+//! name    : namelen bytes of UTF-8
+//! trailing: u64      trailing non-memory instruction count
+//! count   : u64      number of records
+//! records : count x 20 bytes:
+//!     pc            u64
+//!     vaddr         u64
+//!     size          u8
+//!     kind          u8   (0 = load, 1 = store)
+//!     nonmem_before u16
+//! ```
+
+use std::io::{self, Read, Write};
+
+use crate::{AccessKind, DecodeTraceError, Trace, TraceRecord};
+
+const MAGIC: [u8; 4] = *b"CCTR";
+const VERSION: u32 = 1;
+const RECORD_BYTES: usize = 20;
+
+/// Serializes `trace` into `writer` in the `CCTR` binary format.
+///
+/// # Errors
+///
+/// Propagates any I/O error from the underlying writer.
+///
+/// # Examples
+///
+/// ```
+/// # use std::error::Error;
+/// # fn main() -> Result<(), Box<dyn Error>> {
+/// use ccsim_trace::{read_trace, write_trace, TraceBuffer};
+///
+/// let mut buf = TraceBuffer::new("roundtrip");
+/// buf.load(0x400000, 0x1000, 8);
+/// let trace = buf.finish();
+///
+/// let mut bytes = Vec::new();
+/// write_trace(&trace, &mut bytes)?;
+/// let back = read_trace(&bytes[..])?;
+/// assert_eq!(back, trace);
+/// # Ok(())
+/// # }
+/// ```
+pub fn write_trace<W: Write>(trace: &Trace, mut writer: W) -> io::Result<()> {
+    writer.write_all(&MAGIC)?;
+    writer.write_all(&VERSION.to_le_bytes())?;
+    let name = trace.name().as_bytes();
+    writer.write_all(&(name.len() as u32).to_le_bytes())?;
+    writer.write_all(name)?;
+    writer.write_all(&trace.trailing_nonmem().to_le_bytes())?;
+    writer.write_all(&(trace.len() as u64).to_le_bytes())?;
+    let mut rec = [0u8; RECORD_BYTES];
+    for r in trace.records() {
+        rec[0..8].copy_from_slice(&r.pc.to_le_bytes());
+        rec[8..16].copy_from_slice(&r.vaddr.to_le_bytes());
+        rec[16] = r.size;
+        rec[17] = r.kind.is_store() as u8;
+        rec[18..20].copy_from_slice(&r.nonmem_before.to_le_bytes());
+        writer.write_all(&rec)?;
+    }
+    Ok(())
+}
+
+/// Deserializes a trace previously written by [`write_trace`].
+///
+/// # Errors
+///
+/// Returns [`DecodeTraceError`] on I/O failure, bad magic, unsupported
+/// version, or a corrupt stream (implausible lengths, bad UTF-8, unknown
+/// access kind).
+pub fn read_trace<R: Read>(mut reader: R) -> Result<Trace, DecodeTraceError> {
+    let mut magic = [0u8; 4];
+    reader.read_exact(&mut magic)?;
+    if magic != MAGIC {
+        return Err(DecodeTraceError::BadMagic(magic));
+    }
+    let version = read_u32(&mut reader)?;
+    if version != VERSION {
+        return Err(DecodeTraceError::UnsupportedVersion(version));
+    }
+    let namelen = read_u32(&mut reader)? as usize;
+    if namelen > 1 << 20 {
+        return Err(DecodeTraceError::Corrupt("name length"));
+    }
+    let mut name = vec![0u8; namelen];
+    reader.read_exact(&mut name)?;
+    let name = String::from_utf8(name).map_err(|_| DecodeTraceError::BadName)?;
+    let trailing = read_u64(&mut reader)?;
+    let count = read_u64(&mut reader)?;
+    if count > 1 << 40 {
+        return Err(DecodeTraceError::Corrupt("record count"));
+    }
+    let mut records = Vec::with_capacity(count as usize);
+    let mut rec = [0u8; RECORD_BYTES];
+    for _ in 0..count {
+        reader.read_exact(&mut rec)?;
+        let kind = match rec[17] {
+            0 => AccessKind::Load,
+            1 => AccessKind::Store,
+            _ => return Err(DecodeTraceError::Corrupt("access kind")),
+        };
+        records.push(TraceRecord {
+            pc: u64::from_le_bytes(rec[0..8].try_into().unwrap()),
+            vaddr: u64::from_le_bytes(rec[8..16].try_into().unwrap()),
+            size: rec[16],
+            kind,
+            nonmem_before: u16::from_le_bytes(rec[18..20].try_into().unwrap()),
+        });
+    }
+    Ok(Trace::from_parts(name, records, trailing))
+}
+
+fn read_u32<R: Read>(reader: &mut R) -> io::Result<u32> {
+    let mut b = [0u8; 4];
+    reader.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn read_u64<R: Read>(reader: &mut R) -> io::Result<u64> {
+    let mut b = [0u8; 8];
+    reader.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TraceBuffer;
+
+    fn sample_trace() -> Trace {
+        let mut b = TraceBuffer::new("sample");
+        b.nonmem(3);
+        b.load(0x400100, 0x7000_0000, 8);
+        b.store(0x400108, 0x7000_0040, 4);
+        b.nonmem(11);
+        b.finish()
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let t = sample_trace();
+        let mut bytes = Vec::new();
+        write_trace(&t, &mut bytes).unwrap();
+        let back = read_trace(&bytes[..]).unwrap();
+        assert_eq!(back, t);
+        assert_eq!(back.instructions(), t.instructions());
+    }
+
+    #[test]
+    fn empty_trace_roundtrips() {
+        let t = TraceBuffer::new("empty").finish();
+        let mut bytes = Vec::new();
+        write_trace(&t, &mut bytes).unwrap();
+        let back = read_trace(&bytes[..]).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut bytes = Vec::new();
+        write_trace(&sample_trace(), &mut bytes).unwrap();
+        bytes[0] = b'X';
+        assert!(matches!(read_trace(&bytes[..]), Err(DecodeTraceError::BadMagic(_))));
+    }
+
+    #[test]
+    fn future_version_rejected() {
+        let mut bytes = Vec::new();
+        write_trace(&sample_trace(), &mut bytes).unwrap();
+        bytes[4..8].copy_from_slice(&7u32.to_le_bytes());
+        assert!(matches!(
+            read_trace(&bytes[..]),
+            Err(DecodeTraceError::UnsupportedVersion(7))
+        ));
+    }
+
+    #[test]
+    fn truncated_stream_is_io_error() {
+        let mut bytes = Vec::new();
+        write_trace(&sample_trace(), &mut bytes).unwrap();
+        bytes.truncate(bytes.len() - 5);
+        assert!(matches!(read_trace(&bytes[..]), Err(DecodeTraceError::Io(_))));
+    }
+
+    #[test]
+    fn unknown_access_kind_rejected() {
+        let mut bytes = Vec::new();
+        write_trace(&sample_trace(), &mut bytes).unwrap();
+        // Kind byte of the first record: header is 4+4+4+6("sample")+8+8.
+        let kind_off = 4 + 4 + 4 + 6 + 8 + 8 + 17;
+        bytes[kind_off] = 9;
+        assert!(matches!(read_trace(&bytes[..]), Err(DecodeTraceError::Corrupt("access kind"))));
+    }
+
+    #[test]
+    fn implausible_name_length_rejected() {
+        let mut bytes = Vec::new();
+        write_trace(&sample_trace(), &mut bytes).unwrap();
+        bytes[8..12].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(read_trace(&bytes[..]), Err(DecodeTraceError::Corrupt("name length"))));
+    }
+}

@@ -1,0 +1,242 @@
+//! Core trace record types.
+//!
+//! A [`Trace`] is an ordered sequence of [`TraceRecord`]s. Each record
+//! describes one *memory instruction* (a load or a store) together with the
+//! number of non-memory instructions that executed immediately before it.
+//! This compact encoding lets a trace carry a full instruction count (needed
+//! for MPKI and IPC) while only materializing the memory operations that the
+//! cache hierarchy actually observes.
+
+use std::fmt;
+
+/// The architectural kind of a traced memory operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum AccessKind {
+    /// A demand load (read).
+    Load,
+    /// A demand store (write). Stores allocate on miss (write-allocate) and
+    /// mark the line dirty.
+    Store,
+}
+
+impl AccessKind {
+    /// Returns `true` for [`AccessKind::Store`].
+    #[inline]
+    pub fn is_store(self) -> bool {
+        matches!(self, AccessKind::Store)
+    }
+}
+
+impl fmt::Display for AccessKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AccessKind::Load => f.write_str("load"),
+            AccessKind::Store => f.write_str("store"),
+        }
+    }
+}
+
+/// One memory instruction in a trace.
+///
+/// `nonmem_before` is the number of non-memory instructions (ALU, branches,
+/// address generation, ...) that retire between the previous record and this
+/// one; it is how traces account for total instruction counts without
+/// materializing every instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TraceRecord {
+    /// Program counter of the memory instruction.
+    pub pc: u64,
+    /// Virtual byte address touched by the operation.
+    pub vaddr: u64,
+    /// Operation size in bytes (1..=64).
+    pub size: u8,
+    /// Load or store.
+    pub kind: AccessKind,
+    /// Number of non-memory instructions executed immediately before this
+    /// record.
+    pub nonmem_before: u16,
+}
+
+impl TraceRecord {
+    /// Creates a load record with no preceding non-memory instructions.
+    pub fn load(pc: u64, vaddr: u64, size: u8) -> Self {
+        TraceRecord { pc, vaddr, size, kind: AccessKind::Load, nonmem_before: 0 }
+    }
+
+    /// Creates a store record with no preceding non-memory instructions.
+    pub fn store(pc: u64, vaddr: u64, size: u8) -> Self {
+        TraceRecord { pc, vaddr, size, kind: AccessKind::Store, nonmem_before: 0 }
+    }
+
+    /// The 64-byte cache-block address (`vaddr >> 6`) this access maps to.
+    ///
+    /// Accesses in ccsim never straddle block boundaries: the arena and the
+    /// synthetic generators align operands to their size.
+    #[inline]
+    pub fn block(&self) -> u64 {
+        self.vaddr >> crate::BLOCK_SHIFT
+    }
+
+    /// Number of instructions this record accounts for (itself plus the
+    /// preceding non-memory instructions).
+    #[inline]
+    pub fn instructions(&self) -> u64 {
+        1 + self.nonmem_before as u64
+    }
+}
+
+/// An immutable, named memory-access trace.
+///
+/// Construct traces through [`TraceBuffer`](crate::TraceBuffer) (synthetic
+/// generators), [`TraceArena`](crate::TraceArena) (instrumented execution) or
+/// [`read_trace`](crate::read_trace) (deserialization).
+///
+/// # Examples
+///
+/// ```
+/// use ccsim_trace::{Trace, TraceBuffer};
+///
+/// let mut buf = TraceBuffer::new("demo");
+/// let pc = 0x400000;
+/// for i in 0..16u64 {
+///     buf.nonmem(3);
+///     buf.load(pc, i * 64, 8);
+/// }
+/// let trace: Trace = buf.finish();
+/// assert_eq!(trace.len(), 16);
+/// assert_eq!(trace.instructions(), 16 * 4);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Trace {
+    name: String,
+    records: Vec<TraceRecord>,
+    /// Non-memory instructions after the last record (trailing epilogue).
+    trailing_nonmem: u64,
+}
+
+impl Trace {
+    /// Builds a trace directly from parts. Prefer [`TraceBuffer`] in
+    /// application code; this is the low-level constructor used by readers.
+    ///
+    /// [`TraceBuffer`]: crate::TraceBuffer
+    pub fn from_parts(
+        name: impl Into<String>,
+        records: Vec<TraceRecord>,
+        trailing_nonmem: u64,
+    ) -> Self {
+        Trace { name: name.into(), records, trailing_nonmem }
+    }
+
+    /// The workload name this trace was captured from.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Renames the trace (used by suite assembly to tag kernel x input).
+    pub fn set_name(&mut self, name: impl Into<String>) {
+        self.name = name.into();
+    }
+
+    /// Number of memory records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// `true` if the trace contains no memory records.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Total instructions represented: every record plus its preamble of
+    /// non-memory instructions, plus the trailing epilogue.
+    pub fn instructions(&self) -> u64 {
+        self.trailing_nonmem
+            + self
+                .records
+                .iter()
+                .map(TraceRecord::instructions)
+                .sum::<u64>()
+    }
+
+    /// Non-memory instructions after the final memory record.
+    pub fn trailing_nonmem(&self) -> u64 {
+        self.trailing_nonmem
+    }
+
+    /// The records as a slice.
+    pub fn records(&self) -> &[TraceRecord] {
+        &self.records
+    }
+
+    /// Iterates over the records.
+    pub fn iter(&self) -> std::slice::Iter<'_, TraceRecord> {
+        self.records.iter()
+    }
+
+    /// Truncates the trace to at most `max_records` memory records.
+    ///
+    /// Used by the experiment harness to cap simulation cost uniformly.
+    pub fn truncate(&mut self, max_records: usize) {
+        self.records.truncate(max_records);
+    }
+}
+
+impl<'a> IntoIterator for &'a Trace {
+    type Item = &'a TraceRecord;
+    type IntoIter = std::slice::Iter<'a, TraceRecord>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.records.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_block_address() {
+        let r = TraceRecord::load(0x400, 130, 4);
+        assert_eq!(r.block(), 2);
+        let r = TraceRecord::store(0x400, 63, 1);
+        assert_eq!(r.block(), 0);
+    }
+
+    #[test]
+    fn record_instruction_accounting() {
+        let mut r = TraceRecord::load(1, 2, 8);
+        assert_eq!(r.instructions(), 1);
+        r.nonmem_before = 9;
+        assert_eq!(r.instructions(), 10);
+    }
+
+    #[test]
+    fn trace_instruction_totals_include_trailing() {
+        let recs = vec![
+            TraceRecord { nonmem_before: 4, ..TraceRecord::load(1, 0, 8) },
+            TraceRecord { nonmem_before: 0, ..TraceRecord::store(2, 64, 8) },
+        ];
+        let t = Trace::from_parts("t", recs, 7);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.instructions(), 4 + 1 + 1 + 7);
+    }
+
+    #[test]
+    fn kind_display_and_predicates() {
+        assert_eq!(AccessKind::Load.to_string(), "load");
+        assert_eq!(AccessKind::Store.to_string(), "store");
+        assert!(AccessKind::Store.is_store());
+        assert!(!AccessKind::Load.is_store());
+    }
+
+    #[test]
+    fn truncate_drops_tail_records() {
+        let recs = (0..10)
+            .map(|i| TraceRecord::load(1, i * 64, 8))
+            .collect::<Vec<_>>();
+        let mut t = Trace::from_parts("t", recs, 0);
+        t.truncate(3);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.records()[2].vaddr, 128);
+    }
+}

@@ -1,0 +1,110 @@
+//! Binary indexed tree over access timestamps, used for stack-distance
+//! computation.
+
+/// A Fenwick (binary indexed) tree of `u32` counters supporting point update
+/// and prefix sum in `O(log n)`.
+#[derive(Debug, Clone)]
+pub struct Fenwick {
+    tree: Vec<u32>,
+}
+
+impl Fenwick {
+    /// Creates a tree over indices `0..n`, all zero.
+    pub fn new(n: usize) -> Self {
+        Fenwick { tree: vec![0; n + 1] }
+    }
+
+    /// Capacity (largest index + 1).
+    pub fn len(&self) -> usize {
+        self.tree.len() - 1
+    }
+
+    /// `true` if the tree has zero capacity.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Adds `delta` at index `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    pub fn add(&mut self, i: usize, delta: i32) {
+        assert!(i < self.len(), "fenwick index out of range");
+        let mut i = i + 1;
+        while i < self.tree.len() {
+            self.tree[i] = (self.tree[i] as i64 + delta as i64) as u32;
+            i += i & i.wrapping_neg();
+        }
+    }
+
+    /// Sum of values at indices `0..=i`.
+    pub fn prefix(&self, i: usize) -> u32 {
+        let mut i = (i + 1).min(self.tree.len() - 1);
+        let mut s = 0u32;
+        while i > 0 {
+            s += self.tree[i];
+            i -= i & i.wrapping_neg();
+        }
+        s
+    }
+
+    /// Sum over the inclusive range `[lo, hi]`; zero when `lo > hi`.
+    pub fn range(&self, lo: usize, hi: usize) -> u32 {
+        if lo > hi {
+            return 0;
+        }
+        let upper = self.prefix(hi);
+        if lo == 0 {
+            upper
+        } else {
+            upper - self.prefix(lo - 1)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prefix_sums_match_naive() {
+        let mut f = Fenwick::new(10);
+        let vals = [3, 0, 5, 1, 0, 2, 7, 0, 0, 4];
+        for (i, &v) in vals.iter().enumerate() {
+            f.add(i, v);
+        }
+        let mut acc = 0;
+        for i in 0..10 {
+            acc += vals[i] as u32;
+            assert_eq!(f.prefix(i), acc);
+        }
+    }
+
+    #[test]
+    fn range_queries() {
+        let mut f = Fenwick::new(8);
+        for i in 0..8 {
+            f.add(i, 1);
+        }
+        assert_eq!(f.range(0, 7), 8);
+        assert_eq!(f.range(3, 5), 3);
+        assert_eq!(f.range(5, 3), 0);
+        assert_eq!(f.range(7, 7), 1);
+    }
+
+    #[test]
+    fn add_negative_removes() {
+        let mut f = Fenwick::new(4);
+        f.add(2, 5);
+        f.add(2, -3);
+        assert_eq!(f.range(2, 2), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "fenwick index out of range")]
+    fn out_of_range_add_panics() {
+        let mut f = Fenwick::new(4);
+        f.add(4, 1);
+    }
+}

@@ -1,0 +1,150 @@
+//! Trace-level characterization statistics.
+//!
+//! [`TraceStats`] summarizes a trace's instruction mix, footprint and PC
+//! diversity — the quantities the paper uses to explain why PC-correlating
+//! replacement policies fail on graph workloads. [`ReuseProfile`] captures
+//! locality as an LRU stack-distance histogram.
+
+mod fenwick;
+mod reuse;
+
+pub use fenwick::Fenwick;
+pub use reuse::{ReuseProfile, EXACT_LIMIT};
+
+use std::collections::{HashMap, HashSet};
+
+use crate::Trace;
+
+/// Summary statistics of a trace.
+///
+/// # Examples
+///
+/// ```
+/// use ccsim_trace::{stats::TraceStats, TraceBuffer};
+///
+/// let mut buf = TraceBuffer::new("t");
+/// buf.nonmem(10);
+/// buf.load(0x400, 0x0, 8);
+/// buf.store(0x404, 0x40, 8);
+/// let stats = TraceStats::compute(&buf.finish());
+/// assert_eq!(stats.loads, 1);
+/// assert_eq!(stats.stores, 1);
+/// assert_eq!(stats.instructions, 12);
+/// assert_eq!(stats.footprint_blocks, 2);
+/// assert_eq!(stats.distinct_pcs, 2);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceStats {
+    /// Total instructions (memory + non-memory).
+    pub instructions: u64,
+    /// Demand loads.
+    pub loads: u64,
+    /// Demand stores.
+    pub stores: u64,
+    /// Distinct 64-byte blocks touched.
+    pub footprint_blocks: u64,
+    /// Footprint in bytes (blocks x 64).
+    pub footprint_bytes: u64,
+    /// Distinct program counters issuing memory operations.
+    pub distinct_pcs: u64,
+    /// Mean distinct blocks addressed per PC.
+    pub mean_blocks_per_pc: f64,
+    /// Maximum distinct blocks addressed by any single PC.
+    pub max_blocks_per_pc: u64,
+}
+
+impl TraceStats {
+    /// Computes summary statistics over `trace`.
+    pub fn compute(trace: &Trace) -> Self {
+        let mut blocks = HashSet::new();
+        let mut per_pc: HashMap<u64, HashSet<u64>> = HashMap::new();
+        let mut loads = 0u64;
+        let mut stores = 0u64;
+        for r in trace {
+            let b = r.block();
+            blocks.insert(b);
+            per_pc.entry(r.pc).or_default().insert(b);
+            if r.kind.is_store() {
+                stores += 1;
+            } else {
+                loads += 1;
+            }
+        }
+        let distinct_pcs = per_pc.len() as u64;
+        let (sum, max) = per_pc
+            .values()
+            .fold((0u64, 0u64), |(s, m), v| (s + v.len() as u64, m.max(v.len() as u64)));
+        TraceStats {
+            instructions: trace.instructions(),
+            loads,
+            stores,
+            footprint_blocks: blocks.len() as u64,
+            footprint_bytes: blocks.len() as u64 * crate::BLOCK_BYTES,
+            distinct_pcs,
+            mean_blocks_per_pc: if distinct_pcs == 0 {
+                0.0
+            } else {
+                sum as f64 / distinct_pcs as f64
+            },
+            max_blocks_per_pc: max,
+        }
+    }
+
+    /// Memory operations per kilo-instruction, a density measure.
+    pub fn mem_per_kilo_instruction(&self) -> f64 {
+        if self.instructions == 0 {
+            return 0.0;
+        }
+        (self.loads + self.stores) as f64 * 1000.0 / self.instructions as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TraceBuffer;
+
+    #[test]
+    fn pc_diversity_accounting() {
+        let mut b = TraceBuffer::new("t");
+        // PC 1 touches 3 blocks; PC 2 touches 1 block.
+        for blk in [0u64, 1, 2] {
+            b.load(1, blk * 64, 8);
+        }
+        b.load(2, 0, 8);
+        let s = TraceStats::compute(&b.finish());
+        assert_eq!(s.distinct_pcs, 2);
+        assert_eq!(s.max_blocks_per_pc, 3);
+        assert!((s.mean_blocks_per_pc - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn footprint_counts_blocks_not_accesses() {
+        let mut b = TraceBuffer::new("t");
+        for _ in 0..100 {
+            b.load(1, 128, 8);
+        }
+        let s = TraceStats::compute(&b.finish());
+        assert_eq!(s.footprint_blocks, 1);
+        assert_eq!(s.footprint_bytes, 64);
+        assert_eq!(s.loads, 100);
+    }
+
+    #[test]
+    fn mem_density() {
+        let mut b = TraceBuffer::new("t");
+        b.nonmem(999);
+        b.load(1, 0, 8);
+        let s = TraceStats::compute(&b.finish());
+        assert!((s.mem_per_kilo_instruction() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_trace_stats_are_zero() {
+        let s = TraceStats::compute(&TraceBuffer::new("t").finish());
+        assert_eq!(s.instructions, 0);
+        assert_eq!(s.distinct_pcs, 0);
+        assert_eq!(s.mean_blocks_per_pc, 0.0);
+        assert_eq!(s.mem_per_kilo_instruction(), 0.0);
+    }
+}

@@ -1,0 +1,131 @@
+//! Binary-search probe pattern (the XSBench/RSBench macroscopic kernel).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::synth::PatternGen;
+use crate::TraceBuffer;
+
+/// Repeated binary searches over a large sorted table, each followed by a
+/// short sequential read of the located entry's payload.
+///
+/// This is the documented dominant access pattern of XSBench: locate an
+/// energy grid point by binary search, then read the nuclide cross-section
+/// data for that point. Each probe performs `log2(elems)` dependent loads
+/// spread over the whole table — a pattern with a tiny PC set but an
+/// enormous, uniformly-touched footprint.
+#[derive(Debug, Clone)]
+pub struct BinarySearchProbe {
+    base: u64,
+    elems: u64,
+    elem_bytes: u64,
+    payload_base: u64,
+    payload_bytes: u64,
+    probes: u64,
+    seed: u64,
+    pc_search: u64,
+    pc_payload: u64,
+}
+
+impl BinarySearchProbe {
+    /// Creates a probe pattern over a sorted table of `elems` entries of
+    /// `elem_bytes` bytes at `base`, with per-entry payload of
+    /// `payload_bytes` at `payload_base`.
+    pub fn new(base: u64, elems: u64, elem_bytes: u64, payload_base: u64, payload_bytes: u64) -> Self {
+        assert!(elems >= 2, "need at least two elements to search");
+        BinarySearchProbe {
+            base,
+            elems,
+            elem_bytes,
+            payload_base,
+            payload_bytes,
+            probes: 1000,
+            seed: 0,
+            pc_search: 0x0500_0000,
+            pc_payload: 0x0500_0004,
+        }
+    }
+
+    /// Sets the number of lookups performed (default 1000).
+    pub fn probes(mut self, probes: u64) -> Self {
+        self.probes = probes;
+        self
+    }
+
+    /// Sets the RNG seed choosing lookup keys.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+impl PatternGen for BinarySearchProbe {
+    fn emit(&self, buf: &mut TraceBuffer) {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        for _ in 0..self.probes {
+            let target = rng.gen_range(0..self.elems);
+            let (mut lo, mut hi) = (0u64, self.elems);
+            while lo < hi {
+                let mid = lo + (hi - lo) / 2;
+                buf.nonmem(4); // compare + branch + bound updates
+                buf.load(self.pc_search, self.base + mid * self.elem_bytes, 8);
+                if mid < target {
+                    lo = mid + 1;
+                } else if mid > target {
+                    hi = mid;
+                } else {
+                    break;
+                }
+            }
+            // Sequentially read the payload for the located entry.
+            let pbase = self.payload_base + target * self.payload_bytes;
+            let mut off = 0;
+            while off < self.payload_bytes {
+                buf.nonmem(2);
+                buf.load(self.pc_payload, pbase + off, 8);
+                off += 8;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn each_probe_costs_about_log_n_searches() {
+        let p = BinarySearchProbe::new(0, 1 << 16, 8, 1 << 30, 0).probes(100).seed(1);
+        let mut buf = TraceBuffer::new("t");
+        p.emit(&mut buf);
+        let t = buf.finish();
+        let per_probe = t.len() as f64 / 100.0;
+        assert!(
+            (8.0..=17.0).contains(&per_probe),
+            "expected ~log2(65536)=16 loads per probe, got {per_probe}"
+        );
+    }
+
+    #[test]
+    fn payload_reads_are_sequential() {
+        let p = BinarySearchProbe::new(0, 16, 8, 0x4000_0000, 32).probes(1).seed(2);
+        let mut buf = TraceBuffer::new("t");
+        p.emit(&mut buf);
+        let t = buf.finish();
+        let payload: Vec<_> = t.iter().filter(|r| r.vaddr >= 0x4000_0000).collect();
+        assert_eq!(payload.len(), 4);
+        for w in payload.windows(2) {
+            assert_eq!(w[1].vaddr - w[0].vaddr, 8);
+        }
+    }
+
+    #[test]
+    fn searches_touch_wide_address_range() {
+        let p = BinarySearchProbe::new(0, 1 << 20, 8, 1 << 40, 0).probes(200).seed(3);
+        let mut buf = TraceBuffer::new("t");
+        p.emit(&mut buf);
+        let t = buf.finish();
+        let max = t.iter().map(|r| r.vaddr).max().unwrap();
+        assert!(max > (1 << 20) * 8 / 2, "searches never reached upper half");
+    }
+}

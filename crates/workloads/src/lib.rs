@@ -1,0 +1,120 @@
+//! # ccsim-workloads
+//!
+//! Benchmark-suite assembly for the ccsim characterization study: the GAP
+//! kernel x graph grid of the paper's Figure 2, plus the SPEC-like,
+//! XSBench-like and Qualcomm-server-like proxy suites of Figure 3.
+//!
+//! # Example
+//!
+//! ```
+//! use ccsim_workloads::{Suite, SuiteScale};
+//!
+//! let traces = Suite::XsBench.traces(SuiteScale::Quick);
+//! assert_eq!(traces.len(), 3);
+//! assert!(traces[0].name().starts_with("xsbench."));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod gap;
+pub mod qualcomm;
+pub mod spec;
+pub mod xsbench;
+
+pub use gap::{paper_workloads, GapGraph, GapKernel, GapScale, GapWorkload};
+pub use qualcomm::qualcomm_suite;
+pub use spec::{spec_suite, SuiteScale};
+pub use xsbench::xsbench_suite;
+
+use ccsim_trace::Trace;
+
+/// The four benchmark suites of the paper's Figure 3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Suite {
+    /// SPEC CPU 2006/2017 proxy.
+    Spec,
+    /// XSBench proxy.
+    XsBench,
+    /// Qualcomm server-trace proxy.
+    Qualcomm,
+    /// The GAP benchmark suite (kernels on synthetic inputs).
+    Gapbs,
+}
+
+impl Suite {
+    /// All suites in the paper's figure order.
+    pub const ALL: [Suite; 4] = [Suite::Spec, Suite::XsBench, Suite::Qualcomm, Suite::Gapbs];
+
+    /// Display name matching the figure.
+    pub fn name(self) -> &'static str {
+        match self {
+            Suite::Spec => "SPEC",
+            Suite::XsBench => "XSBench",
+            Suite::Qualcomm => "Qualcomm",
+            Suite::Gapbs => "GAPBS",
+        }
+    }
+
+    /// Number of workloads the suite materializes.
+    pub fn len(self, _scale: SuiteScale) -> usize {
+        match self {
+            Suite::Spec => 8,
+            Suite::XsBench => 3,
+            Suite::Qualcomm => 5,
+            Suite::Gapbs => paper_workloads().len(),
+        }
+    }
+
+    /// Streams the suite's traces one at a time through `f`, so that at
+    /// most one multi-million-record trace is alive at once. Prefer this
+    /// over [`Suite::traces`] for the GAP suite at [`SuiteScale::Full`].
+    pub fn for_each_trace(self, scale: SuiteScale, mut f: impl FnMut(Trace)) {
+        match self {
+            Suite::Spec => spec_suite(scale).into_iter().for_each(f),
+            Suite::XsBench => xsbench_suite(scale).into_iter().for_each(f),
+            Suite::Qualcomm => qualcomm_suite(scale).into_iter().for_each(f),
+            Suite::Gapbs => {
+                let gap_scale = match scale {
+                    SuiteScale::Full => GapScale::Full,
+                    SuiteScale::Quick => GapScale::Quick,
+                };
+                for w in paper_workloads() {
+                    f(w.trace(gap_scale));
+                }
+            }
+        }
+    }
+
+    /// Materializes all of the suite's traces at once.
+    ///
+    /// For `Gapbs` this runs the instrumented kernels over the full
+    /// Figure 2 grid; at [`SuiteScale::Full`] that is several gigabytes of
+    /// records — use [`Suite::for_each_trace`] instead there.
+    pub fn traces(self, scale: SuiteScale) -> Vec<Trace> {
+        let mut v = Vec::new();
+        self.for_each_trace(scale, |t| v.push(t));
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_names_match_figure_three() {
+        let names: Vec<_> = Suite::ALL.iter().map(|s| s.name()).collect();
+        assert_eq!(names, ["SPEC", "XSBench", "Qualcomm", "GAPBS"]);
+    }
+
+    #[test]
+    fn non_gap_suites_materialize_quickly() {
+        for suite in [Suite::Spec, Suite::XsBench, Suite::Qualcomm] {
+            let traces = suite.traces(SuiteScale::Quick);
+            assert!(!traces.is_empty());
+            for t in &traces {
+                assert!(!t.is_empty(), "{} has empty trace {}", suite.name(), t.name());
+            }
+        }
+    }
+}

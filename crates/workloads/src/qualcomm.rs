@@ -1,0 +1,96 @@
+//! Qualcomm-server-like workload proxies.
+//!
+//! The paper's fourth suite comes from the Qualcomm Server traces
+//! (CVP-1-style datacenter binaries): very large code footprints, hundreds
+//! of active PCs, and a mixture of regular and irregular data accesses with
+//! modest per-PC footprints — learnable, but noisier than SPEC. We model
+//! that middle ground: many phases, each with its own PC set, alternating
+//! hot structures, streams, chases and stack traffic.
+
+use ccsim_trace::synth::{
+    AccessDistribution, PatternGen, PointerChase, RandomAccess, SequentialStream, StackWalk,
+};
+use ccsim_trace::{Trace, TraceBuffer};
+
+use crate::spec::SuiteScale;
+
+/// Builds the Qualcomm-server-like proxy suite.
+pub fn qualcomm_suite(scale: SuiteScale) -> Vec<Trace> {
+    let reps = match scale {
+        SuiteScale::Full => 6,
+        SuiteScale::Quick => 1,
+    };
+    (0..5)
+        .map(|i| server_workload(&format!("qcom.srv{i}"), i as u64, reps))
+        .collect()
+}
+
+/// One server workload: interleaved request-processing phases. Each phase
+/// uses its own code region (distinct PCs), touches a per-request buffer,
+/// consults shared hot tables (Zipf), and walks session objects.
+fn server_workload(name: &str, variant: u64, reps: u64) -> Trace {
+    let mut buf = TraceBuffer::new(name);
+    let data = 0x4000_0000 + variant * (1 << 30);
+    // Per-variant service characteristics: table skew and sizes differ so
+    // the five servers stress the hierarchy differently.
+    let theta = 0.75 + 0.1 * variant as f64;
+    let table_entries = 1u64 << (15 + variant % 3);
+    let session_nodes = 1u64 << (12 + variant % 3);
+    let req_buffer = (16 << 10) << (variant % 2);
+    for r in 0..reps {
+        for req in 0..12u64 {
+            let code = 0x50_0000 + (variant * 101 + req * 13) % 97 * 0x200;
+            // Request buffer: small stream, new address each request.
+            SequentialStream::new(data + (r * 12 + req) % 64 * (256 << 10), req_buffer)
+                .store_every(3)
+                .work(3)
+                .sites(code, code + 4)
+                .emit(&mut buf);
+            // Shared lookup tables: Zipf-hot.
+            RandomAccess::new(data + (1 << 28), table_entries, 64, 2_000)
+                .distribution(AccessDistribution::Zipf(theta))
+                .work(6)
+                .seed(variant * 1000 + r * 12 + req)
+                .sites(code + 8, code + 12)
+                .emit(&mut buf);
+            // Session-object walk.
+            PointerChase::new(data + (1 << 29), session_nodes, 128)
+                .steps(1_500)
+                .seed(req)
+                .work(4)
+                .site(code + 16)
+                .emit(&mut buf);
+        }
+        StackWalk::new(0x7FFF_4000_0000 + (variant << 20), 12)
+            .calls(5_000)
+            .seed(r)
+            .emit(&mut buf);
+    }
+    buf.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccsim_trace::stats::TraceStats;
+
+    #[test]
+    fn suite_has_five_servers() {
+        let suite = qualcomm_suite(SuiteScale::Quick);
+        assert_eq!(suite.len(), 5);
+    }
+
+    #[test]
+    fn many_pcs_distinguish_from_gap_and_xsbench() {
+        for t in qualcomm_suite(SuiteScale::Quick) {
+            let s = TraceStats::compute(&t);
+            assert!(s.distinct_pcs > 30, "{}: pcs {}", t.name(), s.distinct_pcs);
+        }
+    }
+
+    #[test]
+    fn variants_differ() {
+        let suite = qualcomm_suite(SuiteScale::Quick);
+        assert_ne!(suite[0].records()[..100], suite[1].records()[..100]);
+    }
+}

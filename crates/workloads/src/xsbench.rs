@@ -1,0 +1,72 @@
+//! XSBench-like workload proxies.
+//!
+//! XSBench (the Monte Carlo neutron-transport mini-app) is dominated by a
+//! single loop: sample a particle energy, binary-search the unionized
+//! energy grid, then gather cross-section data for every nuclide at that
+//! grid point. The result is a tiny PC set probing a multi-hundred-MB
+//! table uniformly at random — no policy can do much, which is exactly the
+//! paper's point for this suite.
+
+use ccsim_trace::synth::{BinarySearchProbe, PatternGen};
+use ccsim_trace::{Trace, TraceBuffer};
+
+use crate::spec::SuiteScale;
+
+/// Builds the XSBench-like proxy suite (three problem sizes).
+pub fn xsbench_suite(scale: SuiteScale) -> Vec<Trace> {
+    let probes = match scale {
+        SuiteScale::Full => 60_000,
+        SuiteScale::Quick => 3_000,
+    };
+    vec![
+        lookup_workload("xsbench.small", 1 << 17, 16 << 10, probes),
+        lookup_workload("xsbench.large", 1 << 20, 64 << 10, probes),
+        lookup_workload("xsbench.xl", 1 << 22, 64 << 10, probes / 2),
+    ]
+}
+
+/// One XSBench configuration: `grid_points` grid entries (8 B keys) and a
+/// nuclide payload region; each lookup binary-searches the grid then reads
+/// a 128 B cross-section bundle.
+fn lookup_workload(name: &str, grid_points: u64, payload_entries: u64, probes: u64) -> Trace {
+    let mut buf = TraceBuffer::new(name);
+    let grid_base = 0x2000_0000;
+    let payload_base = grid_base + grid_points * 8 + (1 << 20);
+    BinarySearchProbe::new(grid_base, grid_points, 8, payload_base, 128)
+        .probes(probes)
+        .seed(grid_points) // distinct but deterministic per size
+        .emit(&mut buf);
+    let _ = payload_entries;
+    buf.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccsim_trace::stats::TraceStats;
+
+    #[test]
+    fn suite_has_three_sizes() {
+        let suite = xsbench_suite(SuiteScale::Quick);
+        assert_eq!(suite.len(), 3);
+        assert!(suite.iter().all(|t| t.name().starts_with("xsbench.")));
+    }
+
+    #[test]
+    fn tiny_pc_set_like_graph_workloads() {
+        for t in xsbench_suite(SuiteScale::Quick) {
+            let s = TraceStats::compute(&t);
+            assert!(s.distinct_pcs <= 3, "{}: {}", t.name(), s.distinct_pcs);
+        }
+    }
+
+    #[test]
+    fn footprint_grows_with_problem_size() {
+        let suite = xsbench_suite(SuiteScale::Quick);
+        let f: Vec<u64> = suite
+            .iter()
+            .map(|t| TraceStats::compute(t).footprint_bytes)
+            .collect();
+        assert!(f[1] > f[0], "large > small");
+    }
+}

@@ -1,0 +1,54 @@
+//! Quickstart: build a workload trace, simulate it under two LLC
+//! replacement policies on the paper's Cascade Lake configuration, and
+//! compare the results.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use ccsim::prelude::*;
+
+fn main() {
+    // 1. Build a graph the way the paper's workloads do: a Kronecker
+    //    (Graph500-style) power-law graph.
+    let graph = ccsim::graph::generators::kronecker(14, 8, 42);
+    println!("input: {graph}");
+
+    // 2. Run the instrumented BFS kernel. Every load/store of the CSR
+    //    arrays and property arrays is captured as a trace record.
+    let (trace, parents) = ccsim::graph::traced::bfs(&graph, 0);
+    let reached = parents.iter().filter(|&&p| p != u32::MAX).count();
+    println!(
+        "bfs reached {reached} vertices; trace: {} memory ops, {} instructions",
+        trace.len(),
+        trace.instructions()
+    );
+
+    // 3. Characterize the trace itself.
+    let stats = ccsim::trace::stats::TraceStats::compute(&trace);
+    println!(
+        "trace signature: {} distinct PCs, {:.0} blocks per PC, {:.1} MB footprint",
+        stats.distinct_pcs,
+        stats.mean_blocks_per_pc,
+        stats.footprint_bytes as f64 / (1 << 20) as f64
+    );
+
+    // 4. Simulate the Cascade Lake hierarchy under LRU and Hawkeye.
+    let config = SimConfig::cascade_lake();
+    println!("platform: {config}");
+    let lru = simulate(&trace, &config, PolicyKind::Lru);
+    let hawkeye = simulate(&trace, &config, PolicyKind::Hawkeye);
+
+    println!(
+        "LRU    : ipc {:.3}, MPKI l1d {:.1} / l2 {:.1} / llc {:.1}",
+        lru.ipc(),
+        lru.mpki_l1d(),
+        lru.mpki_l2(),
+        lru.mpki_llc()
+    );
+    println!(
+        "Hawkeye: ipc {:.3}, llc MPKI {:.1}  ({:+.2}% speed-up over LRU)",
+        hawkeye.ipc(),
+        hawkeye.mpki_llc(),
+        hawkeye.speedup_over(&lru)
+    );
+    println!("hawkeye diag: {}", hawkeye.llc_diag);
+}

@@ -1,0 +1,52 @@
+//! # ccsim
+//!
+//! A trace-driven cache-hierarchy simulation suite reproducing
+//! *"Characterizing the impact of last-level cache replacement policies on
+//! big-data workloads"* (IISWC 2020).
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`trace`] — trace records, the instrumented-execution arena, synthetic
+//!   pattern generators and trace statistics;
+//! * [`graph`] — CSR graphs, GAP input-graph generators and the six GAP
+//!   kernels (reference + instrumented);
+//! * [`policies`] — LRU, SRRIP, BRRIP, DRRIP, SHiP, Hawkeye, Glider, MPPPB
+//!   and friends behind ChampSim-style hooks, plus an offline Belady
+//!   oracle;
+//! * [`core`] — the cache-hierarchy simulator (Cascade Lake-like core,
+//!   three cache levels, DDR4 DRAM) and the experiment harness;
+//! * [`workloads`] — the four benchmark suites of the paper (GAP, SPEC-,
+//!   XSBench- and Qualcomm-like proxies).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use ccsim::prelude::*;
+//!
+//! // Build a graph workload trace and compare two LLC policies.
+//! let g = ccsim::graph::generators::kronecker(10, 8, 42);
+//! let (trace, _) = ccsim::graph::traced::bfs(&g, 0);
+//! let config = SimConfig::cascade_lake();
+//! let lru = simulate(&trace, &config, PolicyKind::Lru);
+//! let hawkeye = simulate(&trace, &config, PolicyKind::Hawkeye);
+//! println!("hawkeye speedup over lru: {:+.2}%", hawkeye.speedup_over(&lru));
+//! ```
+
+#![warn(missing_docs)]
+
+pub use ccsim_core as core;
+pub use ccsim_graph as graph;
+pub use ccsim_policies as policies;
+pub use ccsim_trace as trace;
+pub use ccsim_workloads as workloads;
+
+/// The most commonly used items, for glob import.
+pub mod prelude {
+    pub use ccsim_core::{
+        geomean, geomean_speedup_percent, simulate, simulate_with_llc_log, SimConfig, SimResult,
+    };
+    pub use ccsim_graph::Graph;
+    pub use ccsim_policies::{PolicyKind, ReplacementPolicy};
+    pub use ccsim_trace::{Trace, TraceArena, TraceBuffer};
+    pub use ccsim_workloads::{GapScale, GapWorkload, Suite, SuiteScale};
+}

@@ -1,0 +1,124 @@
+//! Property-based tests over the whole stack.
+
+use ccsim::policies::belady::belady_replay;
+use ccsim::prelude::*;
+use ccsim::trace::{read_trace, write_trace, AccessKind, TraceRecord};
+use proptest::prelude::*;
+
+fn arb_record() -> impl Strategy<Value = TraceRecord> {
+    (
+        0u64..1 << 40,
+        0u64..1 << 44,
+        1u8..=8,
+        any::<bool>(),
+        0u16..=u16::MAX,
+    )
+        .prop_map(|(pc, vaddr, size, store, nonmem)| TraceRecord {
+            pc,
+            vaddr,
+            size,
+            kind: if store { AccessKind::Store } else { AccessKind::Load },
+            nonmem_before: nonmem,
+        })
+}
+
+fn arb_trace(max_len: usize) -> impl Strategy<Value = Trace> {
+    (proptest::collection::vec(arb_record(), 0..max_len), 0u64..1000).prop_map(
+        |(records, trailing)| Trace::from_parts("prop", records, trailing),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Binary serialization round-trips arbitrary traces exactly.
+    #[test]
+    fn trace_serialization_roundtrip(trace in arb_trace(200)) {
+        let mut bytes = Vec::new();
+        write_trace(&trace, &mut bytes).unwrap();
+        let back = read_trace(&bytes[..]).unwrap();
+        prop_assert_eq!(back, trace);
+    }
+
+    /// The reuse profile conserves mass on arbitrary traces.
+    #[test]
+    fn reuse_profile_mass_conserved(trace in arb_trace(300)) {
+        let p = ccsim::trace::stats::ReuseProfile::compute(&trace);
+        prop_assert_eq!(p.mass(), trace.len() as u64);
+        // The hit fraction is monotone in capacity.
+        let mut prev = 0.0;
+        for k in 0..20 {
+            let f = p.hit_fraction_within(1 << k);
+            prop_assert!(f + 1e-12 >= prev);
+            prev = f;
+        }
+    }
+
+    /// Simulator conservation laws hold for arbitrary access streams under
+    /// every policy: hits + misses = accesses at each level, and miss
+    /// traffic cascades exactly.
+    #[test]
+    fn simulator_conservation_laws(
+        trace in arb_trace(400),
+        policy_idx in 0usize..PolicyKind::ALL.len(),
+    ) {
+        let policy = PolicyKind::ALL[policy_idx];
+        let r = simulate(&trace, &SimConfig::tiny(), policy);
+        prop_assert_eq!(r.instructions, trace.instructions());
+        for stats in [&r.l1d, &r.l2, &r.llc] {
+            prop_assert_eq!(
+                stats.demand_hits + stats.demand_misses,
+                stats.demand_accesses
+            );
+        }
+        prop_assert_eq!(r.l2.demand_accesses, r.l1d.demand_misses);
+        prop_assert_eq!(r.llc.demand_accesses, r.l2.demand_misses);
+        prop_assert_eq!(
+            r.dram.reads + r.llc.mshr_merges,
+            r.llc.demand_misses
+        );
+    }
+
+    /// Belady replay: hits + misses = stream length, and OPT with more
+    /// ways never hits less.
+    #[test]
+    fn belady_monotone_in_ways(
+        blocks in proptest::collection::vec(0u64..64, 1..200),
+        ways in 1u32..8,
+    ) {
+        let stream: Vec<(u32, u64)> = blocks.iter().map(|&b| (0u32, b)).collect();
+        let small = belady_replay(&stream, 1, ways);
+        let large = belady_replay(&stream, 1, ways + 1);
+        prop_assert_eq!(small.hits + small.misses, stream.len() as u64);
+        prop_assert!(large.hits >= small.hits);
+    }
+
+    /// CSR construction produces a verified graph for arbitrary edge lists,
+    /// and transposing twice is the identity.
+    #[test]
+    fn csr_wellformed_for_random_edges(
+        n in 2u32..64,
+        edges in proptest::collection::vec((0u32..64, 0u32..64), 0..200),
+    ) {
+        let clamped: Vec<(u32, u32)> =
+            edges.into_iter().map(|(a, b)| (a % n, b % n)).collect();
+        let g = Graph::from_edges(n, &clamped, true);
+        prop_assert!(g.verify().is_ok());
+        let t = g.transpose();
+        prop_assert!(t.verify().is_ok());
+        prop_assert_eq!(t.transpose(), g);
+    }
+
+    /// Delta-stepping equals Dijkstra on random weighted graphs.
+    #[test]
+    fn sssp_matches_dijkstra(
+        seed in 0u64..1000,
+        delta in 1u32..64,
+    ) {
+        let g = ccsim::graph::generators::uniform(7, 4, seed)
+            .with_random_weights(32, seed);
+        let ds = ccsim::graph::kernels::sssp(&g, 0, delta);
+        let dj = ccsim::graph::kernels::dijkstra(&g, 0);
+        prop_assert_eq!(ds, dj);
+    }
+}
