@@ -67,9 +67,7 @@ fn bench_policies(c: &mut Criterion, group_name: &str, trace: &Trace, policies: 
             r.llc.hit_rate(),
             r.ipc()
         );
-        group.bench_function(p.name(), |b| {
-            b.iter(|| simulate(black_box(trace), &config, p))
-        });
+        group.bench_function(p.name(), |b| b.iter(|| simulate(black_box(trace), &config, p)));
     }
     group.finish();
 }

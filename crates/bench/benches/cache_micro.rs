@@ -18,12 +18,7 @@ fn lookup_fill_cycle(n: u64) -> u64 {
     for _ in 0..n {
         state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
         let block = (state >> 20) & 0x3_FFFF;
-        let info = AccessInfo {
-            pc: 0x400,
-            block,
-            set: c.set_of(block),
-            kind: AccessType::Load,
-        };
+        let info = AccessInfo { pc: 0x400, block, set: c.set_of(block), kind: AccessType::Load };
         match c.lookup(&info) {
             Some(_) => hits += 1,
             None => {
@@ -52,9 +47,7 @@ fn mshr_pressure(n: u64) -> u64 {
 fn cache_micro(c: &mut Criterion) {
     let mut group = c.benchmark_group("cache_micro");
     group.sample_size(20);
-    group.bench_function("lookup_fill_cycle", |b| {
-        b.iter(|| lookup_fill_cycle(black_box(100_000)))
-    });
+    group.bench_function("lookup_fill_cycle", |b| b.iter(|| lookup_fill_cycle(black_box(100_000))));
     group.bench_function("mshr_pressure", |b| b.iter(|| mshr_pressure(black_box(100_000))));
     group.finish();
 }

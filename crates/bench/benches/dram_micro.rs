@@ -29,12 +29,8 @@ fn random_pattern(n: u64) -> u64 {
 fn dram_micro(c: &mut Criterion) {
     let mut group = c.benchmark_group("dram_micro");
     group.sample_size(30);
-    group.bench_function("sequential_row_hits", |b| {
-        b.iter(|| stream_pattern(black_box(100_000)))
-    });
-    group.bench_function("random_row_conflicts", |b| {
-        b.iter(|| random_pattern(black_box(100_000)))
-    });
+    group.bench_function("sequential_row_hits", |b| b.iter(|| stream_pattern(black_box(100_000))));
+    group.bench_function("random_row_conflicts", |b| b.iter(|| random_pattern(black_box(100_000))));
     group.finish();
 }
 

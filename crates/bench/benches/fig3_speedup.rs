@@ -14,11 +14,7 @@ fn fig3_speedup(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig3_speedup");
     group.sample_size(10);
     for suite in Suite::ALL {
-        let trace = suite
-            .traces(SuiteScale::Quick)
-            .into_iter()
-            .next()
-            .expect("suite non-empty");
+        let trace = suite.traces(SuiteScale::Quick).into_iter().next().expect("suite non-empty");
         let lru = simulate(&trace, &config, PolicyKind::Lru);
         for policy in PolicyKind::PAPER_POLICIES {
             let r = simulate(&trace, &config, policy);

@@ -9,12 +9,8 @@ fn graph_gen(c: &mut Criterion) {
     let mut group = c.benchmark_group("graph_gen");
     group.sample_size(10);
     let scale = 13;
-    group.bench_function("uniform", |b| {
-        b.iter(|| generators::uniform(black_box(scale), 8, 1))
-    });
-    group.bench_function("kronecker", |b| {
-        b.iter(|| generators::kronecker(black_box(scale), 8, 1))
-    });
+    group.bench_function("uniform", |b| b.iter(|| generators::uniform(black_box(scale), 8, 1)));
+    group.bench_function("kronecker", |b| b.iter(|| generators::kronecker(black_box(scale), 8, 1)));
     group.bench_function("road", |b| b.iter(|| generators::road(black_box(scale), 1)));
     group.bench_function("power_law", |b| {
         b.iter(|| generators::power_law(black_box(scale), 8, 1.85, 1))

@@ -15,9 +15,7 @@ fn kernel_trace(c: &mut Criterion) {
     group.bench_function("pagerank_2iter", |b| {
         b.iter(|| traced::pagerank(black_box(&g), &gt, 2, 0.85))
     });
-    group.bench_function("cc", |b| {
-        b.iter(|| traced::connected_components(black_box(&g)))
-    });
+    group.bench_function("cc", |b| b.iter(|| traced::connected_components(black_box(&g))));
     group.bench_function("sssp", |b| b.iter(|| traced::sssp(black_box(&gw), 0, 16)));
     group.bench_function("bc", |b| b.iter(|| traced::betweenness(black_box(&g), &[0])));
     group.bench_function("tc", |b| b.iter(|| traced::triangle_count(black_box(&g))));

@@ -44,11 +44,8 @@ fn main() {
         let ship_hr = ship.llc.hit_rate();
         let opt_hr = opt.hit_rate();
         let headroom = opt_hr - lru_hr;
-        let captured = if headroom.abs() < 1e-9 {
-            0.0
-        } else {
-            100.0 * (hk_hr - lru_hr) / headroom
-        };
+        let captured =
+            if headroom.abs() < 1e-9 { 0.0 } else { 100.0 * (hk_hr - lru_hr) / headroom };
         eprintln!(
             "{w}: lru {:.3} hawkeye {:.3} ship {:.3} opt {:.3}",
             lru_hr, hk_hr, ship_hr, opt_hr

@@ -27,14 +27,7 @@ fn main() {
             let results = ccsim_bench::run_policies(&trace, &policies, &config, opts.threads);
             let base_ipc = results[0].ipc();
             i += 1;
-            eprint!(
-                "[{}] {}/{} {:<16} lru_ipc={:.3}",
-                suite.name(),
-                i,
-                n,
-                trace.name(),
-                base_ipc
-            );
+            eprint!("[{}] {}/{} {:<16} lru_ipc={:.3}", suite.name(), i, n, trace.name(), base_ipc);
             for (p, r) in results[1..].iter().enumerate() {
                 let ratio = r.ipc() / base_ipc;
                 ratios[p].push(ratio);

@@ -62,9 +62,7 @@ impl Options {
 /// Default worker count: available parallelism capped at 8 (simulation is
 /// memory-bandwidth-bound; more threads rarely help).
 pub fn default_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get().min(8))
-        .unwrap_or(4)
+    std::thread::available_parallelism().map(|n| n.get().min(8)).unwrap_or(4)
 }
 
 /// Runs one trace under every given policy (in parallel) and returns the
@@ -109,12 +107,8 @@ mod tests {
         let mut b = TraceBuffer::new("t");
         RandomAccess::new(0, 1 << 10, 64, 1000).emit(&mut b);
         let t = b.finish();
-        let results = run_policies(
-            &t,
-            &[PolicyKind::Lru, PolicyKind::Srrip],
-            &SimConfig::tiny(),
-            2,
-        );
+        let results =
+            run_policies(&t, &[PolicyKind::Lru, PolicyKind::Srrip], &SimConfig::tiny(), 2);
         assert_eq!(results.len(), 2);
         assert_eq!(results[0].policy, "lru");
         assert_eq!(results[1].policy, "srrip");

@@ -53,12 +53,7 @@ pub fn trace_gen(args: &[String]) -> Result<(), String> {
     let trace = build_workload(workload, quick)?;
     let file = File::create(out).map_err(|e| format!("creating {out}: {e}"))?;
     write_trace(&trace, BufWriter::new(file)).map_err(|e| format!("writing {out}: {e}"))?;
-    println!(
-        "wrote {}: {} records, {} instructions",
-        out,
-        trace.len(),
-        trace.instructions()
-    );
+    println!("wrote {}: {} records, {} instructions", out, trace.len(), trace.instructions());
     Ok(())
 }
 
@@ -79,8 +74,11 @@ pub fn trace_stats(args: &[String]) -> Result<(), String> {
     println!("instructions        : {}", s.instructions);
     println!("loads / stores      : {} / {}", s.loads, s.stores);
     println!("mem per kinstr      : {:.1}", s.mem_per_kilo_instruction());
-    println!("footprint           : {} blocks ({:.2} MB)", s.footprint_blocks,
-             s.footprint_bytes as f64 / (1 << 20) as f64);
+    println!(
+        "footprint           : {} blocks ({:.2} MB)",
+        s.footprint_blocks,
+        s.footprint_bytes as f64 / (1 << 20) as f64
+    );
     println!("distinct PCs        : {}", s.distinct_pcs);
     println!("blocks per PC       : mean {:.1}, max {}", s.mean_blocks_per_pc, s.max_blocks_per_pc);
     let p = ReuseProfile::compute(&trace);
@@ -98,9 +96,7 @@ pub fn trace_stats(args: &[String]) -> Result<(), String> {
 /// `ccsim sim <in> [--policy P]... [--llc-scale N]`
 pub fn sim(args: &[String]) -> Result<(), String> {
     let positional: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
-    let path = positional
-        .first()
-        .ok_or_else(|| format!("expected <in.cctr>\n\n{USAGE}"))?;
+    let path = positional.first().ok_or_else(|| format!("expected <in.cctr>\n\n{USAGE}"))?;
     let mut policies: Vec<PolicyKind> = Vec::new();
     let mut llc_scale = 1u32;
     let mut it = args.iter();

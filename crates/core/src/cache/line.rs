@@ -22,7 +22,8 @@ mod tests {
 
     #[test]
     fn invalid_constant_is_clean() {
-        assert!(!CacheLine::INVALID.valid);
-        assert!(!CacheLine::INVALID.dirty);
+        let line = CacheLine::INVALID;
+        assert_eq!(line, CacheLine::default());
+        assert!(!line.valid && !line.dirty);
     }
 }

@@ -49,7 +49,11 @@ impl Cache {
     ///
     /// Panics if the configuration is invalid (callers validate configs at
     /// the simulator boundary; this is a defence in depth).
-    pub fn new(name: &'static str, config: CacheConfig, policy: Box<dyn ReplacementPolicy>) -> Self {
+    pub fn new(
+        name: &'static str,
+        config: CacheConfig,
+        policy: Box<dyn ReplacementPolicy>,
+    ) -> Self {
         config.validate().expect("invalid cache config");
         Cache {
             name,
@@ -152,10 +156,7 @@ impl Cache {
         debug_assert!(self.probe(info.block).is_none(), "fill of resident block");
         let set = info.set;
         let base = self.idx(set, 0);
-        let way = match self.lines[base..base + self.ways as usize]
-            .iter()
-            .position(|l| !l.valid)
-        {
+        let way = match self.lines[base..base + self.ways as usize].iter().position(|l| !l.valid) {
             Some(w) => w as u32,
             None => {
                 let views: Vec<LineView> = self.lines[base..base + self.ways as usize]
@@ -196,8 +197,7 @@ impl Cache {
             block: info.block,
         };
         self.stats.fills += 1;
-        self.policy
-            .on_fill(set, way, info, old.valid.then_some(old.block));
+        self.policy.on_fill(set, way, info, old.valid.then_some(old.block));
         FillOutcome::Filled { writeback }
     }
 

@@ -52,12 +52,8 @@ impl MshrBank {
         if self.outstanding.len() > 4 * self.free_at.len() {
             self.outstanding.retain(|_, &mut c| c > ready);
         }
-        let (slot, &free) = self
-            .free_at
-            .iter()
-            .enumerate()
-            .min_by_key(|&(_, &f)| f)
-            .expect("bank non-empty");
+        let (slot, &free) =
+            self.free_at.iter().enumerate().min_by_key(|&(_, &f)| f).expect("bank non-empty");
         MshrGrant::Issue { slot: slot as u32, start_at: ready.max(free) }
     }
 

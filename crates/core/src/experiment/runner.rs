@@ -68,10 +68,7 @@ pub fn run_matrix(
             });
         }
     });
-    results
-        .into_iter()
-        .map(|e| e.expect("all jobs completed"))
-        .collect()
+    results.into_iter().map(|e| e.expect("all jobs completed")).collect()
 }
 
 #[cfg(test)]

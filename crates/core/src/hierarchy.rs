@@ -45,7 +45,11 @@ impl Hierarchy {
     /// Builds the hierarchy with `llc_policy` at the last level.
     pub fn new(config: &SimConfig, llc_policy: Box<dyn ReplacementPolicy>) -> Self {
         Hierarchy {
-            l1d: Cache::new("L1D", config.l1d, PolicyKind::Lru.build(config.l1d.sets, config.l1d.ways)),
+            l1d: Cache::new(
+                "L1D",
+                config.l1d,
+                PolicyKind::Lru.build(config.l1d.sets, config.l1d.ways),
+            ),
             l2: Cache::new("L2", config.l2, PolicyKind::Lru.build(config.l2.sets, config.l2.ways)),
             llc: Cache::new("LLC", config.llc, llc_policy),
             dram: Dram::new(config.dram),

@@ -46,8 +46,7 @@ fn run(
     log_llc: bool,
 ) -> (SimResult, Option<Vec<(u32, u64)>>) {
     config.validate().expect("invalid simulator config");
-    let mut hierarchy =
-        Hierarchy::new(config, llc_policy.build(config.llc.sets, config.llc.ways));
+    let mut hierarchy = Hierarchy::new(config, llc_policy.build(config.llc.sets, config.llc.ways));
     if log_llc {
         hierarchy.enable_llc_log();
     }
@@ -113,10 +112,7 @@ mod tests {
     #[test]
     fn dram_bound_random_access_has_low_ipc() {
         // 64 MB of random accesses: misses everywhere.
-        let t = trace_of(
-            &RandomAccess::new(0x1000_0000, 1 << 20, 64, 50_000).seed(1),
-            "rand",
-        );
+        let t = trace_of(&RandomAccess::new(0x1000_0000, 1 << 20, 64, 50_000).seed(1), "rand");
         let r = simulate(&t, &SimConfig::cascade_lake(), PolicyKind::Lru);
         assert!(r.l1d.hit_rate() < 0.1, "l1 hit rate {}", r.l1d.hit_rate());
         assert!(r.dram_reach_fraction() > 0.9, "reach {}", r.dram_reach_fraction());
@@ -126,10 +122,8 @@ mod tests {
     #[test]
     fn pointer_chase_is_slower_than_stream_per_access() {
         let cfg = SimConfig::cascade_lake();
-        let chase = trace_of(
-            &PointerChase::new(0x2000_0000, 1 << 16, 64).steps(30_000).seed(2),
-            "chase",
-        );
+        let chase =
+            trace_of(&PointerChase::new(0x2000_0000, 1 << 16, 64).steps(30_000).seed(2), "chase");
         // One access per block so both traces have 30 000 records.
         let stream =
             trace_of(&SequentialStream::new(0x1000_0000, 30_000 * 64).stride(64), "stream");

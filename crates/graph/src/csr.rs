@@ -175,7 +175,7 @@ impl Graph {
             if w.len() != self.neighbors.len() {
                 return Err("weights misaligned with neighbours".into());
             }
-            if w.iter().any(|&x| x == 0) {
+            if w.contains(&0) {
                 return Err("weights must be positive".into());
             }
         }
@@ -250,13 +250,12 @@ mod tests {
 
     #[test]
     fn weights_are_symmetric_for_undirected_graphs() {
-        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)], true)
-            .with_random_weights(64, 42);
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)], true).with_random_weights(64, 42);
         g.verify().unwrap();
         let w01 = g.edge_weights(0)[g.neighbors(0).iter().position(|&x| x == 1).unwrap()];
         let w10 = g.edge_weights(1)[g.neighbors(1).iter().position(|&x| x == 0).unwrap()];
         assert_eq!(w01, w10);
-        assert!(w01 >= 1 && w01 <= 64);
+        assert!((1..=64).contains(&w01));
     }
 
     #[test]

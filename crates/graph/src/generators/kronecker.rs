@@ -56,10 +56,7 @@ mod tests {
         let n = g.num_vertices();
         let max = (0..n).map(|v| g.degree(v)).max().unwrap();
         let avg = g.num_edges() as f64 / n as f64;
-        assert!(
-            max as f64 > 10.0 * avg,
-            "kron should have hubs: max {max}, avg {avg:.1}"
-        );
+        assert!(max as f64 > 10.0 * avg, "kron should have hubs: max {max}, avg {avg:.1}");
     }
 
     #[test]

@@ -75,10 +75,7 @@ mod tests {
                 }
             }
         }
-        assert!(
-            near > 2 * far,
-            "web should be locality-dominated: near={near} far={far}"
-        );
+        assert!(near > 2 * far, "web should be locality-dominated: near={near} far={far}");
     }
 
     #[test]

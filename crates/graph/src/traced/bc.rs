@@ -69,9 +69,7 @@ pub fn betweenness(g: &Graph, sources: &[u32]) -> (Trace, Vec<f64>) {
                     let su = sigma.get(s_sigma_rd, u as usize);
                     let sv = sigma.get(s_sigma_rd, v as usize);
                     let dv = delta.get(s_delta_rd, v as usize);
-                    delta.update(s_delta_rd, s_delta_wr, u as usize, |x| {
-                        x + su / sv * (1.0 + dv)
-                    });
+                    delta.update(s_delta_rd, s_delta_wr, u as usize, |x| x + su / sv * (1.0 + dv));
                 }
             }
             if u != s {

@@ -146,11 +146,7 @@ mod tests {
         let (trace, _) = bfs(&g, 0);
         let stats = TraceStats::compute(&trace);
         assert!(stats.distinct_pcs <= 12, "pcs {}", stats.distinct_pcs);
-        assert!(
-            stats.footprint_bytes > 100 * 1024,
-            "footprint {}",
-            stats.footprint_bytes
-        );
+        assert!(stats.footprint_bytes > 100 * 1024, "footprint {}", stats.footprint_bytes);
         assert!(stats.instructions > trace.len() as u64, "nonmem accounted");
     }
 

@@ -85,10 +85,7 @@ impl<'a> TracedCsr<'a> {
     /// Panics if the graph is unweighted.
     #[inline]
     pub fn weight(&self, k: usize) -> u32 {
-        self.weights
-            .as_ref()
-            .expect("graph has no weights")
-            .get(self.s_w, k)
+        self.weights.as_ref().expect("graph has no weights").get(self.s_w, k)
     }
 }
 
@@ -109,7 +106,7 @@ mod tests {
             assert_eq!(ns, g.neighbors(v), "vertex {v}");
         }
         drop(tg);
-        assert!(arena.finish().len() > 0);
+        assert!(!arena.finish().is_empty());
     }
 
     #[test]

@@ -11,12 +11,7 @@ use crate::Graph;
 ///
 /// The inner loop's load of `contrib[u]` indexed by NA contents is the
 /// irregular SpMV access the paper's extended abstract highlights.
-pub fn pagerank(
-    g: &Graph,
-    transpose: &Graph,
-    iterations: u32,
-    damping: f64,
-) -> (Trace, Vec<f64>) {
+pub fn pagerank(g: &Graph, transpose: &Graph, iterations: u32, damping: f64) -> (Trace, Vec<f64>) {
     let n = g.num_vertices() as usize;
     assert_eq!(transpose.num_vertices() as usize, n, "transpose mismatch");
     let arena = TraceArena::new("pr");
@@ -95,10 +90,6 @@ mod tests {
         let (trace, _) = pagerank(&g, &t, 2, 0.85);
         let stats = TraceStats::compute(&trace);
         assert!(stats.distinct_pcs <= 10, "pcs {}", stats.distinct_pcs);
-        assert!(
-            stats.mean_blocks_per_pc > 100.0,
-            "addresses per pc {}",
-            stats.mean_blocks_per_pc
-        );
+        assert!(stats.mean_blocks_per_pc > 100.0, "addresses per pc {}", stats.mean_blocks_per_pc);
     }
 }

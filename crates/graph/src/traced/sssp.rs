@@ -37,10 +37,10 @@ pub fn sssp(g: &Graph, source: u32, delta: u32) -> (Trace, Vec<u32>) {
     let mut buckets: Vec<Vec<(usize, u32)>> = vec![Vec::new()];
 
     let push = |slab: &mut ccsim_trace::TracedVec<'_, u32>,
-                    buckets: &mut Vec<Vec<(usize, u32)>>,
-                    cursor: &mut usize,
-                    b: usize,
-                    v: u32| {
+                buckets: &mut Vec<Vec<(usize, u32)>>,
+                cursor: &mut usize,
+                b: usize,
+                v: u32| {
         if b >= buckets.len() {
             buckets.resize_with(b + 1, Vec::new);
         }
@@ -70,13 +70,7 @@ pub fn sssp(g: &Graph, source: u32, delta: u32) -> (Trace, Vec<u32>) {
                 let nd = du.saturating_add(w);
                 if nd < dist.get(s_dist_rd, v as usize) {
                     dist.set(s_dist_wr, v as usize, nd);
-                    push(
-                        &mut slab,
-                        &mut buckets,
-                        &mut slab_cursor,
-                        (nd / delta) as usize,
-                        v,
-                    );
+                    push(&mut slab, &mut buckets, &mut slab_cursor, (nd / delta) as usize, v);
                 }
             }
         }

@@ -39,10 +39,7 @@ impl ReplacementPolicy for BitPlru {
     fn victim(&mut self, set: u32, _info: &AccessInfo, _lines: &[LineView]) -> Victim {
         let base = (set * self.ways) as usize;
         let n = self.ways as usize;
-        let way = self.mru[base..base + n]
-            .iter()
-            .position(|&b| !b)
-            .unwrap_or(0);
+        let way = self.mru[base..base + n].iter().position(|&b| !b).unwrap_or(0);
         Victim::Way(way as u32)
     }
 

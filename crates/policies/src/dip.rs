@@ -71,11 +71,7 @@ impl Dip {
     /// `lru_stamp - 1`; stamps start at 1 so this cannot underflow past 0).
     fn min_stamp(&self, set: u32) -> u64 {
         let base = self.idx(set, 0);
-        self.stamps[base..base + self.ways as usize]
-            .iter()
-            .copied()
-            .min()
-            .expect("ways > 0")
+        self.stamps[base..base + self.ways as usize].iter().copied().min().expect("ways > 0")
     }
 }
 
@@ -87,11 +83,7 @@ impl ReplacementPolicy for Dip {
     fn victim(&mut self, set: u32, _info: &AccessInfo, _lines: &[LineView]) -> Victim {
         let base = self.idx(set, 0);
         let slice = &self.stamps[base..base + self.ways as usize];
-        let (way, _) = slice
-            .iter()
-            .enumerate()
-            .min_by_key(|&(_, &s)| s)
-            .expect("ways > 0");
+        let (way, _) = slice.iter().enumerate().min_by_key(|&(_, &s)| s).expect("ways > 0");
         Victim::Way(way as u32)
     }
 
@@ -126,11 +118,7 @@ impl ReplacementPolicy for Dip {
     }
 
     fn diag(&self) -> String {
-        format!(
-            "psel={} ({})",
-            self.psel.get(),
-            if self.bip_winning() { "bip" } else { "lru" }
-        )
+        format!("psel={} ({})", self.psel.get(), if self.bip_winning() { "bip" } else { "lru" })
     }
 }
 

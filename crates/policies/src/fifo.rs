@@ -28,11 +28,7 @@ impl ReplacementPolicy for Fifo {
     fn victim(&mut self, set: u32, _info: &AccessInfo, _lines: &[LineView]) -> Victim {
         let base = (set * self.ways) as usize;
         let slice = &self.stamps[base..base + self.ways as usize];
-        let (way, _) = slice
-            .iter()
-            .enumerate()
-            .min_by_key(|&(_, &s)| s)
-            .expect("ways > 0");
+        let (way, _) = slice.iter().enumerate().min_by_key(|&(_, &s)| s).expect("ways > 0");
         Victim::Way(way as u32)
     }
 

@@ -39,10 +39,7 @@ impl IsvmBank {
     /// whose history features are `feats`.
     pub fn predict(&self, table: usize, feats: &[u8]) -> i32 {
         let t = &self.tables[table % self.tables.len()];
-        feats
-            .iter()
-            .map(|&f| t[f as usize % ISVM_WEIGHTS] as i32)
-            .sum()
+        feats.iter().map(|&f| t[f as usize % ISVM_WEIGHTS] as i32).sum()
     }
 
     /// Perceptron-style update: push the selected weights toward `friendly`
@@ -59,11 +56,7 @@ impl IsvmBank {
         let t = &mut self.tables[table % n];
         for &f in feats {
             let w = &mut t[f as usize % ISVM_WEIGHTS];
-            *w = if friendly {
-                (*w + 1).min(WEIGHT_MAX)
-            } else {
-                (*w - 1).max(WEIGHT_MIN)
-            };
+            *w = if friendly { (*w + 1).min(WEIGHT_MAX) } else { (*w - 1).max(WEIGHT_MIN) };
         }
     }
 }
@@ -96,7 +89,7 @@ mod tests {
         }
         let sum = bank.predict(0, &feats);
         // 5 features: sum advances in steps of 5, halting at >= 60.
-        assert!(sum >= TRAINING_THRESHOLD && sum < TRAINING_THRESHOLD + 5);
+        assert!((TRAINING_THRESHOLD..TRAINING_THRESHOLD + 5).contains(&sum));
     }
 
     #[test]

@@ -112,10 +112,7 @@ impl Glider {
     }
 
     fn snapshot(&self, pc: u64) -> GliderFeatures {
-        GliderFeatures {
-            table: hash_bits(pc, 11) as u16,
-            feats: self.pchr.features(),
-        }
+        GliderFeatures { table: hash_bits(pc, 11) as u16, feats: self.pchr.features() }
     }
 
     /// Updates PCHR, runs the sampler and returns the decision sum for the
@@ -125,8 +122,7 @@ impl Glider {
         let snap = self.snapshot(info.pc);
         if let Some(result) = self.sampler.observe(set, info.block, snap) {
             if let Some((prev, opt_hit)) = result.reuse {
-                self.bank
-                    .train(prev.table as usize, &prev.feats, opt_hit);
+                self.bank.train(prev.table as usize, &prev.feats, opt_hit);
             }
             if let Some(evicted) = result.evicted {
                 self.bank.train(evicted.table as usize, &evicted.feats, false);
@@ -147,11 +143,7 @@ impl ReplacementPolicy for Glider {
         if let Some(w) = metas.iter().position(|m| m.rrpv == HAWKEYE_RRPV_MAX) {
             return Victim::Way(w as u32);
         }
-        let (w, _) = metas
-            .iter()
-            .enumerate()
-            .max_by_key(|(_, m)| m.rrpv)
-            .expect("ways > 0");
+        let (w, _) = metas.iter().enumerate().max_by_key(|(_, m)| m.rrpv).expect("ways > 0");
         Victim::Way(w as u32)
     }
 

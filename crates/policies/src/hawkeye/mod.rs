@@ -41,7 +41,10 @@ impl OccupancyPredictor {
     pub fn new() -> Self {
         OccupancyPredictor {
             counters: vec![
-                SatCounter::new(PREDICTOR_COUNTER_BITS, 1 << (PREDICTOR_COUNTER_BITS - 1));
+                SatCounter::new(
+                    PREDICTOR_COUNTER_BITS,
+                    1 << (PREDICTOR_COUNTER_BITS - 1)
+                );
                 1 << PREDICTOR_INDEX_BITS
             ],
         }
@@ -171,11 +174,7 @@ impl ReplacementPolicy for Hawkeye {
         }
         // Otherwise evict the oldest friendly line and detrain the PC that
         // put it there: the predictor was too optimistic.
-        let (w, _) = metas
-            .iter()
-            .enumerate()
-            .max_by_key(|(_, m)| m.rrpv)
-            .expect("ways > 0");
+        let (w, _) = metas.iter().enumerate().max_by_key(|(_, m)| m.rrpv).expect("ways > 0");
         let pc = metas[w].last_pc;
         self.predictor.train_averse(pc);
         self.detrained_evictions += 1;
@@ -194,7 +193,8 @@ impl ReplacementPolicy for Hawkeye {
         if !info.kind.is_demand() {
             // Writebacks are inserted averse and never train the predictor.
             let i = self.idx(set, way);
-            self.meta[i] = LineMeta { rrpv: HAWKEYE_RRPV_MAX, last_pc: 0, friendly: false, valid: true };
+            self.meta[i] =
+                LineMeta { rrpv: HAWKEYE_RRPV_MAX, last_pc: 0, friendly: false, valid: true };
             return;
         }
         self.train(set, info);

@@ -117,12 +117,10 @@ impl<P: Clone> Sampler<P> {
 
     /// Aggregate OPTgen statistics over all sampled sets: (hits, misses).
     pub fn optgen_stats(&self) -> (u64, u64) {
-        self.sets
-            .values()
-            .fold((0, 0), |(h, m), s| {
-                let (sh, sm) = s.optgen.stats();
-                (h + sh, m + sm)
-            })
+        self.sets.values().fold((0, 0), |(h, m), s| {
+            let (sh, sm) = s.optgen.stats();
+            (h + sh, m + sm)
+        })
     }
 }
 
@@ -150,10 +148,7 @@ mod tests {
     #[test]
     fn reuse_returns_previous_payload_with_opt_verdict() {
         let mut s: Sampler<u64> = Sampler::new(64, 4);
-        assert_eq!(
-            s.observe(0, 0xAA, 111).unwrap(),
-            SampleResult { reuse: None, evicted: None }
-        );
+        assert_eq!(s.observe(0, 0xAA, 111).unwrap(), SampleResult { reuse: None, evicted: None });
         let r = s.observe(0, 0xAA, 222).unwrap();
         // Tight reuse, plenty of capacity: OPT hit training for payload 111.
         assert_eq!(r.reuse, Some((111, true)));

@@ -42,11 +42,7 @@ impl ReplacementPolicy for Lru {
     fn victim(&mut self, set: u32, _info: &AccessInfo, _lines: &[LineView]) -> Victim {
         let base = self.idx(set, 0);
         let slice = &self.stamps[base..base + self.ways as usize];
-        let (way, _) = slice
-            .iter()
-            .enumerate()
-            .min_by_key(|&(_, &s)| s)
-            .expect("ways > 0");
+        let (way, _) = slice.iter().enumerate().min_by_key(|&(_, &s)| s).expect("ways > 0");
         Victim::Way(way as u32)
     }
 
@@ -69,9 +65,7 @@ mod tests {
     }
 
     fn full_set(ways: usize) -> Vec<LineView> {
-        (0..ways)
-            .map(|w| LineView { valid: true, block: w as u64, dirty: false })
-            .collect()
+        (0..ways).map(|w| LineView { valid: true, block: w as u64, dirty: false }).collect()
     }
 
     #[test]

@@ -99,10 +99,7 @@ impl Mpppb {
     }
 
     fn predict(&self, snap: &Snapshot) -> i32 {
-        snap.iter()
-            .enumerate()
-            .map(|(f, &i)| self.weights[f][i as usize] as i32)
-            .sum()
+        snap.iter().enumerate().map(|(f, &i)| self.weights[f][i as usize] as i32).sum()
     }
 
     /// Pushes the selected weights toward dead (`true`) or live (`false`).
@@ -142,11 +139,8 @@ impl Mpppb {
             e.snapshot = snap;
         } else {
             if entries.len() >= ways {
-                let (i, _) = entries
-                    .iter()
-                    .enumerate()
-                    .min_by_key(|(_, e)| e.lru)
-                    .expect("non-empty");
+                let (i, _) =
+                    entries.iter().enumerate().min_by_key(|(_, e)| e.lru).expect("non-empty");
                 let dead = entries.swap_remove(i);
                 trained = Some((dead.snapshot, true));
             } else {

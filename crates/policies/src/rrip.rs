@@ -115,7 +115,11 @@ pub struct Brrip {
 impl Brrip {
     /// Creates BRRIP state for a `sets x ways` cache.
     pub fn new(sets: u32, ways: u32) -> Self {
-        Brrip { table: RrpvTable::new(sets, ways, RRPV_BITS), fills: 0, rng: SplitMix64::new(0xB441) }
+        Brrip {
+            table: RrpvTable::new(sets, ways, RRPV_BITS),
+            fills: 0,
+            rng: SplitMix64::new(0xB441),
+        }
     }
 
     /// Insertion RRPV for the next fill (advances the bimodal state).
@@ -180,7 +184,7 @@ mod tests {
     fn rrpv_table_ages_until_victim_found() {
         let mut t = RrpvTable::new(1, 4, 2);
         for w in 0..4 {
-            t.set(0, w, w as u8% 3); // values 0,1,2,0 — no 3 present
+            t.set(0, w, w as u8 % 3); // values 0,1,2,0 — no 3 present
         }
         let v = t.find_victim(0);
         assert_eq!(v, 2, "way holding rrpv 2 ages to 3 first");

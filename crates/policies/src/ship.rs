@@ -111,10 +111,7 @@ impl ReplacementPolicy for Ship {
     }
 
     fn diag(&self) -> String {
-        format!(
-            "fills predicted dead={} live={}",
-            self.predicted_dead, self.predicted_live
-        )
+        format!("fills predicted dead={} live={}", self.predicted_dead, self.predicted_live)
     }
 }
 

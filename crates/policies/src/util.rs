@@ -54,7 +54,7 @@ impl SatCounter {
     /// upper half of its range (`value >= 2^(bits-1)`).
     #[inline]
     pub fn msb(self) -> bool {
-        self.value >= (self.max + 1) / 2
+        self.value >= self.max.div_ceil(2)
     }
 }
 

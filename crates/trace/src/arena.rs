@@ -129,7 +129,7 @@ impl TraceArena {
         let elem = std::mem::size_of::<T>() as u64;
         let base = self.next_base.get();
         let bytes = (init.len() as u64 * elem).max(1);
-        let padded = (bytes + REGION_ALIGN - 1) / REGION_ALIGN * REGION_ALIGN + REGION_ALIGN;
+        let padded = bytes.div_ceil(REGION_ALIGN) * REGION_ALIGN + REGION_ALIGN;
         self.next_base.set(base + padded);
         TracedVec { arena: self, base, data: init }
     }
@@ -211,8 +211,7 @@ impl<'a, T: TraceScalar> TracedVec<'a, T> {
     #[inline]
     pub fn get(&self, pc: Pc, i: usize) -> T {
         let v = self.data[i];
-        self.arena
-            .raw_load(pc, self.addr_of(i), std::mem::size_of::<T>() as u8);
+        self.arena.raw_load(pc, self.addr_of(i), std::mem::size_of::<T>() as u8);
         v
     }
 
@@ -224,8 +223,7 @@ impl<'a, T: TraceScalar> TracedVec<'a, T> {
     #[inline]
     pub fn set(&mut self, pc: Pc, i: usize, v: T) {
         self.data[i] = v;
-        self.arena
-            .raw_store(pc, self.addr_of(i), std::mem::size_of::<T>() as u8);
+        self.arena.raw_store(pc, self.addr_of(i), std::mem::size_of::<T>() as u8);
     }
 
     /// Read-modify-write of element `i`: records a load at `pc_load` and a

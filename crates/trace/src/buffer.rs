@@ -37,11 +37,7 @@ impl TraceBuffer {
 
     /// Creates an empty buffer with capacity pre-allocated for `records`.
     pub fn with_capacity(name: impl Into<String>, records: usize) -> Self {
-        TraceBuffer {
-            name: name.into(),
-            records: Vec::with_capacity(records),
-            pending_nonmem: 0,
-        }
+        TraceBuffer { name: name.into(), records: Vec::with_capacity(records), pending_nonmem: 0 }
     }
 
     /// Accounts `n` non-memory instructions at the current position.
@@ -83,8 +79,7 @@ impl TraceBuffer {
 
     /// Total instructions represented so far (memory + non-memory).
     pub fn instructions(&self) -> u64 {
-        self.pending_nonmem
-            + self.records.iter().map(TraceRecord::instructions).sum::<u64>()
+        self.pending_nonmem + self.records.iter().map(TraceRecord::instructions).sum::<u64>()
     }
 
     /// Finalizes the buffer into an immutable [`Trace`]. Any non-memory

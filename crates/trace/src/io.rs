@@ -176,10 +176,7 @@ mod tests {
         let mut bytes = Vec::new();
         write_trace(&sample_trace(), &mut bytes).unwrap();
         bytes[4..8].copy_from_slice(&7u32.to_le_bytes());
-        assert!(matches!(
-            read_trace(&bytes[..]),
-            Err(DecodeTraceError::UnsupportedVersion(7))
-        ));
+        assert!(matches!(read_trace(&bytes[..]), Err(DecodeTraceError::UnsupportedVersion(7))));
     }
 
     #[test]

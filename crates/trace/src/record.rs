@@ -150,12 +150,7 @@ impl Trace {
     /// Total instructions represented: every record plus its preamble of
     /// non-memory instructions, plus the trailing epilogue.
     pub fn instructions(&self) -> u64 {
-        self.trailing_nonmem
-            + self
-                .records
-                .iter()
-                .map(TraceRecord::instructions)
-                .sum::<u64>()
+        self.trailing_nonmem + self.records.iter().map(TraceRecord::instructions).sum::<u64>()
     }
 
     /// Non-memory instructions after the final memory record.
@@ -231,9 +226,7 @@ mod tests {
 
     #[test]
     fn truncate_drops_tail_records() {
-        let recs = (0..10)
-            .map(|i| TraceRecord::load(1, i * 64, 8))
-            .collect::<Vec<_>>();
+        let recs = (0..10).map(|i| TraceRecord::load(1, i * 64, 8)).collect::<Vec<_>>();
         let mut t = Trace::from_parts("t", recs, 0);
         t.truncate(3);
         assert_eq!(t.len(), 3);

@@ -75,8 +75,8 @@ mod tests {
             f.add(i, v);
         }
         let mut acc = 0;
-        for i in 0..10 {
-            acc += vals[i] as u32;
+        for (i, &v) in vals.iter().enumerate() {
+            acc += v as u32;
             assert_eq!(f.prefix(i), acc);
         }
     }
@@ -106,5 +106,44 @@ mod tests {
     fn out_of_range_add_panics() {
         let mut f = Fenwick::new(4);
         f.add(4, 1);
+    }
+
+    /// Randomized oracle: interleaved adds and queries against a naive
+    /// O(n) array over several hundred operations.
+    #[test]
+    fn matches_naive_oracle_under_random_ops() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+
+        const N: usize = 97; // deliberately not a power of two
+        let mut rng = StdRng::seed_from_u64(0xFE2117);
+        let mut fen = Fenwick::new(N);
+        let mut naive = [0i64; N];
+        for _ in 0..500 {
+            let i = rng.gen_range(0..N);
+            // Mix increments and (bounded) decrements like the reuse
+            // profiler does, never driving a counter negative.
+            let delta = if naive[i] > 0 && rng.gen_bool(0.3) { -1 } else { rng.gen_range(1..4) };
+            naive[i] += delta;
+            fen.add(i, delta as i32);
+
+            let q = rng.gen_range(0..N);
+            let expect: i64 = naive[..=q].iter().sum();
+            assert_eq!(fen.prefix(q) as i64, expect, "prefix({q}) diverged");
+
+            let (mut lo, mut hi) = (rng.gen_range(0..N), rng.gen_range(0..N));
+            if lo > hi {
+                std::mem::swap(&mut lo, &mut hi);
+            }
+            let expect: i64 = naive[lo..=hi].iter().sum();
+            assert_eq!(fen.range(lo, hi) as i64, expect, "range({lo}, {hi}) diverged");
+        }
+    }
+
+    #[test]
+    fn len_and_empty() {
+        assert_eq!(Fenwick::new(10).len(), 10);
+        assert!(Fenwick::new(0).is_empty());
+        assert!(!Fenwick::new(1).is_empty());
     }
 }

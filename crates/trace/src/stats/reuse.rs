@@ -81,11 +81,7 @@ impl ReuseProfile {
     /// Exact for `blocks <= EXACT_LIMIT`; beyond that the result is a lower
     /// bound that only counts coarse buckets lying entirely below `blocks`.
     pub fn hits_within(&self, blocks: u64) -> u64 {
-        let exact_part: u64 = self
-            .exact
-            .iter()
-            .take(blocks.min(EXACT_LIMIT) as usize)
-            .sum();
+        let exact_part: u64 = self.exact.iter().take(blocks.min(EXACT_LIMIT) as usize).sum();
         let coarse_part: u64 = self
             .coarse
             .iter()
@@ -214,5 +210,35 @@ mod tests {
         let p = ReuseProfile::compute(&t);
         assert_eq!(p.total(), 0);
         assert_eq!(p.hit_fraction_within(64), 0.0);
+    }
+
+    /// Fully hand-computed 10-access stream.
+    ///
+    /// Stream (block ids):  A B C A A B D C B A
+    /// Reuse distances:     -  -  -  2  0  2  -  3  2  3
+    /// (cold = 4; distance counts: d0 x1, d2 x3, d3 x2)
+    #[test]
+    fn hand_computed_ten_access_cdf() {
+        let (a, b, c, d) = (10, 20, 30, 40);
+        let t = trace_of_blocks(&[a, b, c, a, a, b, d, c, b, a]);
+        let p = ReuseProfile::compute(&t);
+
+        assert_eq!(p.total(), 10);
+        assert_eq!(p.cold(), 4);
+        assert_eq!(p.mass(), 10);
+
+        // Cumulative hits by LRU capacity (in blocks).
+        assert_eq!(p.hits_within(1), 1); // only d=0
+        assert_eq!(p.hits_within(2), 1); // no d=1 accesses
+        assert_eq!(p.hits_within(3), 4); // + three d=2
+        assert_eq!(p.hits_within(4), 6); // + two d=3
+        assert_eq!(p.hits_within(1 << 16), 6); // no larger distances
+
+        // Same points through the CDF view (denominator includes cold).
+        let cdf = p.cdf();
+        assert_eq!(cdf[0], (1, 0.1));
+        assert_eq!(cdf[1], (2, 0.1));
+        assert_eq!(cdf[2], (4, 0.6));
+        assert_eq!(cdf[3], (8, 0.6));
     }
 }

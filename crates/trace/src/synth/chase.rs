@@ -102,7 +102,7 @@ mod tests {
     fn cycle_is_a_single_permutation_cycle() {
         let c = PointerChase::new(0, 64, 64).seed(7);
         let next = c.cycle();
-        let mut seen = vec![false; 64];
+        let mut seen = [false; 64];
         let mut cur = 0u64;
         for _ in 0..64 {
             assert!(!seen[cur as usize], "revisited before full cycle");

@@ -31,7 +31,13 @@ impl BinarySearchProbe {
     /// Creates a probe pattern over a sorted table of `elems` entries of
     /// `elem_bytes` bytes at `base`, with per-entry payload of
     /// `payload_bytes` at `payload_base`.
-    pub fn new(base: u64, elems: u64, elem_bytes: u64, payload_base: u64, payload_bytes: u64) -> Self {
+    pub fn new(
+        base: u64,
+        elems: u64,
+        elem_bytes: u64,
+        payload_base: u64,
+        payload_bytes: u64,
+    ) -> Self {
         assert!(elems >= 2, "need at least two elements to search");
         BinarySearchProbe {
             base,

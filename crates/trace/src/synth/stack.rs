@@ -71,8 +71,7 @@ impl PatternGen for StackWalk {
         let mut depth: u32 = 0;
         for _ in 0..self.calls {
             // Biased walk: calls slightly more likely at shallow depth.
-            let go_deeper = depth == 0
-                || (depth < self.max_depth && rng.gen::<f64>() < 0.55);
+            let go_deeper = depth == 0 || (depth < self.max_depth && rng.gen::<f64>() < 0.55);
             if go_deeper {
                 depth += 1;
                 let frame_base = self.top - depth as u64 * frame_bytes;

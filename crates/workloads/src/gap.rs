@@ -210,9 +210,7 @@ pub fn paper_workloads() -> Vec<GapWorkload> {
 /// Highest-degree vertex: a deterministic "interesting" traversal source
 /// (GAP samples random non-isolated sources; hubs maximize coverage).
 fn hub_vertex(g: &Graph) -> u32 {
-    (0..g.num_vertices())
-        .max_by_key(|&v| g.degree(v))
-        .unwrap_or(0)
+    (0..g.num_vertices()).max_by_key(|&v| g.degree(v)).unwrap_or(0)
 }
 
 #[cfg(test)]

@@ -20,9 +20,7 @@ pub fn qualcomm_suite(scale: SuiteScale) -> Vec<Trace> {
         SuiteScale::Full => 6,
         SuiteScale::Quick => 1,
     };
-    (0..5)
-        .map(|i| server_workload(&format!("qcom.srv{i}"), i as u64, reps))
-        .collect()
+    (0..5).map(|i| server_workload(&format!("qcom.srv{i}"), i as u64, reps)).collect()
 }
 
 /// One server workload: interleaved request-processing phases. Each phase
@@ -61,10 +59,7 @@ fn server_workload(name: &str, variant: u64, reps: u64) -> Trace {
                 .site(code + 16)
                 .emit(&mut buf);
         }
-        StackWalk::new(0x7FFF_4000_0000 + (variant << 20), 12)
-            .calls(5_000)
-            .seed(r)
-            .emit(&mut buf);
+        StackWalk::new(0x7FFF_4000_0000 + (variant << 20), 12).calls(5_000).seed(r).emit(&mut buf);
     }
     buf.finish()
 }

@@ -134,10 +134,7 @@ fn pointer_chaser(name: &str, reps: u64) -> Trace {
             .sites(0x40_2000, 0x40_2004)
             .emit(&mut buf);
         let (pl, ps) = pcs(21 + phase);
-        SequentialStream::new(DATA + (64 << 20), 256 << 10)
-            .work(2)
-            .sites(pl, ps)
-            .emit(&mut buf);
+        SequentialStream::new(DATA + (64 << 20), 256 << 10).work(2).sites(pl, ps).emit(&mut buf);
     }
     buf.finish()
 }
@@ -184,11 +181,7 @@ fn scan_with_reuse(name: &str, reps: u64) -> Trace {
     let mut buf = TraceBuffer::new(name);
     for _ in 0..reps {
         let (pl, ps) = pcs(50);
-        SequentialStream::new(DATA, 8 << 20)
-            .stride(64)
-            .work(3)
-            .sites(pl, ps)
-            .emit(&mut buf);
+        SequentialStream::new(DATA, 8 << 20).stride(64).work(3).sites(pl, ps).emit(&mut buf);
         let (pl2, ps2) = pcs(51);
         SequentialStream::new(DATA + (32 << 20), 512 << 10)
             .stride(64)
@@ -250,10 +243,7 @@ mod tests {
     fn spec_proxies_have_pc_diversity() {
         // The decisive contrast with GAP: an order of magnitude more PCs.
         let suite = spec_suite(SuiteScale::Quick);
-        let total_pcs: u64 = suite
-            .iter()
-            .map(|t| TraceStats::compute(t).distinct_pcs)
-            .sum();
+        let total_pcs: u64 = suite.iter().map(|t| TraceStats::compute(t).distinct_pcs).sum();
         assert!(total_pcs >= 20, "suite pcs {total_pcs}");
     }
 

@@ -63,10 +63,7 @@ mod tests {
     #[test]
     fn footprint_grows_with_problem_size() {
         let suite = xsbench_suite(SuiteScale::Quick);
-        let f: Vec<u64> = suite
-            .iter()
-            .map(|t| TraceStats::compute(t).footprint_bytes)
-            .collect();
+        let f: Vec<u64> = suite.iter().map(|t| TraceStats::compute(t).footprint_bytes).collect();
         assert!(f[1] > f[0], "large > small");
     }
 }

@@ -1,0 +1,84 @@
+//! Golden-fixture test pinning the on-disk `CCTR` trace format.
+//!
+//! `tests/fixtures/golden_v1.cctr` is a checked-in byte-exact encoding of
+//! the trace constructed below. If either direction of this test fails,
+//! the binary format has changed: bump the format version in
+//! `crates/trace/src/io.rs` and add a *new* fixture instead of editing
+//! this one, so old trace files stay readable.
+
+use ccsim::trace::{read_trace, write_trace, AccessKind, Trace, TraceRecord};
+
+const FIXTURE: &[u8] = include_bytes!("fixtures/golden_v1.cctr");
+
+/// The trace the fixture encodes, spelled out record by record.
+fn golden_trace() -> Trace {
+    let records = vec![
+        TraceRecord {
+            pc: 0x400100,
+            vaddr: 0x1000_0000,
+            size: 8,
+            kind: AccessKind::Load,
+            nonmem_before: 3,
+        },
+        TraceRecord {
+            pc: 0x400108,
+            vaddr: 0x1000_0040,
+            size: 4,
+            kind: AccessKind::Store,
+            nonmem_before: 0,
+        },
+        TraceRecord {
+            pc: 0x40010C,
+            vaddr: 0xDEAD_BEEF,
+            size: 1,
+            kind: AccessKind::Load,
+            nonmem_before: u16::MAX,
+        },
+        TraceRecord {
+            pc: 0xFFFF_FFFF_FFFF,
+            vaddr: 0xFFF_FFFF_FFFF,
+            size: 2,
+            kind: AccessKind::Store,
+            nonmem_before: 1,
+        },
+        TraceRecord { pc: 0, vaddr: 0, size: 64, kind: AccessKind::Load, nonmem_before: 0 },
+    ];
+    Trace::from_parts("golden", records, 7)
+}
+
+#[test]
+fn fixture_decodes_to_known_trace() {
+    let decoded = read_trace(FIXTURE).expect("golden fixture must stay readable");
+    assert_eq!(decoded, golden_trace());
+    assert_eq!(decoded.name(), "golden");
+    assert_eq!(decoded.trailing_nonmem(), 7);
+}
+
+#[test]
+fn encoding_is_byte_stable() {
+    let mut bytes = Vec::new();
+    write_trace(&golden_trace(), &mut bytes).unwrap();
+    assert_eq!(
+        bytes, FIXTURE,
+        "write_trace no longer produces the v1 byte stream; bump the \
+         format version and add a new fixture rather than changing this one"
+    );
+}
+
+#[test]
+fn fixture_header_is_v1() {
+    assert_eq!(&FIXTURE[0..4], b"CCTR");
+    assert_eq!(u32::from_le_bytes(FIXTURE[4..8].try_into().unwrap()), 1);
+    // 4 magic + 4 version + 4 namelen + 6 name + 8 trailing + 8 count
+    // + 5 records x 20 bytes.
+    assert_eq!(FIXTURE.len(), 34 + 5 * 20);
+}
+
+#[test]
+fn roundtrip_through_disk_bytes() {
+    let decoded = read_trace(FIXTURE).unwrap();
+    let mut reencoded = Vec::new();
+    write_trace(&decoded, &mut reencoded).unwrap();
+    let redecoded = read_trace(&reencoded[..]).unwrap();
+    assert_eq!(redecoded, decoded);
+}

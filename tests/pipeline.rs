@@ -32,11 +32,7 @@ fn instruction_count_flows_from_trace_to_result() {
     let trace = quick_trace(GapKernel::Bfs, GapGraph::Road);
     let r = simulate(&trace, &SimConfig::cascade_lake(), PolicyKind::Srrip);
     assert_eq!(r.instructions, trace.instructions());
-    assert_eq!(
-        r.l1d.demand_accesses,
-        trace.len() as u64,
-        "every memory record is one L1D access"
-    );
+    assert_eq!(r.l1d.demand_accesses, trace.len() as u64, "every memory record is one L1D access");
 }
 
 #[test]
@@ -91,11 +87,7 @@ fn fill_accounting_balances() {
 fn larger_llc_never_increases_misses() {
     let trace = quick_trace(GapKernel::Bfs, GapGraph::Urand);
     let small = simulate(&trace, &SimConfig::cascade_lake(), PolicyKind::Lru);
-    let big = simulate(
-        &trace,
-        &SimConfig::cascade_lake().with_llc_scale(8),
-        PolicyKind::Lru,
-    );
+    let big = simulate(&trace, &SimConfig::cascade_lake().with_llc_scale(8), PolicyKind::Lru);
     // LRU set-associative caches with more sets are not strictly inclusive
     // of smaller ones, but an 8x LLC on the same trace should never lose.
     assert!(big.llc.demand_misses <= small.llc.demand_misses);

@@ -41,19 +41,12 @@ fn opt_dominates_every_online_policy() {
 #[test]
 fn brrip_beats_lru_on_cyclic_thrash() {
     let mut buf = TraceBuffer::new("thrash");
-    SequentialStream::new(0x1000_0000, 2 << 20)
-        .stride(64)
-        .laps(8)
-        .emit(&mut buf);
+    SequentialStream::new(0x1000_0000, 2 << 20).stride(64).laps(8).emit(&mut buf);
     let trace = buf.finish();
     let config = SimConfig::cascade_lake();
     let lru = simulate(&trace, &config, PolicyKind::Lru);
     let brrip = simulate(&trace, &config, PolicyKind::Brrip);
-    assert!(
-        lru.llc.hit_rate() < 0.05,
-        "lru must thrash: {}",
-        lru.llc.hit_rate()
-    );
+    assert!(lru.llc.hit_rate() < 0.05, "lru must thrash: {}", lru.llc.hit_rate());
     assert!(
         brrip.llc.hit_rate() > lru.llc.hit_rate() + 0.1,
         "brrip {} vs lru {}",

@@ -6,26 +6,20 @@ use ccsim::trace::{read_trace, write_trace, AccessKind, TraceRecord};
 use proptest::prelude::*;
 
 fn arb_record() -> impl Strategy<Value = TraceRecord> {
-    (
-        0u64..1 << 40,
-        0u64..1 << 44,
-        1u8..=8,
-        any::<bool>(),
-        0u16..=u16::MAX,
-    )
-        .prop_map(|(pc, vaddr, size, store, nonmem)| TraceRecord {
+    (0u64..1 << 40, 0u64..1 << 44, 1u8..=8, any::<bool>(), 0u16..=u16::MAX).prop_map(
+        |(pc, vaddr, size, store, nonmem)| TraceRecord {
             pc,
             vaddr,
             size,
             kind: if store { AccessKind::Store } else { AccessKind::Load },
             nonmem_before: nonmem,
-        })
+        },
+    )
 }
 
 fn arb_trace(max_len: usize) -> impl Strategy<Value = Trace> {
-    (proptest::collection::vec(arb_record(), 0..max_len), 0u64..1000).prop_map(
-        |(records, trailing)| Trace::from_parts("prop", records, trailing),
-    )
+    (proptest::collection::vec(arb_record(), 0..max_len), 0u64..1000)
+        .prop_map(|(records, trailing)| Trace::from_parts("prop", records, trailing))
 }
 
 proptest! {

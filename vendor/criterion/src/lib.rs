@@ -1,0 +1,219 @@
+//! Offline, API-compatible stand-in for the `criterion` crate.
+//!
+//! Implements the surface the ccsim benches use: [`Criterion`] with
+//! `bench_function` and `benchmark_group`, [`Bencher::iter`],
+//! `BenchmarkGroup::{sample_size, bench_function, finish}` and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Measurement model: each benchmark is warmed up briefly, then run for
+//! `sample_size` samples; the per-iteration median, mean and min are
+//! printed to stdout. No plots, no saved baselines, no statistical
+//! regression analysis — enough to compare hot paths by hand.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Benchmark driver handed to each `criterion_group!` target.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    /// Substring filter from the CLI (`cargo bench -- <filter>`).
+    filter: Option<String>,
+    quick: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let args: Vec<String> = std::env::args().collect();
+        // cargo passes `--bench`; a bare trailing word is a name filter.
+        let filter = args.iter().skip(1).find(|a| !a.starts_with('-')).cloned();
+        let quick = args.iter().any(|a| a == "--quick" || a == "--test");
+        Criterion { sample_size: 20, filter, quick }
+    }
+}
+
+impl Criterion {
+    /// Sets the default number of measured samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    fn matches(&self, id: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| id.contains(f))
+    }
+
+    /// Runs `f` as a benchmark named `id`.
+    pub fn bench_function<I: AsRef<str>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.as_ref();
+        if self.matches(id) {
+            run_one(id, self.sample_size, self.quick, &mut f);
+        }
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { parent: self, name: name.to_owned(), sample_size: None }
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of measured samples for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Runs `f` as a benchmark named `group/id`.
+    pub fn bench_function<I: AsRef<str>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.as_ref());
+        if self.parent.matches(&full) {
+            let n = self.sample_size.unwrap_or(self.parent.sample_size);
+            run_one(&full, n, self.parent.quick, &mut f);
+        }
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// Timer handed to the benchmark closure.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    target: usize,
+}
+
+impl Bencher {
+    /// Times `routine`, running it repeatedly and recording one sample
+    /// per run.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // One untimed warmup run to populate caches and lazy statics.
+        std::hint::black_box(routine());
+        for _ in 0..self.target {
+            let start = Instant::now();
+            std::hint::black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(id: &str, sample_size: usize, quick: bool, f: &mut F) {
+    let mut b = Bencher { samples: Vec::new(), target: if quick { 2 } else { sample_size } };
+    f(&mut b);
+    if b.samples.is_empty() {
+        println!("{id:<40} (no samples)");
+        return;
+    }
+    b.samples.sort_unstable();
+    let median = b.samples[b.samples.len() / 2];
+    let min = b.samples[0];
+    let total: Duration = b.samples.iter().sum();
+    let mean = total / b.samples.len() as u32;
+    println!(
+        "{id:<40} median {:>12} mean {:>12} min {:>12} ({} samples)",
+        fmt_duration(median),
+        fmt_duration(mean),
+        fmt_duration(min),
+        b.samples.len(),
+    );
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+/// Re-export for call sites that use `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Bundles benchmark functions into a group runner, mirroring the real
+/// crate's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_records_samples() {
+        let mut c = Criterion { sample_size: 3, filter: None, quick: false };
+        let mut ran = 0u32;
+        c.bench_function("smoke", |b| b.iter(|| ran += 1));
+        // warmup + 3 samples
+        assert_eq!(ran, 4);
+    }
+
+    #[test]
+    fn group_sample_size_overrides() {
+        let mut c = Criterion { sample_size: 10, filter: None, quick: false };
+        let mut g = c.benchmark_group("g");
+        let mut ran = 0u32;
+        g.sample_size(2).bench_function("x", |b| b.iter(|| ran += 1));
+        g.finish();
+        assert_eq!(ran, 3);
+    }
+
+    #[test]
+    fn filter_skips_non_matching() {
+        let mut c = Criterion { sample_size: 2, filter: Some("yes".into()), quick: false };
+        let mut ran = 0u32;
+        c.bench_function("no/other", |b| b.iter(|| ran += 1));
+        assert_eq!(ran, 0);
+        c.bench_function("group/yes", |b| b.iter(|| ran += 1));
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_duration(Duration::from_nanos(500)), "500 ns");
+        assert_eq!(fmt_duration(Duration::from_micros(1500)), "1.50 ms");
+    }
+}
