@@ -2,65 +2,23 @@
 //! baseline LRU policy, plus the paper's in-text headline numbers
 //! (mean MPKI per level; fraction of L1D misses served by DRAM).
 //!
+//! A thin wrapper over the `fig2` campaign preset (`ccsim-campaign`).
+//!
 //! Run with `cargo run --release -p ccsim-bench --bin fig2` (add `--quick`
 //! for a fast smoke run).
 
 use ccsim_bench::Options;
-use ccsim_core::experiment::{report::fmt_f, Table};
-use ccsim_core::{simulate, SimConfig};
-use ccsim_policies::PolicyKind;
-use ccsim_workloads::paper_workloads;
+use ccsim_campaign::{presets, Campaign};
 
 fn main() {
     let opts = Options::from_args();
-    let config = SimConfig::cascade_lake();
-    let mut table = Table::new(vec![
-        "workload".into(),
-        "L1D".into(),
-        "L2C".into(),
-        "LLC".into(),
-        "dram_reach_%".into(),
-        "ipc".into(),
-    ]);
-    let mut sums = [0.0f64; 3];
-    let mut reach_num = 0u64;
-    let mut reach_den = 0u64;
-    let workloads = paper_workloads();
-    let n = workloads.len();
-    for (i, w) in workloads.into_iter().enumerate() {
-        let trace = w.trace(opts.gap_scale());
-        let r = simulate(&trace, &config, PolicyKind::Lru);
-        eprintln!(
-            "[{}/{}] {:<16} {} records, {} instructions",
-            i + 1,
-            n,
-            w.to_string(),
-            trace.len(),
-            r.instructions
-        );
-        sums[0] += r.mpki_l1d();
-        sums[1] += r.mpki_l2();
-        sums[2] += r.mpki_llc();
-        reach_num += r.llc.demand_misses;
-        reach_den += r.l1d.demand_misses;
-        table.row(vec![
-            w.to_string(),
-            fmt_f(r.mpki_l1d(), 1),
-            fmt_f(r.mpki_l2(), 1),
-            fmt_f(r.mpki_llc(), 1),
-            fmt_f(100.0 * r.dram_reach_fraction(), 1),
-            fmt_f(r.ipc(), 3),
-        ]);
-    }
-    let k = n as f64;
-    table.row(vec![
-        "mean".into(),
-        fmt_f(sums[0] / k, 1),
-        fmt_f(sums[1] / k, 1),
-        fmt_f(sums[2] / k, 1),
-        fmt_f(100.0 * reach_num as f64 / reach_den.max(1) as f64, 1),
-        String::new(),
-    ]);
+    let spec = presets::fig2_spec(opts.suite_scale());
+    let outcome = Campaign::new(spec)
+        .threads(opts.threads)
+        .verbose(true)
+        .run()
+        .unwrap_or_else(|e| panic!("fig2 campaign failed: {e}"));
+    let table = outcome.report.mpki_table("llc_x1");
     println!("\nFigure 2: GAP MPKI by cache level (LRU baseline)\n");
     println!("{}", table.render());
     println!(

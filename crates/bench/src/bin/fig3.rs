@@ -1,46 +1,25 @@
 //! Figure 3: geometric-mean speed-up (%) over LRU of the six
 //! state-of-the-art LLC replacement policies, per benchmark suite.
 //!
+//! A thin wrapper over the `fig3` campaign preset (`ccsim-campaign`);
+//! the same grid is checked in as `campaigns/fig3_quick.json` for
+//! `ccsim campaign`.
+//!
 //! Run with `cargo run --release -p ccsim-bench --bin fig3` (add `--quick`
 //! for a fast smoke run).
 
-use ccsim_bench::{lru_plus_paper_policies, Options};
-use ccsim_core::experiment::{report::fmt_f, Table};
-use ccsim_core::{geomean_speedup_percent, SimConfig};
-use ccsim_workloads::Suite;
+use ccsim_bench::Options;
+use ccsim_campaign::{presets, Campaign};
 
 fn main() {
     let opts = Options::from_args();
-    let config = SimConfig::cascade_lake();
-    let policies = lru_plus_paper_policies();
-    let mut table = Table::new(
-        std::iter::once("suite".to_owned())
-            .chain(policies[1..].iter().map(|p| p.name().to_owned()))
-            .collect(),
-    );
-    for suite in Suite::ALL {
-        // ratios[p] collects per-workload IPC ratios for policy p.
-        let mut ratios: Vec<Vec<f64>> = vec![Vec::new(); policies.len() - 1];
-        let n = suite.len(opts.suite_scale());
-        let mut i = 0;
-        suite.for_each_trace(opts.suite_scale(), |trace| {
-            let results = ccsim_bench::run_policies(&trace, &policies, &config, opts.threads);
-            let base_ipc = results[0].ipc();
-            i += 1;
-            eprint!("[{}] {}/{} {:<16} lru_ipc={:.3}", suite.name(), i, n, trace.name(), base_ipc);
-            for (p, r) in results[1..].iter().enumerate() {
-                let ratio = r.ipc() / base_ipc;
-                ratios[p].push(ratio);
-                eprint!(" {}={:+.2}%", r.policy, (ratio - 1.0) * 100.0);
-            }
-            eprintln!();
-        });
-        let mut row = vec![suite.name().to_owned()];
-        for r in &ratios {
-            row.push(fmt_f(geomean_speedup_percent(r), 2));
-        }
-        table.row(row);
-    }
+    let spec = presets::fig3_spec(opts.suite_scale());
+    let outcome = Campaign::new(spec)
+        .threads(opts.threads)
+        .verbose(true)
+        .run()
+        .unwrap_or_else(|e| panic!("fig3 campaign failed: {e}"));
+    let table = outcome.report.speedup_by_suite_table("llc_x1");
     println!("\nFigure 3: geomean speed-up (%) over LRU per suite\n");
     println!("{}", table.render());
     println!(

@@ -59,10 +59,10 @@ impl Options {
     }
 }
 
-/// Default worker count: available parallelism capped at 8 (simulation is
-/// memory-bandwidth-bound; more threads rarely help).
+/// Default worker count for sweeps; see
+/// [`ccsim_core::experiment::default_threads`].
 pub fn default_threads() -> usize {
-    std::thread::available_parallelism().map(|n| n.get().min(8)).unwrap_or(4)
+    ccsim_core::experiment::default_threads()
 }
 
 /// Runs one trace under every given policy (in parallel) and returns the

@@ -1,0 +1,183 @@
+//! On-disk content-addressed trace cache.
+//!
+//! Workload traces dominate campaign cost, yet every (policy x config)
+//! cell of a grid reuses the same trace. The cache stores each generated
+//! trace once under a filename derived from its full identity — workload
+//! name, scale, synthesis seed and `CCTR` format version — so traces are
+//! shared across cells, campaigns and repeated runs, and a key change
+//! (new scale, new seed, format bump) can never alias an old file.
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use ccsim_trace::{read_trace, write_trace, Trace};
+use ccsim_workloads::SuiteScale;
+
+use crate::spec::fnv1a64;
+
+/// Version suffix baked into every cache key; bump when
+/// [`ccsim_trace::write_trace`]'s format version changes.
+const FORMAT_VERSION: u32 = 1;
+
+/// A content-addressed store of generated workload traces.
+#[derive(Debug)]
+pub struct TraceCache {
+    root: PathBuf,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl TraceCache {
+    /// Opens (creating if needed) a cache rooted at `root`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-creation failures.
+    pub fn new(root: impl Into<PathBuf>) -> std::io::Result<TraceCache> {
+        let root = root.into();
+        std::fs::create_dir_all(&root)?;
+        Ok(TraceCache { root, hits: AtomicU64::new(0), misses: AtomicU64::new(0) })
+    }
+
+    /// The cache directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// Cache reads served from disk since this handle was opened.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Cache reads that fell through to generation.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// The on-disk path for a trace identity.
+    pub fn path_for(&self, workload: &str, scale: SuiteScale, seed: u64) -> PathBuf {
+        let key = format!("{workload}@{scale}#s{seed}#v{FORMAT_VERSION}");
+        let sanitized: String = workload
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() || c == '.' || c == '-' { c } else { '_' })
+            .collect();
+        self.root.join(format!("{sanitized}-{scale}-{:016x}.cctr", fnv1a64(key.as_bytes())))
+    }
+
+    /// Returns the cached trace for the identity, or runs `generate`,
+    /// stores its result, and returns it. A present-but-corrupt cache file
+    /// is regenerated and overwritten. Writes go through a temporary file
+    /// and an atomic rename, so a killed campaign never leaves a truncated
+    /// trace behind for the resumed run to read.
+    ///
+    /// # Errors
+    ///
+    /// Propagates generation errors and cache-write I/O errors.
+    pub fn get_or_generate(
+        &self,
+        workload: &str,
+        scale: SuiteScale,
+        seed: u64,
+        generate: impl FnOnce() -> Result<Trace, String>,
+    ) -> Result<Trace, String> {
+        let path = self.path_for(workload, scale, seed);
+        if let Ok(file) = File::open(&path) {
+            match read_trace(BufReader::new(file)) {
+                Ok(trace) if trace.name() == workload => {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    return Ok(trace);
+                }
+                _ => {
+                    // Corrupt or aliased: fall through and regenerate.
+                }
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let trace = generate()?;
+        let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+        let write = || -> std::io::Result<()> {
+            let file = File::create(&tmp)?;
+            let mut writer = BufWriter::new(file);
+            write_trace(&trace, &mut writer)?;
+            std::io::Write::flush(&mut writer)?;
+            std::fs::rename(&tmp, &path)
+        };
+        write().map_err(|e| {
+            let _ = std::fs::remove_file(&tmp);
+            format!("caching trace to {}: {e}", path.display())
+        })?;
+        Ok(trace)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccsim_trace::synth::{PatternGen, RandomAccess};
+    use ccsim_trace::TraceBuffer;
+
+    fn sample(name: &str) -> Trace {
+        let mut b = TraceBuffer::new(name);
+        RandomAccess::new(0, 1 << 10, 64, 500).emit(&mut b);
+        b.finish()
+    }
+
+    fn temp_cache(tag: &str) -> TraceCache {
+        let dir =
+            std::env::temp_dir().join(format!("ccsim_cache_test_{}_{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        TraceCache::new(dir).unwrap()
+    }
+
+    #[test]
+    fn second_read_is_a_hit_and_byte_identical() {
+        let cache = temp_cache("hit");
+        let first = cache.get_or_generate("w", SuiteScale::Quick, 0, || Ok(sample("w"))).unwrap();
+        assert_eq!((cache.hits(), cache.misses()), (0, 1));
+        let second = cache
+            .get_or_generate("w", SuiteScale::Quick, 0, || panic!("must not regenerate on a hit"))
+            .unwrap();
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+        assert_eq!(first, second);
+        std::fs::remove_dir_all(cache.root()).unwrap();
+    }
+
+    #[test]
+    fn keys_separate_scale_and_seed() {
+        let cache = temp_cache("keys");
+        let p1 = cache.path_for("w", SuiteScale::Quick, 0);
+        assert_ne!(p1, cache.path_for("w", SuiteScale::Full, 0));
+        assert_ne!(p1, cache.path_for("w", SuiteScale::Quick, 1));
+        assert_ne!(p1, cache.path_for("w2", SuiteScale::Quick, 0));
+        assert!(p1.file_name().unwrap().to_str().unwrap().ends_with(".cctr"));
+        std::fs::remove_dir_all(cache.root()).unwrap();
+    }
+
+    #[test]
+    fn corrupt_cache_file_is_regenerated() {
+        let cache = temp_cache("corrupt");
+        let path = cache.path_for("w", SuiteScale::Quick, 0);
+        cache.get_or_generate("w", SuiteScale::Quick, 0, || Ok(sample("w"))).unwrap();
+        std::fs::write(&path, b"CCTRgarbage").unwrap();
+        let t = cache.get_or_generate("w", SuiteScale::Quick, 0, || Ok(sample("w"))).unwrap();
+        assert_eq!(t, sample("w"));
+        assert_eq!(cache.misses(), 2);
+        // The corrupt file was replaced with a valid one.
+        let reread =
+            cache.get_or_generate("w", SuiteScale::Quick, 0, || panic!("cached now")).unwrap();
+        assert_eq!(reread, t);
+        std::fs::remove_dir_all(cache.root()).unwrap();
+    }
+
+    #[test]
+    fn generation_errors_propagate_and_leave_no_file() {
+        let cache = temp_cache("err");
+        let err =
+            cache.get_or_generate("w", SuiteScale::Quick, 0, || Err("boom".into())).unwrap_err();
+        assert_eq!(err, "boom");
+        assert!(!cache.path_for("w", SuiteScale::Quick, 0).exists());
+        std::fs::remove_dir_all(cache.root()).unwrap();
+    }
+}

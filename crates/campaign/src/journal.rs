@@ -1,0 +1,329 @@
+//! Per-cell checkpoint journal for resumable campaigns.
+//!
+//! A campaign appends one JSON line per completed cell to its journal
+//! file. When a run is interrupted and restarted with the same spec, the
+//! journal is replayed and completed cells are skipped — the resumed run
+//! reconstructs the exact [`SimResult`] of every finished cell, so the
+//! final report is byte-identical to an uninterrupted run's.
+//!
+//! File layout (JSON Lines):
+//!
+//! ```text
+//! {"ccsim_campaign_journal":1,"campaign":"<name>","spec":"<digest>"}
+//! {"cell":"<workload>|<config>|<policy>","result":{...}}
+//! ...
+//! ```
+//!
+//! A header mismatch (different spec digest — the grid changed) restarts
+//! the journal from scratch; a torn trailing line (the process died
+//! mid-write) is dropped.
+
+use std::collections::BTreeMap;
+use std::fs::{File, OpenOptions};
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+use ccsim_core::{CacheStats, DramStats, SimResult};
+
+use crate::json::Json;
+
+/// Journal format version.
+const JOURNAL_VERSION: u64 = 1;
+
+/// An append-only record of completed campaign cells.
+#[derive(Debug)]
+pub struct Journal {
+    path: PathBuf,
+    file: File,
+    completed: BTreeMap<String, SimResult>,
+    resumed: usize,
+}
+
+impl Journal {
+    /// Opens the journal at `path`, replaying any completed cells recorded
+    /// by a previous run of the same campaign (matching `spec_digest`).
+    /// A missing, foreign or unreadable journal starts fresh.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-creation failures.
+    pub fn open(
+        path: impl Into<PathBuf>,
+        campaign: &str,
+        spec_digest: &str,
+    ) -> std::io::Result<Journal> {
+        let path = path.into();
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir)?;
+        }
+        let mut completed = BTreeMap::new();
+        let mut valid_bytes = 0usize;
+        if let Ok(text) = std::fs::read_to_string(&path) {
+            let mut lines = text.split_inclusive('\n');
+            let header_ok = lines.next().is_some_and(|l| {
+                let ok = Json::parse(l.trim_end()).ok().is_some_and(|h| {
+                    h.get("ccsim_campaign_journal").and_then(Json::as_u64) == Some(JOURNAL_VERSION)
+                        && h.get("campaign").and_then(Json::as_str) == Some(campaign)
+                        && h.get("spec").and_then(Json::as_str) == Some(spec_digest)
+                });
+                if ok && l.ends_with('\n') {
+                    valid_bytes = l.len();
+                }
+                ok && l.ends_with('\n')
+            });
+            if header_ok {
+                for line in lines {
+                    // A torn final line (or any corruption) ends the replay:
+                    // everything after it will simply be re-simulated.
+                    let Some((cell, result)) = parse_cell_line(line.trim_end()) else { break };
+                    if !line.ends_with('\n') {
+                        break;
+                    }
+                    completed.insert(cell, result);
+                    valid_bytes += line.len();
+                }
+            }
+        }
+        let resumed = completed.len();
+        let file = if valid_bytes == 0 {
+            let mut f = File::create(&path)?;
+            let header = Json::obj(vec![
+                ("ccsim_campaign_journal", Json::int(JOURNAL_VERSION)),
+                ("campaign", Json::str(campaign)),
+                ("spec", Json::str(spec_digest)),
+            ]);
+            writeln!(f, "{header}")?;
+            f.flush()?;
+            f
+        } else {
+            // Drop any torn tail so new records append after the last
+            // fully-written line, where the next replay will find them.
+            let f = OpenOptions::new().write(true).open(&path)?;
+            f.set_len(valid_bytes as u64)?;
+            let mut f = OpenOptions::new().append(true).open(&path)?;
+            f.flush()?;
+            f
+        };
+        Ok(Journal { path, file, completed, resumed })
+    }
+
+    /// The journal file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Cells replayed from a previous run at open time.
+    pub fn resumed(&self) -> usize {
+        self.resumed
+    }
+
+    /// The completed-cell map (cell id to result), including cells
+    /// recorded during this run.
+    pub fn completed(&self) -> &BTreeMap<String, SimResult> {
+        &self.completed
+    }
+
+    /// Records a completed cell and flushes it to disk so a kill after
+    /// this call can never lose the cell.
+    ///
+    /// # Errors
+    ///
+    /// Propagates write failures.
+    pub fn record(&mut self, cell: &str, result: &SimResult) -> std::io::Result<()> {
+        let line =
+            Json::obj(vec![("cell", Json::str(cell)), ("result", sim_result_to_json(result))]);
+        writeln!(self.file, "{line}")?;
+        self.file.flush()?;
+        self.completed.insert(cell.to_owned(), result.clone());
+        Ok(())
+    }
+}
+
+fn parse_cell_line(line: &str) -> Option<(String, SimResult)> {
+    let v = Json::parse(line).ok()?;
+    let cell = v.get("cell")?.as_str()?.to_owned();
+    let result = sim_result_from_json(v.get("result")?)?;
+    Some((cell, result))
+}
+
+/// Serializes every counter of a [`SimResult`] (exact integers, no derived
+/// metrics) so the journal can reconstruct it bit-for-bit.
+pub fn sim_result_to_json(r: &SimResult) -> Json {
+    Json::obj(vec![
+        ("workload", Json::str(&r.workload)),
+        ("policy", Json::str(&r.policy)),
+        ("instructions", Json::int(r.instructions)),
+        ("cycles", Json::int(r.cycles)),
+        ("l1d", cache_stats_to_json(&r.l1d)),
+        ("l2", cache_stats_to_json(&r.l2)),
+        ("llc", cache_stats_to_json(&r.llc)),
+        ("dram", dram_stats_to_json(&r.dram)),
+        ("llc_diag", Json::str(&r.llc_diag)),
+    ])
+}
+
+/// Inverse of [`sim_result_to_json`]; `None` on any missing field.
+pub fn sim_result_from_json(v: &Json) -> Option<SimResult> {
+    Some(SimResult {
+        workload: v.get("workload")?.as_str()?.to_owned(),
+        policy: v.get("policy")?.as_str()?.to_owned(),
+        instructions: v.get("instructions")?.as_u64()?,
+        cycles: v.get("cycles")?.as_u64()?,
+        l1d: cache_stats_from_json(v.get("l1d")?)?,
+        l2: cache_stats_from_json(v.get("l2")?)?,
+        llc: cache_stats_from_json(v.get("llc")?)?,
+        dram: dram_stats_from_json(v.get("dram")?)?,
+        llc_diag: v.get("llc_diag")?.as_str()?.to_owned(),
+    })
+}
+
+fn cache_stats_to_json(s: &CacheStats) -> Json {
+    Json::obj(vec![
+        ("demand_accesses", Json::int(s.demand_accesses)),
+        ("demand_hits", Json::int(s.demand_hits)),
+        ("demand_misses", Json::int(s.demand_misses)),
+        ("mshr_merges", Json::int(s.mshr_merges)),
+        ("writeback_accesses", Json::int(s.writeback_accesses)),
+        ("writeback_hits", Json::int(s.writeback_hits)),
+        ("fills", Json::int(s.fills)),
+        ("evictions", Json::int(s.evictions)),
+        ("writebacks_out", Json::int(s.writebacks_out)),
+        ("bypasses", Json::int(s.bypasses)),
+    ])
+}
+
+fn cache_stats_from_json(v: &Json) -> Option<CacheStats> {
+    let f = |k: &str| v.get(k)?.as_u64();
+    Some(CacheStats {
+        demand_accesses: f("demand_accesses")?,
+        demand_hits: f("demand_hits")?,
+        demand_misses: f("demand_misses")?,
+        mshr_merges: f("mshr_merges")?,
+        writeback_accesses: f("writeback_accesses")?,
+        writeback_hits: f("writeback_hits")?,
+        fills: f("fills")?,
+        evictions: f("evictions")?,
+        writebacks_out: f("writebacks_out")?,
+        bypasses: f("bypasses")?,
+    })
+}
+
+fn dram_stats_to_json(s: &DramStats) -> Json {
+    Json::obj(vec![
+        ("reads", Json::int(s.reads)),
+        ("writes", Json::int(s.writes)),
+        ("row_hits", Json::int(s.row_hits)),
+        ("row_empty", Json::int(s.row_empty)),
+        ("row_conflicts", Json::int(s.row_conflicts)),
+        ("queue_cycles", Json::int(s.queue_cycles)),
+    ])
+}
+
+fn dram_stats_from_json(v: &Json) -> Option<DramStats> {
+    let f = |k: &str| v.get(k)?.as_u64();
+    Some(DramStats {
+        reads: f("reads")?,
+        writes: f("writes")?,
+        row_hits: f("row_hits")?,
+        row_empty: f("row_empty")?,
+        row_conflicts: f("row_conflicts")?,
+        queue_cycles: f("queue_cycles")?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_result(cycles: u64) -> SimResult {
+        SimResult {
+            workload: "w".into(),
+            policy: "lru".into(),
+            instructions: 123_456,
+            cycles,
+            l1d: CacheStats {
+                demand_accesses: 9,
+                demand_hits: 5,
+                demand_misses: 4,
+                ..Default::default()
+            },
+            l2: CacheStats { fills: 7, evictions: 3, ..Default::default() },
+            llc: CacheStats { bypasses: 2, writebacks_out: 1, ..Default::default() },
+            dram: DramStats {
+                reads: 11,
+                writes: 6,
+                row_hits: 4,
+                row_empty: 3,
+                row_conflicts: 4,
+                queue_cycles: 99,
+            },
+            llc_diag: "diag: ok".into(),
+        }
+    }
+
+    fn temp_journal_path(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("ccsim_journal_{}_{tag}.jsonl", std::process::id()))
+    }
+
+    #[test]
+    fn sim_result_roundtrips_exactly() {
+        let r = sample_result(777);
+        let back = sim_result_from_json(&sim_result_to_json(&r)).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn journal_replays_recorded_cells() {
+        let path = temp_journal_path("replay");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut j = Journal::open(&path, "camp", "abcd").unwrap();
+            assert_eq!(j.resumed(), 0);
+            j.record("w|llc_x1|lru", &sample_result(10)).unwrap();
+            j.record("w|llc_x1|srrip", &sample_result(20)).unwrap();
+        }
+        let j = Journal::open(&path, "camp", "abcd").unwrap();
+        assert_eq!(j.resumed(), 2);
+        assert_eq!(j.completed()["w|llc_x1|lru"], sample_result(10));
+        assert_eq!(j.completed()["w|llc_x1|srrip"], sample_result(20));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn spec_digest_mismatch_starts_fresh() {
+        let path = temp_journal_path("mismatch");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut j = Journal::open(&path, "camp", "aaaa").unwrap();
+            j.record("w|c|p", &sample_result(1)).unwrap();
+        }
+        let j = Journal::open(&path, "camp", "bbbb").unwrap();
+        assert_eq!(j.resumed(), 0, "a different grid must not reuse cells");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn torn_trailing_line_is_dropped() {
+        let path = temp_journal_path("torn");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut j = Journal::open(&path, "camp", "cccc").unwrap();
+            j.record("w|c|lru", &sample_result(1)).unwrap();
+            j.record("w|c|srrip", &sample_result(2)).unwrap();
+        }
+        // Simulate a kill mid-write: chop the file inside the last line.
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, &text[..text.len() - 25]).unwrap();
+        let mut j = Journal::open(&path, "camp", "cccc").unwrap();
+        assert_eq!(j.resumed(), 1);
+        // The torn tail is truncated and the journal stays appendable...
+        j.record("w|c|drrip", &sample_result(3)).unwrap();
+        assert_eq!(j.completed().len(), 2);
+        drop(j);
+        // ...and a later replay sees the record appended after the tear.
+        let j = Journal::open(&path, "camp", "cccc").unwrap();
+        assert_eq!(j.resumed(), 2);
+        assert_eq!(j.completed()["w|c|drrip"], sample_result(3));
+        std::fs::remove_file(&path).unwrap();
+    }
+}

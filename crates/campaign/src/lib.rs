@@ -1,0 +1,56 @@
+//! # ccsim-campaign
+//!
+//! Declarative, resumable experiment campaigns for the ccsim suite.
+//!
+//! The paper's figures come from large (workload x policy x LLC-size)
+//! sweeps. This crate turns those ad-hoc sweeps into first-class jobs:
+//!
+//! * [`CampaignSpec`] — a JSON-parsable description of the full grid
+//!   (workload selectors with scale, policies, config variants), so
+//!   campaigns can be checked into the repo (`campaigns/*.json`);
+//! * [`TraceCache`] — an on-disk content-addressed store keyed by
+//!   (workload, scale, synthesis seed, trace-format version), generating
+//!   each trace once and sharing it across every cell, campaign and run;
+//! * [`Campaign`] — the engine: per-cell checkpointing to a [`Journal`]
+//!   so an interrupted campaign resumes without redoing completed cells,
+//!   with cells executed by the lock-free work-stealing executor
+//!   ([`ccsim_core::experiment::run_jobs`]);
+//! * [`CampaignReport`] — deterministic JSON / CSV / pretty-table output:
+//!   same spec and seed, byte-identical report, interrupted or not.
+//!
+//! The `fig2` / `fig3` binaries in `ccsim-bench` and `ccsim campaign` in
+//! the CLI are thin wrappers over this crate; [`spec::presets`] holds
+//! their grids.
+//!
+//! # Example
+//!
+//! ```
+//! use ccsim_campaign::{Campaign, CampaignSpec};
+//!
+//! let spec = CampaignSpec::from_json_str(r#"{
+//!     "name": "demo",
+//!     "base_config": "tiny",
+//!     "workloads": ["xsbench.small"],
+//!     "policies": ["lru", "srrip"]
+//! }"#).unwrap();
+//! let outcome = Campaign::new(spec).threads(2).run().unwrap();
+//! assert_eq!(outcome.report.cells.len(), 2);
+//! let json = outcome.report.to_json_string();
+//! assert!(json.contains("\"schema_version\": 1"));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod journal;
+pub mod json;
+pub mod report;
+pub mod runner;
+pub mod spec;
+
+pub use cache::TraceCache;
+pub use journal::Journal;
+pub use json::Json;
+pub use report::{CampaignCell, CampaignReport, RawCell};
+pub use runner::{Campaign, CampaignOutcome};
+pub use spec::{presets, BaseConfig, CampaignSpec};

@@ -1,0 +1,245 @@
+//! The campaign engine: grid expansion, cached trace acquisition,
+//! work-stealing execution and journaled checkpointing.
+
+use std::path::PathBuf;
+
+use ccsim_core::experiment::run_jobs;
+use ccsim_core::{simulate, SimResult};
+use ccsim_policies::PolicyKind;
+use ccsim_workloads::build_workload_seeded;
+
+use crate::cache::TraceCache;
+use crate::journal::Journal;
+use crate::report::{CampaignReport, RawCell};
+use crate::spec::CampaignSpec;
+
+/// A configured, runnable campaign.
+///
+/// Traces are acquired per workload (via the [`TraceCache`] when one is
+/// attached, regenerated otherwise) and dropped as soon as the workload's
+/// cells finish, so at most one trace is alive at a time — the memory
+/// profile of the old streaming figure binaries. Within a workload, all
+/// pending (policy x config) cells run in parallel on the work-stealing
+/// executor ([`run_jobs`]).
+///
+/// # Examples
+///
+/// ```no_run
+/// use ccsim_campaign::{Campaign, CampaignSpec};
+///
+/// let spec = CampaignSpec::from_json_str(
+///     r#"{"name": "demo", "workloads": ["xsbench.small"],
+///         "policies": ["lru", "srrip"], "base_config": "tiny"}"#,
+/// ).unwrap();
+/// let outcome = Campaign::new(spec).threads(4).run().unwrap();
+/// println!("{}", outcome.report.cells_table().render());
+/// ```
+#[derive(Debug)]
+pub struct Campaign {
+    spec: CampaignSpec,
+    threads: usize,
+    cache: Option<TraceCache>,
+    journal_path: Option<PathBuf>,
+    verbose: bool,
+}
+
+/// What a campaign run produced, beyond the report itself.
+#[derive(Debug)]
+pub struct CampaignOutcome {
+    /// The deterministic report.
+    pub report: CampaignReport,
+    /// Total grid cells.
+    pub cells_total: usize,
+    /// Cells replayed from the journal instead of simulated.
+    pub cells_resumed: usize,
+    /// Trace-cache reads served from disk (0 without a cache).
+    pub cache_hits: u64,
+    /// Trace-cache misses that triggered generation (0 without a cache).
+    pub cache_misses: u64,
+}
+
+impl Campaign {
+    /// Wraps a spec with default execution settings: one worker thread,
+    /// no trace cache, no journal, quiet.
+    pub fn new(spec: CampaignSpec) -> Campaign {
+        Campaign { spec, threads: 1, cache: None, journal_path: None, verbose: false }
+    }
+
+    /// The spec this campaign will run.
+    pub fn spec(&self) -> &CampaignSpec {
+        &self.spec
+    }
+
+    /// Sets the worker-thread count (clamped to at least 1).
+    pub fn threads(mut self, threads: usize) -> Campaign {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Attaches an on-disk trace cache.
+    pub fn cache(mut self, cache: TraceCache) -> Campaign {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// Attaches a checkpoint journal at `path`; an existing journal for
+    /// the same spec is resumed.
+    pub fn journal(mut self, path: impl Into<PathBuf>) -> Campaign {
+        self.journal_path = Some(path.into());
+        self
+    }
+
+    /// Enables per-workload progress lines on stderr.
+    pub fn verbose(mut self, verbose: bool) -> Campaign {
+        self.verbose = verbose;
+        self
+    }
+
+    /// Runs every pending cell of the grid and assembles the report.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on invalid workload selectors, trace generation
+    /// failures, or cache/journal I/O errors.
+    pub fn run(self) -> Result<CampaignOutcome, String> {
+        let workloads = self.spec.expand_workloads()?;
+        let configs = self.spec.configs();
+        let mut journal = match &self.journal_path {
+            Some(path) => Some(
+                Journal::open(path, &self.spec.name, &self.spec.digest())
+                    .map_err(|e| format!("opening journal {}: {e}", path.display()))?,
+            ),
+            None => None,
+        };
+
+        let mut raw: Vec<RawCell> = Vec::new();
+        let mut cells_resumed = 0usize;
+        for (wi, workload) in workloads.iter().enumerate() {
+            // The workload's cells in grid order: config-major, policy-minor.
+            let cells: Vec<(usize, PolicyKind, String)> = configs
+                .iter()
+                .enumerate()
+                .flat_map(|(ci, (label, _))| {
+                    self.spec.policies.iter().map(move |&policy| {
+                        (ci, policy, format!("{workload}|{label}|{}", policy.name()))
+                    })
+                })
+                .collect();
+            let pending: Vec<&(usize, PolicyKind, String)> = cells
+                .iter()
+                .filter(|(_, _, id)| {
+                    !journal.as_ref().is_some_and(|j| j.completed().contains_key(id))
+                })
+                .collect();
+            cells_resumed += cells.len() - pending.len();
+
+            let mut fresh: Vec<(String, SimResult)> = Vec::new();
+            if !pending.is_empty() {
+                // Acquire the trace only when at least one cell needs it:
+                // a fully-journaled workload costs no generation at all.
+                let trace = match &self.cache {
+                    Some(cache) => {
+                        cache.get_or_generate(workload, self.spec.scale, self.spec.seed, || {
+                            build_workload_seeded(workload, self.spec.scale, self.spec.seed)
+                        })?
+                    }
+                    None => build_workload_seeded(workload, self.spec.scale, self.spec.seed)?,
+                };
+                let results = run_jobs(pending.len(), self.threads, |i| {
+                    let (ci, policy, _) = pending[i];
+                    simulate(&trace, &configs[*ci].1, *policy)
+                });
+                if self.verbose {
+                    eprintln!(
+                        "[{}/{}] {:<16} {} records, {} cells simulated",
+                        wi + 1,
+                        workloads.len(),
+                        workload,
+                        trace.len(),
+                        pending.len()
+                    );
+                }
+                for ((_, _, cell_id), result) in pending.iter().zip(results) {
+                    if let Some(j) = journal.as_mut() {
+                        j.record(cell_id, &result).map_err(|e| format!("writing journal: {e}"))?;
+                    }
+                    fresh.push((cell_id.clone(), result));
+                }
+            } else if self.verbose {
+                eprintln!("[{}/{}] {:<16} resumed from journal", wi + 1, workloads.len(), workload);
+            }
+
+            for (ci, _, cell_id) in &cells {
+                let result = fresh
+                    .iter()
+                    .find(|(id, _)| id == cell_id)
+                    .map(|(_, r)| r.clone())
+                    .unwrap_or_else(|| {
+                        journal.as_ref().expect("non-fresh cells come from the journal").completed()
+                            [cell_id]
+                            .clone()
+                    });
+                raw.push(RawCell {
+                    config: configs[*ci].0.clone(),
+                    llc_scale: self.spec.llc_scales[*ci],
+                    result,
+                });
+            }
+        }
+
+        let cells_total = workloads.len() * configs.len() * self.spec.policies.len();
+        Ok(CampaignOutcome {
+            report: CampaignReport::build(&self.spec, raw),
+            cells_total,
+            cells_resumed,
+            cache_hits: self.cache.as_ref().map_or(0, TraceCache::hits),
+            cache_misses: self.cache.as_ref().map_or(0, TraceCache::misses),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_spec() -> CampaignSpec {
+        CampaignSpec::from_json_str(
+            r#"{"name": "unit", "base_config": "tiny",
+                "workloads": ["xsbench.small"],
+                "policies": ["lru", "srrip"], "llc_scales": [1, 2]}"#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn grid_covers_workloads_times_policies_times_configs() {
+        let outcome = Campaign::new(tiny_spec()).threads(4).run().unwrap();
+        assert_eq!(outcome.cells_total, 4);
+        assert_eq!(outcome.report.cells.len(), 4);
+        assert_eq!(outcome.cells_resumed, 0);
+        assert_eq!(outcome.cache_hits + outcome.cache_misses, 0);
+        // Spec order: config-major within the workload, policy-minor.
+        let ids: Vec<String> = outcome
+            .report
+            .cells
+            .iter()
+            .map(|c| format!("{}|{}|{}", c.workload, c.config, c.policy))
+            .collect();
+        assert_eq!(
+            ids,
+            [
+                "xsbench.small|llc_x1|lru",
+                "xsbench.small|llc_x1|srrip",
+                "xsbench.small|llc_x2|lru",
+                "xsbench.small|llc_x2|srrip"
+            ]
+        );
+    }
+
+    #[test]
+    fn parallel_run_equals_serial_run() {
+        let serial = Campaign::new(tiny_spec()).threads(1).run().unwrap();
+        let parallel = Campaign::new(tiny_spec()).threads(8).run().unwrap();
+        assert_eq!(serial.report, parallel.report);
+    }
+}

@@ -2,16 +2,17 @@
 
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
+use std::path::PathBuf;
 
+use ccsim_campaign::journal::sim_result_to_json;
+use ccsim_campaign::{Campaign, CampaignSpec, Json, TraceCache};
 use ccsim_core::experiment::report::fmt_f;
-use ccsim_core::experiment::Table;
-use ccsim_core::{simulate, SimConfig};
+use ccsim_core::experiment::{run_matrix, Table};
+use ccsim_core::{SimConfig, SimResult};
 use ccsim_policies::PolicyKind;
 use ccsim_trace::stats::{ReuseProfile, TraceStats};
 use ccsim_trace::{read_trace, write_trace, Trace};
-use ccsim_workloads::{
-    paper_workloads, qualcomm_suite, spec_suite, xsbench_suite, GapScale, GapWorkload, SuiteScale,
-};
+use ccsim_workloads::{paper_workloads, qualcomm_suite, spec_suite, xsbench_suite, SuiteScale};
 
 /// Top-level usage text.
 pub const USAGE: &str = "\
@@ -21,26 +22,67 @@ USAGE:
     ccsim trace-gen <workload> <out.cctr> [--quick]
     ccsim trace-stats <in.cctr>
     ccsim sim <in.cctr> [--policy <name>]... [--llc-scale <power-of-two>]
+              [--threads <n>] [--json]
+    ccsim campaign <spec.json> [--threads <n>] [--out <dir>]
+              [--cache-dir <dir>] [--no-cache] [--fresh] [--json] [--quiet]
     ccsim workloads
     ccsim policies
+
+Multi-policy `sim` runs sweep the policies in parallel (`--threads`,
+default: available cores, max 8); `--json` emits machine-readable
+results instead of the table.
+
+`campaign` runs a declarative spec (see campaigns/*.json): traces are
+generated once into a content-addressed cache, every completed cell is
+checkpointed to <out>/journal.jsonl so an interrupted campaign resumes
+where it stopped (`--fresh` discards the journal), and the report is
+written to <out>/report.json and <out>/report.csv.
 ";
 
 /// Builds the named workload's trace.
 fn build_workload(name: &str, quick: bool) -> Result<Trace, String> {
-    if let Ok(gap) = name.parse::<GapWorkload>() {
-        let scale = if quick { GapScale::Quick } else { GapScale::Full };
-        return Ok(gap.trace(scale));
-    }
     let scale = if quick { SuiteScale::Quick } else { SuiteScale::Full };
-    let pool: Vec<Trace> = match name.split('.').next() {
-        Some("spec") => spec_suite(scale),
-        Some("xsbench") => xsbench_suite(scale),
-        Some("qcom") => qualcomm_suite(scale),
-        _ => return Err(format!("unknown workload {name:?}; try `ccsim workloads`")),
-    };
-    pool.into_iter()
-        .find(|t| t.name() == name)
-        .ok_or_else(|| format!("unknown workload {name:?}; try `ccsim workloads`"))
+    ccsim_workloads::build_workload(name, scale)
+}
+
+use ccsim_core::experiment::default_threads;
+
+/// Parses an optional `--flag <n>` usize argument.
+fn parse_flag_value<T: std::str::FromStr>(
+    args: &[String],
+    flag: &str,
+) -> Result<Option<T>, String> {
+    match args.iter().position(|a| a == flag) {
+        None => Ok(None),
+        Some(i) => args
+            .get(i + 1)
+            .and_then(|v| v.parse().ok())
+            .map(Some)
+            .ok_or_else(|| format!("{flag} needs a valid value")),
+    }
+}
+
+/// Splits `args` into positional arguments, skipping the values consumed
+/// by `value_flags` and rejecting any flag in neither list.
+fn positionals<'a>(
+    args: &'a [String],
+    value_flags: &[&str],
+    bool_flags: &[&str],
+) -> Result<Vec<&'a String>, String> {
+    let mut out = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if value_flags.contains(&a.as_str()) {
+            it.next();
+        } else if a.starts_with("--") {
+            if !bool_flags.contains(&a.as_str()) {
+                return Err(format!("unknown flag {a:?}\n\n{USAGE}"));
+            }
+        } else {
+            out.push(a);
+        }
+    }
+    Ok(out)
 }
 
 /// `ccsim trace-gen <workload> <out> [--quick]`
@@ -93,9 +135,9 @@ pub fn trace_stats(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-/// `ccsim sim <in> [--policy P]... [--llc-scale N]`
+/// `ccsim sim <in> [--policy P]... [--llc-scale N] [--threads N] [--json]`
 pub fn sim(args: &[String]) -> Result<(), String> {
-    let positional: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    let positional = positionals(args, &["--policy", "--llc-scale", "--threads"], &["--json"])?;
     let path = positional.first().ok_or_else(|| format!("expected <in.cctr>\n\n{USAGE}"))?;
     let mut policies: Vec<PolicyKind> = Vec::new();
     let mut llc_scale = 1u32;
@@ -119,8 +161,39 @@ pub fn sim(args: &[String]) -> Result<(), String> {
     if policies.is_empty() {
         policies.push(PolicyKind::Lru);
     }
+    let threads = parse_flag_value(args, "--threads")?.unwrap_or_else(default_threads);
+    if threads == 0 {
+        return Err("--threads must be at least 1".into());
+    }
+    let json = args.iter().any(|a| a == "--json");
     let trace = load_trace(path)?;
     let config = SimConfig::cascade_lake().with_llc_scale(llc_scale);
+    // Multi-policy runs go through the parallel work-stealing executor;
+    // results come back in policy order either way.
+    let results: Vec<SimResult> =
+        run_matrix(std::slice::from_ref(&trace), &policies, &config, threads)
+            .into_iter()
+            .map(|e| e.result)
+            .collect();
+    if json {
+        let cells = results
+            .iter()
+            .map(|r| {
+                let Json::Obj(mut pairs) = sim_result_to_json(r) else { unreachable!() };
+                pairs.push(("ipc".into(), Json::num(r.ipc())));
+                pairs.push(("llc_mpki".into(), Json::num(r.mpki_llc())));
+                Json::Obj(pairs)
+            })
+            .collect();
+        let doc = Json::obj(vec![
+            ("workload", Json::str(trace.name())),
+            ("platform", Json::str(config.to_string())),
+            ("llc_scale", Json::int(llc_scale as u64)),
+            ("results", Json::Arr(cells)),
+        ]);
+        println!("{}", doc.to_pretty().trim_end());
+        return Ok(());
+    }
     println!("platform: {config}");
     let mut table = Table::new(vec![
         "policy".into(),
@@ -131,8 +204,7 @@ pub fn sim(args: &[String]) -> Result<(), String> {
         "llc_hit_%".into(),
         "dram_reach_%".into(),
     ]);
-    for policy in policies {
-        let r = simulate(&trace, &config, policy);
+    for r in &results {
         table.row(vec![
             r.policy.clone(),
             fmt_f(r.ipc(), 3),
@@ -144,6 +216,67 @@ pub fn sim(args: &[String]) -> Result<(), String> {
         ]);
     }
     println!("{}", table.render());
+    Ok(())
+}
+
+/// `ccsim campaign <spec.json> [--threads N] [--out DIR] [--cache-dir DIR]
+/// [--no-cache] [--fresh] [--json] [--quiet]`
+pub fn campaign(args: &[String]) -> Result<(), String> {
+    let positional = positionals(
+        args,
+        &["--threads", "--out", "--cache-dir"],
+        &["--no-cache", "--fresh", "--json", "--quiet"],
+    )?;
+    let [spec_path] = positional[..] else {
+        return Err(format!("expected <spec.json>\n\n{USAGE}"));
+    };
+    let spec = CampaignSpec::from_file(std::path::Path::new(spec_path))?;
+    let threads = parse_flag_value(args, "--threads")?.unwrap_or_else(default_threads);
+    if threads == 0 {
+        return Err("--threads must be at least 1".into());
+    }
+    let out_dir: PathBuf = parse_flag_value::<PathBuf>(args, "--out")?
+        .unwrap_or_else(|| PathBuf::from("campaign-out").join(&spec.name));
+    let cache_dir: PathBuf = parse_flag_value::<PathBuf>(args, "--cache-dir")?
+        .unwrap_or_else(|| PathBuf::from("campaign-out").join("trace-cache"));
+    let json = args.iter().any(|a| a == "--json");
+    let quiet = args.iter().any(|a| a == "--quiet");
+    std::fs::create_dir_all(&out_dir)
+        .map_err(|e| format!("creating {}: {e}", out_dir.display()))?;
+    let journal_path = out_dir.join("journal.jsonl");
+    if args.iter().any(|a| a == "--fresh") && journal_path.exists() {
+        std::fs::remove_file(&journal_path)
+            .map_err(|e| format!("removing {}: {e}", journal_path.display()))?;
+    }
+
+    let mut campaign = Campaign::new(spec).threads(threads).journal(&journal_path).verbose(!quiet);
+    if !args.iter().any(|a| a == "--no-cache") {
+        let cache = TraceCache::new(&cache_dir)
+            .map_err(|e| format!("opening trace cache {}: {e}", cache_dir.display()))?;
+        campaign = campaign.cache(cache);
+    }
+    let name = campaign.spec().name.clone();
+    let outcome = campaign.run()?;
+
+    let report_json = out_dir.join("report.json");
+    let report_csv = out_dir.join("report.csv");
+    std::fs::write(&report_json, outcome.report.to_json_string())
+        .map_err(|e| format!("writing {}: {e}", report_json.display()))?;
+    std::fs::write(&report_csv, outcome.report.to_csv())
+        .map_err(|e| format!("writing {}: {e}", report_csv.display()))?;
+
+    if json {
+        println!("{}", outcome.report.to_json_string().trim_end());
+        return Ok(());
+    }
+    if !quiet && outcome.report.cells.len() <= 64 {
+        println!("{}", outcome.report.cells_table().render());
+    }
+    println!(
+        "campaign {name}: {} cells ({} resumed from journal), trace cache {} hit(s) / {} miss(es)",
+        outcome.cells_total, outcome.cells_resumed, outcome.cache_hits, outcome.cache_misses
+    );
+    println!("report: {} and {}", report_json.display(), report_csv.display());
     Ok(())
 }
 
@@ -199,6 +332,19 @@ mod tests {
         trace_gen(&["xsbench.small".into(), path_s.clone(), "--quick".into()]).unwrap();
         trace_stats(std::slice::from_ref(&path_s)).unwrap();
         sim(&[path_s.clone(), "--policy".into(), "srrip".into()]).unwrap();
+        // Multi-policy parallel sweep and machine-readable output; flags
+        // may precede the trace path (flag values are not positionals).
+        sim(&[
+            "--policy".into(),
+            "lru".into(),
+            "--policy".into(),
+            "srrip".into(),
+            "--threads".into(),
+            "2".into(),
+            "--json".into(),
+            path_s.clone(),
+        ])
+        .unwrap();
         std::fs::remove_file(path).unwrap();
     }
 
@@ -206,6 +352,46 @@ mod tests {
     fn sim_rejects_bad_policy_and_scale() {
         assert!(sim(&["x.cctr".into(), "--policy".into(), "bogus".into()]).is_err());
         assert!(sim(&["x.cctr".into(), "--llc-scale".into(), "3".into()]).is_err());
+        assert!(sim(&["x.cctr".into(), "--threads".into(), "zero".into()]).is_err());
+        assert!(sim(&["x.cctr".into(), "--threads".into(), "0".into()]).is_err());
+        assert!(sim(&["x.cctr".into(), "--frobnicate".into()]).is_err());
+    }
+
+    #[test]
+    fn campaign_command_runs_spec_end_to_end() {
+        let dir = std::env::temp_dir().join(format!("ccsim_cli_campaign_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let spec_path = dir.join("spec.json");
+        std::fs::write(
+            &spec_path,
+            r#"{"name": "cli_smoke", "base_config": "tiny",
+                "workloads": ["xsbench.small"], "policies": ["lru", "srrip"]}"#,
+        )
+        .unwrap();
+        let args: Vec<String> = vec![
+            spec_path.to_str().unwrap().into(),
+            "--threads".into(),
+            "2".into(),
+            "--out".into(),
+            dir.join("out").to_str().unwrap().into(),
+            "--cache-dir".into(),
+            dir.join("cache").to_str().unwrap().into(),
+            "--quiet".into(),
+        ];
+        campaign(&args).unwrap();
+        assert!(dir.join("out/report.json").exists());
+        assert!(dir.join("out/report.csv").exists());
+        assert!(dir.join("out/journal.jsonl").exists());
+        // Second invocation: everything resumes, nothing regenerates.
+        campaign(&args).unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn campaign_rejects_missing_spec() {
+        assert!(campaign(&["/nonexistent/spec.json".into()]).is_err());
+        assert!(campaign(&[]).is_err());
     }
 
     #[test]

@@ -4,6 +4,7 @@
 //! ccsim trace-gen <workload> <out.cctr>   capture a workload trace to disk
 //! ccsim trace-stats <in.cctr>             footprint / PC / reuse statistics
 //! ccsim sim <in.cctr> [--policy P]...     simulate a trace file
+//! ccsim campaign <spec.json>              run a declarative campaign
 //! ccsim workloads                         list available workload names
 //! ccsim policies                          list available policy names
 //! ```
@@ -22,6 +23,7 @@ fn main() -> ExitCode {
         Some("trace-gen") => commands::trace_gen(&args[1..]),
         Some("trace-stats") => commands::trace_stats(&args[1..]),
         Some("sim") => commands::sim(&args[1..]),
+        Some("campaign") => commands::campaign(&args[1..]),
         Some("workloads") => commands::list_workloads(),
         Some("policies") => commands::list_policies(),
         Some("--help") | Some("-h") | None => {

@@ -1,12 +1,13 @@
 //! Experiment harness: parallel sweeps and report formatting.
 //!
-//! The binaries in `ccsim-bench` use this module to regenerate the paper's
-//! figures: [`run_matrix`] simulates every (trace x policy) combination in
-//! parallel, and [`report`] renders aligned
-//! ASCII tables and CSV for the results.
+//! The binaries in `ccsim-bench` and the `ccsim-campaign` engine use this
+//! module to regenerate the paper's figures: [`run_jobs`] executes
+//! independent jobs with work-stealing and lock-free per-slot result
+//! collection, [`run_matrix`] specializes it to (trace x policy) sweeps,
+//! and [`report`] renders aligned ASCII tables and CSV for the results.
 
 pub mod report;
 mod runner;
 
 pub use report::Table;
-pub use runner::{run_matrix, MatrixEntry};
+pub use runner::{default_threads, run_jobs, run_matrix, MatrixEntry};

@@ -1,11 +1,62 @@
 //! Parallel (trace x policy) sweep execution.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
 use ccsim_policies::PolicyKind;
 use ccsim_trace::Trace;
 
 use crate::config::SimConfig;
 use crate::result::SimResult;
 use crate::simulator::simulate;
+
+/// Default worker count for sweeps: available parallelism capped at 8
+/// (simulation is memory-bandwidth-bound; more threads rarely help).
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get().min(8)).unwrap_or(4)
+}
+
+/// Runs `jobs` independent jobs on `threads` worker threads with
+/// work-stealing (an atomic job counter), collecting each result lock-free
+/// into its own slot. Results are returned in job order.
+///
+/// This is the generic engine behind [`run_matrix`] and the campaign
+/// executor: jobs may be heterogeneous (different traces, configs and
+/// policies) as long as `f(j)` computes job `j` independently.
+///
+/// # Examples
+///
+/// ```
+/// use ccsim_core::experiment::run_jobs;
+///
+/// let squares = run_jobs(5, 2, |j| j * j);
+/// assert_eq!(squares, vec![0, 1, 4, 9, 16]);
+/// ```
+pub fn run_jobs<T, F>(jobs: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send + Sync,
+    F: Fn(usize) -> T + Sync,
+{
+    assert!(threads > 0, "need at least one worker thread");
+    let next = AtomicUsize::new(0);
+    // One slot per job: each index is claimed by exactly one worker via the
+    // atomic counter, so every OnceLock is set exactly once and no lock is
+    // shared across completed cells.
+    let mut slots: Vec<OnceLock<T>> = Vec::new();
+    slots.resize_with(jobs, OnceLock::new);
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(jobs) {
+            scope.spawn(|| loop {
+                let j = next.fetch_add(1, Ordering::Relaxed);
+                if j >= jobs {
+                    break;
+                }
+                assert!(slots[j].set(f(j)).is_ok(), "job claimed twice");
+            });
+        }
+    });
+    slots.into_iter().map(|s| s.into_inner().expect("all jobs completed")).collect()
+}
 
 /// One completed cell of a sweep.
 #[derive(Debug, Clone)]
@@ -44,31 +95,15 @@ pub fn run_matrix(
     config: &SimConfig,
     threads: usize,
 ) -> Vec<MatrixEntry> {
-    assert!(threads > 0, "need at least one worker thread");
     let jobs: Vec<(usize, PolicyKind)> = traces
         .iter()
         .enumerate()
         .flat_map(|(i, _)| policies.iter().map(move |&p| (i, p)))
         .collect();
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let mut results: Vec<Option<MatrixEntry>> = Vec::new();
-    results.resize_with(jobs.len(), || None);
-    let results_mutex = std::sync::Mutex::new(&mut results);
-    std::thread::scope(|scope| {
-        for _ in 0..threads.min(jobs.len().max(1)) {
-            scope.spawn(|| loop {
-                let j = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if j >= jobs.len() {
-                    break;
-                }
-                let (trace_index, policy) = jobs[j];
-                let result = simulate(&traces[trace_index], config, policy);
-                let entry = MatrixEntry { trace_index, policy, result };
-                results_mutex.lock().expect("no panics hold the lock")[j] = Some(entry);
-            });
-        }
-    });
-    results.into_iter().map(|e| e.expect("all jobs completed")).collect()
+    run_jobs(jobs.len(), threads, |j| {
+        let (trace_index, policy) = jobs[j];
+        MatrixEntry { trace_index, policy, result: simulate(&traces[trace_index], config, policy) }
+    })
 }
 
 #[cfg(test)]
@@ -115,5 +150,20 @@ mod tests {
     fn empty_traces_yield_empty_results() {
         let out = run_matrix(&[], &[PolicyKind::Lru], &SimConfig::tiny(), 2);
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn run_jobs_orders_heterogeneous_results() {
+        let out = run_jobs(100, 7, |j| 3 * j + 1);
+        assert_eq!(out.len(), 100);
+        for (j, v) in out.iter().enumerate() {
+            assert_eq!(*v, 3 * j + 1);
+        }
+    }
+
+    #[test]
+    fn run_jobs_with_more_threads_than_jobs() {
+        assert_eq!(run_jobs(1, 64, |j| j), vec![0]);
+        assert_eq!(run_jobs(0, 4, |j| j), Vec::<usize>::new());
     }
 }

@@ -168,8 +168,17 @@ impl GapWorkload {
     /// Runs the instrumented kernel and returns its trace, named
     /// `kernel.graph`.
     pub fn trace(&self, preset: GapScale) -> Trace {
+        self.trace_seeded(preset, 0)
+    }
+
+    /// Like [`GapWorkload::trace`], but perturbs graph synthesis with
+    /// `extra_seed` (0 reproduces the paper's graphs exactly).
+    pub fn trace_seeded(&self, preset: GapScale, extra_seed: u64) -> Trace {
         const GAP_SEED: u64 = 0x6A50_5EED;
-        let seed = GAP_SEED ^ ((self.kernel as u64) << 8) ^ self.graph as u64;
+        let seed = GAP_SEED
+            ^ ((self.kernel as u64) << 8)
+            ^ self.graph as u64
+            ^ extra_seed.wrapping_mul(0x9E37_79B9_7F4A_7C15);
         let scale = self.scale(preset);
         let g = self.graph.build(scale, seed);
         let source = hub_vertex(&g);

@@ -22,11 +22,74 @@ pub mod spec;
 pub mod xsbench;
 
 pub use gap::{paper_workloads, GapGraph, GapKernel, GapScale, GapWorkload};
-pub use qualcomm::qualcomm_suite;
-pub use spec::{spec_suite, SuiteScale};
-pub use xsbench::xsbench_suite;
+pub use qualcomm::{qualcomm_suite, qualcomm_workload, QUALCOMM_NAMES};
+pub use spec::{spec_suite, spec_workload, SuiteScale, SPEC_NAMES};
+pub use xsbench::{xsbench_suite, xsbench_workload, XSBENCH_NAMES};
 
 use ccsim_trace::Trace;
+
+impl From<SuiteScale> for GapScale {
+    fn from(scale: SuiteScale) -> GapScale {
+        match scale {
+            SuiteScale::Full => GapScale::Full,
+            SuiteScale::Quick => GapScale::Quick,
+        }
+    }
+}
+
+/// Builds any workload the crate knows by its canonical name — a GAP
+/// `kernel.graph` pair or a synthetic-suite member (`spec.*`, `xsbench.*`,
+/// `qcom.srv*`) — without materializing the rest of its suite.
+///
+/// This is the single name-to-trace entry point shared by the CLI and the
+/// campaign engine.
+///
+/// # Errors
+///
+/// Returns a message naming the unknown workload.
+///
+/// # Examples
+///
+/// ```
+/// use ccsim_workloads::{build_workload, SuiteScale};
+///
+/// let t = build_workload("xsbench.small", SuiteScale::Quick).unwrap();
+/// assert_eq!(t.name(), "xsbench.small");
+/// assert!(build_workload("nope.nothing", SuiteScale::Quick).is_err());
+/// ```
+pub fn build_workload(name: &str, scale: SuiteScale) -> Result<Trace, String> {
+    build_workload_seeded(name, scale, 0)
+}
+
+/// Like [`build_workload`], but perturbs the stochastic components of
+/// synthesis with `seed` (0 reproduces the paper's traces exactly; purely
+/// streaming proxies are seed-insensitive by construction). Campaigns
+/// thread their spec seed through here, and the trace cache keys on it.
+///
+/// # Errors
+///
+/// Returns a message naming the unknown workload.
+pub fn build_workload_seeded(name: &str, scale: SuiteScale, seed: u64) -> Result<Trace, String> {
+    if let Ok(gap) = name.parse::<GapWorkload>() {
+        return Ok(gap.trace_seeded(scale.into(), seed));
+    }
+    let unknown = || format!("unknown workload {name:?}; try `ccsim workloads`");
+    match name.split('.').next() {
+        Some("spec") => spec_workload(name, scale, seed).ok_or_else(unknown),
+        Some("xsbench") => xsbench_workload(name, scale, seed).ok_or_else(unknown),
+        Some("qcom") => qualcomm_workload(name, scale, seed).ok_or_else(unknown),
+        _ => Err(unknown()),
+    }
+}
+
+/// `true` if [`build_workload`] would succeed for `name`, without building
+/// anything (used to validate campaign specs cheaply).
+pub fn is_known_workload(name: &str) -> bool {
+    name.parse::<GapWorkload>().is_ok()
+        || SPEC_NAMES.contains(&name)
+        || XSBENCH_NAMES.contains(&name)
+        || QUALCOMM_NAMES.contains(&name)
+}
 
 /// The four benchmark suites of the paper's Figure 3.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -65,6 +128,42 @@ impl Suite {
         }
     }
 
+    /// Canonical member workload names, in suite (figure) order. These are
+    /// exactly the names [`build_workload`] accepts, and expanding them is
+    /// free — no trace is materialized.
+    pub fn member_names(self) -> Vec<String> {
+        match self {
+            Suite::Spec => SPEC_NAMES.iter().map(|s| (*s).to_owned()).collect(),
+            Suite::XsBench => XSBENCH_NAMES.iter().map(|s| (*s).to_owned()).collect(),
+            Suite::Qualcomm => QUALCOMM_NAMES.iter().map(|s| (*s).to_owned()).collect(),
+            Suite::Gapbs => paper_workloads().iter().map(|w| w.to_string()).collect(),
+        }
+    }
+
+    /// Resolves a suite selector name (`"spec"`, `"xsbench"`,
+    /// `"qualcomm"`/`"qcom"`, `"gap"`/`"gapbs"`), case-sensitive lowercase.
+    pub fn from_selector(s: &str) -> Option<Suite> {
+        match s {
+            "spec" => Some(Suite::Spec),
+            "xsbench" => Some(Suite::XsBench),
+            "qualcomm" | "qcom" => Some(Suite::Qualcomm),
+            "gap" | "gapbs" => Some(Suite::Gapbs),
+            _ => None,
+        }
+    }
+
+    /// The suite a canonical workload name belongs to, by its prefix
+    /// (anything that is not `spec.*` / `xsbench.*` / `qcom.*` is a GAP
+    /// `kernel.graph` pair).
+    pub fn of_workload(name: &str) -> Suite {
+        match name.split('.').next() {
+            Some("spec") => Suite::Spec,
+            Some("xsbench") => Suite::XsBench,
+            Some("qcom") => Suite::Qualcomm,
+            _ => Suite::Gapbs,
+        }
+    }
+
     /// Streams the suite's traces one at a time through `f`, so that at
     /// most one multi-million-record trace is alive at once. Prefer this
     /// over [`Suite::traces`] for the GAP suite at [`SuiteScale::Full`].
@@ -74,12 +173,8 @@ impl Suite {
             Suite::XsBench => xsbench_suite(scale).into_iter().for_each(f),
             Suite::Qualcomm => qualcomm_suite(scale).into_iter().for_each(f),
             Suite::Gapbs => {
-                let gap_scale = match scale {
-                    SuiteScale::Full => GapScale::Full,
-                    SuiteScale::Quick => GapScale::Quick,
-                };
                 for w in paper_workloads() {
-                    f(w.trace(gap_scale));
+                    f(w.trace(scale.into()));
                 }
             }
         }
@@ -116,5 +211,76 @@ mod tests {
                 assert!(!t.is_empty(), "{} has empty trace {}", suite.name(), t.name());
             }
         }
+    }
+
+    #[test]
+    fn member_names_match_generated_traces() {
+        for suite in [Suite::Spec, Suite::XsBench, Suite::Qualcomm] {
+            let names = suite.member_names();
+            let generated: Vec<String> =
+                suite.traces(SuiteScale::Quick).iter().map(|t| t.name().to_owned()).collect();
+            assert_eq!(names, generated, "{}", suite.name());
+        }
+        assert_eq!(Suite::Gapbs.member_names().len(), 35);
+    }
+
+    #[test]
+    fn build_workload_matches_suite_member_bytes() {
+        // The per-name builder must produce the identical trace the whole-
+        // suite builder does — the campaign trace cache depends on it.
+        let from_suite = &qualcomm_suite(SuiteScale::Quick)[2];
+        let direct = build_workload("qcom.srv2", SuiteScale::Quick).unwrap();
+        assert_eq!(&direct, from_suite);
+    }
+
+    #[test]
+    fn every_member_name_is_known() {
+        for suite in Suite::ALL {
+            for name in suite.member_names() {
+                assert!(is_known_workload(&name), "{name}");
+                assert_eq!(Suite::of_workload(&name), suite, "{name}");
+            }
+        }
+        assert!(!is_known_workload("spec.nothing"));
+        assert!(!is_known_workload("bfs.mars"));
+    }
+
+    #[test]
+    fn seed_perturbs_stochastic_workloads() {
+        // Seed 0 is the canonical (paper) trace...
+        let canonical = build_workload("xsbench.small", SuiteScale::Quick).unwrap();
+        let seeded0 = build_workload_seeded("xsbench.small", SuiteScale::Quick, 0).unwrap();
+        assert_eq!(canonical, seeded0);
+        // ...a different seed actually reaches synthesis...
+        for name in ["xsbench.small", "qcom.srv0", "spec.hotcold", "bfs.kron"] {
+            let a = build_workload_seeded(name, SuiteScale::Quick, 0).unwrap();
+            let b = build_workload_seeded(name, SuiteScale::Quick, 0xDEAD).unwrap();
+            assert_ne!(a, b, "{name}: seed must perturb the trace");
+            let b2 = build_workload_seeded(name, SuiteScale::Quick, 0xDEAD).unwrap();
+            assert_eq!(b, b2, "{name}: seeded synthesis must stay deterministic");
+        }
+        // ...and purely streaming proxies are seed-insensitive.
+        let s0 = build_workload_seeded("spec.stream", SuiteScale::Quick, 0).unwrap();
+        let s1 = build_workload_seeded("spec.stream", SuiteScale::Quick, 1).unwrap();
+        assert_eq!(s0, s1);
+    }
+
+    #[test]
+    fn suite_selectors_resolve() {
+        assert_eq!(Suite::from_selector("spec"), Some(Suite::Spec));
+        assert_eq!(Suite::from_selector("qcom"), Some(Suite::Qualcomm));
+        assert_eq!(Suite::from_selector("qualcomm"), Some(Suite::Qualcomm));
+        assert_eq!(Suite::from_selector("gap"), Some(Suite::Gapbs));
+        assert_eq!(Suite::from_selector("gapbs"), Some(Suite::Gapbs));
+        assert_eq!(Suite::from_selector("xsbench"), Some(Suite::XsBench));
+        assert_eq!(Suite::from_selector("mars"), None);
+    }
+
+    #[test]
+    fn suite_scale_parses_and_displays() {
+        assert_eq!("quick".parse::<SuiteScale>().unwrap(), SuiteScale::Quick);
+        assert_eq!("full".parse::<SuiteScale>().unwrap(), SuiteScale::Full);
+        assert!("medium".parse::<SuiteScale>().is_err());
+        assert_eq!(SuiteScale::Quick.to_string(), "quick");
     }
 }

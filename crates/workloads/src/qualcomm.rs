@@ -14,19 +14,31 @@ use ccsim_trace::{Trace, TraceBuffer};
 
 use crate::spec::SuiteScale;
 
+/// Names of the Qualcomm-server-like proxy workloads, in suite order.
+pub const QUALCOMM_NAMES: [&str; 5] =
+    ["qcom.srv0", "qcom.srv1", "qcom.srv2", "qcom.srv3", "qcom.srv4"];
+
 /// Builds the Qualcomm-server-like proxy suite.
 pub fn qualcomm_suite(scale: SuiteScale) -> Vec<Trace> {
+    QUALCOMM_NAMES.iter().map(|n| qualcomm_workload(n, scale, 0).expect("listed member")).collect()
+}
+
+/// Builds one member of the Qualcomm-like suite by name, or `None` if the
+/// name is not in [`QUALCOMM_NAMES`]. `seed` perturbs the stochastic
+/// request mix (0 reproduces the paper's traces).
+pub fn qualcomm_workload(name: &str, scale: SuiteScale, seed: u64) -> Option<Trace> {
     let reps = match scale {
         SuiteScale::Full => 6,
         SuiteScale::Quick => 1,
     };
-    (0..5).map(|i| server_workload(&format!("qcom.srv{i}"), i as u64, reps)).collect()
+    let variant = QUALCOMM_NAMES.iter().position(|n| *n == name)? as u64;
+    Some(server_workload(name, variant, reps, seed))
 }
 
 /// One server workload: interleaved request-processing phases. Each phase
 /// uses its own code region (distinct PCs), touches a per-request buffer,
 /// consults shared hot tables (Zipf), and walks session objects.
-fn server_workload(name: &str, variant: u64, reps: u64) -> Trace {
+fn server_workload(name: &str, variant: u64, reps: u64, seed: u64) -> Trace {
     let mut buf = TraceBuffer::new(name);
     let data = 0x4000_0000 + variant * (1 << 30);
     // Per-variant service characteristics: table skew and sizes differ so
@@ -48,18 +60,21 @@ fn server_workload(name: &str, variant: u64, reps: u64) -> Trace {
             RandomAccess::new(data + (1 << 28), table_entries, 64, 2_000)
                 .distribution(AccessDistribution::Zipf(theta))
                 .work(6)
-                .seed(variant * 1000 + r * 12 + req)
+                .seed((variant * 1000 + r * 12 + req) ^ seed)
                 .sites(code + 8, code + 12)
                 .emit(&mut buf);
             // Session-object walk.
             PointerChase::new(data + (1 << 29), session_nodes, 128)
                 .steps(1_500)
-                .seed(req)
+                .seed(req ^ seed)
                 .work(4)
                 .site(code + 16)
                 .emit(&mut buf);
         }
-        StackWalk::new(0x7FFF_4000_0000 + (variant << 20), 12).calls(5_000).seed(r).emit(&mut buf);
+        StackWalk::new(0x7FFF_4000_0000 + (variant << 20), 12)
+            .calls(5_000)
+            .seed(r ^ seed)
+            .emit(&mut buf);
     }
     buf.finish()
 }

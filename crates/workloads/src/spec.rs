@@ -17,7 +17,7 @@ use ccsim_trace::synth::{
 use ccsim_trace::{Trace, TraceBuffer};
 
 /// Trace-size preset for the synthetic suites.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SuiteScale {
     /// Figure-quality length (~1-2 M memory records per workload).
     Full,
@@ -33,6 +33,64 @@ impl SuiteScale {
             SuiteScale::Quick => 1,
         }
     }
+
+    /// Stable lowercase name (`"full"` / `"quick"`), used in campaign
+    /// specs and trace-cache keys.
+    pub fn name(self) -> &'static str {
+        match self {
+            SuiteScale::Full => "full",
+            SuiteScale::Quick => "quick",
+        }
+    }
+}
+
+impl std::fmt::Display for SuiteScale {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for SuiteScale {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "full" => Ok(SuiteScale::Full),
+            "quick" => Ok(SuiteScale::Quick),
+            other => Err(format!("unknown scale {other:?}, expected \"quick\" or \"full\"")),
+        }
+    }
+}
+
+/// Names of the SPEC-like proxy workloads, in suite order.
+pub const SPEC_NAMES: [&str; 8] = [
+    "spec.stream",
+    "spec.blocked",
+    "spec.chase",
+    "spec.hotcold",
+    "spec.stack",
+    "spec.scanreuse",
+    "spec.blocked2",
+    "spec.phased",
+];
+
+/// Builds one member of the SPEC-like suite by name, or `None` if the name
+/// is not in [`SPEC_NAMES`]. `seed` perturbs the stochastic phases of the
+/// proxy (0 reproduces the paper's traces); purely streaming members are
+/// seed-insensitive by construction.
+pub fn spec_workload(name: &str, scale: SuiteScale, seed: u64) -> Option<Trace> {
+    let r = scale.reps();
+    Some(match name {
+        "spec.stream" => stream_heavy(name, r),
+        "spec.blocked" => blocked_loops(name, r),
+        "spec.chase" => pointer_chaser(name, r, seed),
+        "spec.hotcold" => hot_cold(name, r, seed),
+        "spec.stack" => stack_and_scan(name, r, seed),
+        "spec.scanreuse" => scan_with_reuse(name, r),
+        "spec.blocked2" => blocked_loops_large(name, r),
+        "spec.phased" => mixed_phases(name, r, seed),
+        _ => return None,
+    })
 }
 
 /// Base of the synthetic data segment for proxy workloads.
@@ -47,17 +105,7 @@ fn pcs(phase: u64) -> (u64, u64) {
 
 /// Builds the SPEC-like proxy suite.
 pub fn spec_suite(scale: SuiteScale) -> Vec<Trace> {
-    let r = scale.reps();
-    vec![
-        stream_heavy("spec.stream", r),
-        blocked_loops("spec.blocked", r),
-        pointer_chaser("spec.chase", r),
-        hot_cold("spec.hotcold", r),
-        stack_and_scan("spec.stack", r),
-        scan_with_reuse("spec.scanreuse", r),
-        blocked_loops_large("spec.blocked2", r),
-        mixed_phases("spec.phased", r),
-    ]
+    SPEC_NAMES.iter().map(|n| spec_workload(n, scale, 0).expect("listed member")).collect()
 }
 
 /// `libquantum`/`lbm`-like: several long unit-stride streams, each from its
@@ -118,19 +166,19 @@ fn blocked_loops_large(name: &str, reps: u64) -> Trace {
 
 /// `mcf`/`xalancbmk`-like: dominant pointer chase over an 8 MB pool with a
 /// hot stack and a small streaming side-channel.
-fn pointer_chaser(name: &str, reps: u64) -> Trace {
+fn pointer_chaser(name: &str, reps: u64, seed: u64) -> Trace {
     let mut buf = TraceBuffer::new(name);
     let (pc_chase, _) = pcs(20);
     for phase in 0..reps {
         PointerChase::new(DATA, 1 << 17, 64)
             .steps(120_000)
-            .seed(phase)
+            .seed(phase ^ seed)
             .work(5)
             .site(pc_chase)
             .emit(&mut buf);
         StackWalk::new(0x7FFF_0000_0000, 8)
             .calls(4_000)
-            .seed(phase)
+            .seed(phase ^ seed)
             .sites(0x40_2000, 0x40_2004)
             .emit(&mut buf);
         let (pl, ps) = pcs(21 + phase);
@@ -141,14 +189,14 @@ fn pointer_chaser(name: &str, reps: u64) -> Trace {
 
 /// `omnetpp`-like: Zipf-skewed random access over 16 MB — the hot head fits
 /// in the LLC if the policy can keep it there against the cold tail.
-fn hot_cold(name: &str, reps: u64) -> Trace {
+fn hot_cold(name: &str, reps: u64, seed: u64) -> Trace {
     let mut buf = TraceBuffer::new(name);
     let (pl, ps) = pcs(30);
     RandomAccess::new(DATA, 1 << 18, 64, 250_000 * reps)
         .distribution(AccessDistribution::Zipf(0.9))
         .store_fraction(0.2)
         .work(5)
-        .seed(7)
+        .seed(7 ^ seed)
         .sites(pl, ps)
         .emit(&mut buf);
     buf.finish()
@@ -156,13 +204,13 @@ fn hot_cold(name: &str, reps: u64) -> Trace {
 
 /// `perlbench`-like: deep call stacks and small-footprint scans — high
 /// baseline hit rate, little for any policy to improve.
-fn stack_and_scan(name: &str, reps: u64) -> Trace {
+fn stack_and_scan(name: &str, reps: u64, seed: u64) -> Trace {
     let mut buf = TraceBuffer::new(name);
     for phase in 0..reps {
         StackWalk::new(0x7FFF_0000_0000, 16)
             .calls(30_000)
             .max_depth(24)
-            .seed(phase)
+            .seed(phase ^ seed)
             .sites(0x40_4000, 0x40_4004)
             .emit(&mut buf);
         let (pl, ps) = pcs(40 + phase % 4);
@@ -196,7 +244,7 @@ fn scan_with_reuse(name: &str, reps: u64) -> Trace {
 
 /// Multi-phase composite alternating all behaviours (phase-change stress
 /// for adaptive policies like DRRIP's dueling).
-fn mixed_phases(name: &str, reps: u64) -> Trace {
+fn mixed_phases(name: &str, reps: u64, seed: u64) -> Trace {
     let mut buf = TraceBuffer::new(name);
     for phase in 0..3 * reps {
         let (pl, ps) = pcs(60 + phase % 8);
@@ -209,12 +257,12 @@ fn mixed_phases(name: &str, reps: u64) -> Trace {
                 .emit(&mut buf),
             1 => RandomAccess::new(DATA + (16 << 20), 1 << 15, 64, 80_000)
                 .work(4)
-                .seed(phase)
+                .seed(phase ^ seed)
                 .sites(pl, ps)
                 .emit(&mut buf),
             _ => PointerChase::new(DATA + (32 << 20), 1 << 14, 64)
                 .steps(60_000)
-                .seed(phase)
+                .seed(phase ^ seed)
                 .work(4)
                 .site(pl)
                 .emit(&mut buf),

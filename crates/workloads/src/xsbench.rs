@@ -12,29 +12,46 @@ use ccsim_trace::{Trace, TraceBuffer};
 
 use crate::spec::SuiteScale;
 
+/// Names of the XSBench-like proxy workloads, in suite order.
+pub const XSBENCH_NAMES: [&str; 3] = ["xsbench.small", "xsbench.large", "xsbench.xl"];
+
 /// Builds the XSBench-like proxy suite (three problem sizes).
 pub fn xsbench_suite(scale: SuiteScale) -> Vec<Trace> {
+    XSBENCH_NAMES.iter().map(|n| xsbench_workload(n, scale, 0).expect("listed member")).collect()
+}
+
+/// Builds one member of the XSBench-like suite by name, or `None` if the
+/// name is not in [`XSBENCH_NAMES`]. `seed` perturbs the lookup sequence
+/// (0 reproduces the paper's traces).
+pub fn xsbench_workload(name: &str, scale: SuiteScale, seed: u64) -> Option<Trace> {
     let probes = match scale {
         SuiteScale::Full => 60_000,
         SuiteScale::Quick => 3_000,
     };
-    vec![
-        lookup_workload("xsbench.small", 1 << 17, 16 << 10, probes),
-        lookup_workload("xsbench.large", 1 << 20, 64 << 10, probes),
-        lookup_workload("xsbench.xl", 1 << 22, 64 << 10, probes / 2),
-    ]
+    Some(match name {
+        "xsbench.small" => lookup_workload(name, 1 << 17, 16 << 10, probes, seed),
+        "xsbench.large" => lookup_workload(name, 1 << 20, 64 << 10, probes, seed),
+        "xsbench.xl" => lookup_workload(name, 1 << 22, 64 << 10, probes / 2, seed),
+        _ => return None,
+    })
 }
 
 /// One XSBench configuration: `grid_points` grid entries (8 B keys) and a
 /// nuclide payload region; each lookup binary-searches the grid then reads
 /// a 128 B cross-section bundle.
-fn lookup_workload(name: &str, grid_points: u64, payload_entries: u64, probes: u64) -> Trace {
+fn lookup_workload(
+    name: &str,
+    grid_points: u64,
+    payload_entries: u64,
+    probes: u64,
+    seed: u64,
+) -> Trace {
     let mut buf = TraceBuffer::new(name);
     let grid_base = 0x2000_0000;
     let payload_base = grid_base + grid_points * 8 + (1 << 20);
     BinarySearchProbe::new(grid_base, grid_points, 8, payload_base, 128)
         .probes(probes)
-        .seed(grid_points) // distinct but deterministic per size
+        .seed(grid_points ^ seed) // distinct but deterministic per size
         .emit(&mut buf);
     let _ = payload_entries;
     buf.finish()

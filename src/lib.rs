@@ -16,7 +16,9 @@
 //! * [`core`] — the cache-hierarchy simulator (Cascade Lake-like core,
 //!   three cache levels, DDR4 DRAM) and the experiment harness;
 //! * [`workloads`] — the four benchmark suites of the paper (GAP, SPEC-,
-//!   XSBench- and Qualcomm-like proxies).
+//!   XSBench- and Qualcomm-like proxies);
+//! * [`campaign`] — declarative, resumable experiment campaigns with an
+//!   on-disk trace cache and deterministic JSON/CSV reports.
 //!
 //! # Quickstart
 //!
@@ -34,6 +36,7 @@
 
 #![warn(missing_docs)]
 
+pub use ccsim_campaign as campaign;
 pub use ccsim_core as core;
 pub use ccsim_graph as graph;
 pub use ccsim_policies as policies;
@@ -42,6 +45,7 @@ pub use ccsim_workloads as workloads;
 
 /// The most commonly used items, for glob import.
 pub mod prelude {
+    pub use ccsim_campaign::{Campaign, CampaignReport, CampaignSpec, TraceCache};
     pub use ccsim_core::{
         geomean, geomean_speedup_percent, simulate, simulate_with_llc_log, SimConfig, SimResult,
     };
