@@ -6,13 +6,21 @@
 //! name, scale, synthesis seed and `CCTR` format version — so traces are
 //! shared across cells, campaigns and repeated runs, and a key change
 //! (new scale, new seed, format bump) can never alias an old file.
+//!
+//! Ingested external traces (`trace:<path>` selectors) follow the same
+//! discipline with a different identity: the **content digest** of the
+//! source file, the resolved source format, the ingest options and the
+//! `CCTR` version ([`TraceCache::get_or_ingest`]). A foreign trace is
+//! therefore decoded exactly once across cells, campaigns and repeated
+//! runs, and editing the source file in place changes the key.
 
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use ccsim_trace::{read_trace, write_trace, Trace};
+use ccsim_ingest::{detect_file, digest_file, ingest_file, IngestOptions};
+use ccsim_trace::{read_trace, read_trace_header, write_trace, Trace};
 use ccsim_workloads::SuiteScale;
 
 use crate::spec::fnv1a64;
@@ -110,6 +118,87 @@ impl TraceCache {
         })?;
         Ok(trace)
     }
+
+    /// The on-disk path an ingested conversion of `source` would use:
+    /// keyed by the file's content digest, the resolved source format,
+    /// the ingest options and the `CCTR` version. Reads (digests) the
+    /// whole source file, in bounded memory.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on unreadable or format-undetectable sources.
+    pub fn path_for_ingested(
+        &self,
+        source: &Path,
+        opts: &IngestOptions,
+    ) -> Result<PathBuf, String> {
+        let digest = digest_file(source)
+            .map_err(|e| format!("digesting trace file {}: {e}", source.display()))?;
+        let format = match opts.format {
+            Some(f) => f,
+            None => detect_file(source).map_err(|e| format!("{}: {e}", source.display()))?,
+        };
+        let key = format!("ingest#{digest:016x}#{format}#{}#v{FORMAT_VERSION}", opts.cache_key());
+        Ok(self.root.join(format!("ingest-{:016x}.cctr", fnv1a64(key.as_bytes()))))
+    }
+
+    /// Returns the cached conversion of the external trace `source`, or
+    /// ingests it (streaming, bounded memory), stores the result, and
+    /// reads it back. The same tmp-file + atomic-rename discipline as
+    /// [`TraceCache::get_or_generate`] applies, and a present-but-corrupt
+    /// or truncated entry (bad magic, short file) is detected and
+    /// re-ingested rather than poisoning every downstream cell.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on unreadable sources, undetectable formats,
+    /// corrupt source records (strict mode) and cache I/O failures.
+    pub fn get_or_ingest(&self, source: &Path, opts: &IngestOptions) -> Result<Trace, String> {
+        let path = self.path_for_ingested(source, opts)?;
+        if let Ok(file) = File::open(&path) {
+            match read_trace(BufReader::new(file)) {
+                Ok(trace) if opts.name.as_deref().is_none_or(|n| n == trace.name()) => {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    return Ok(trace);
+                }
+                _ => {
+                    // Corrupt, truncated or aliased: fall through and
+                    // re-ingest over it.
+                }
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+        let convert = || -> Result<(), String> {
+            ingest_file(source, &tmp, opts)
+                .map_err(|e| format!("ingesting {}: {e}", source.display()))?;
+            std::fs::rename(&tmp, &path)
+                .map_err(|e| format!("caching ingested trace to {}: {e}", path.display()))
+        };
+        convert().inspect_err(|_| {
+            let _ = std::fs::remove_file(&tmp);
+        })?;
+        let file = File::open(&path)
+            .map_err(|e| format!("reopening ingested trace {}: {e}", path.display()))?;
+        read_trace(BufReader::new(file))
+            .map_err(|e| format!("decoding ingested trace {}: {e}", path.display()))
+    }
+
+    /// `true` if `path` holds a structurally valid `CCTR` file: good
+    /// magic and header, and exactly the length the header promises.
+    /// Used by campaign dry-runs to predict cache hits cheaply.
+    pub fn entry_is_valid(path: &Path) -> bool {
+        let Ok(file) = File::open(path) else {
+            return false;
+        };
+        let Ok(meta) = file.metadata() else {
+            return false;
+        };
+        match read_trace_header(BufReader::new(file)) {
+            Ok(header) => header.expected_file_len() == meta.len(),
+            Err(_) => false,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -178,6 +267,76 @@ mod tests {
             cache.get_or_generate("w", SuiteScale::Quick, 0, || Err("boom".into())).unwrap_err();
         assert_eq!(err, "boom");
         assert!(!cache.path_for("w", SuiteScale::Quick, 0).exists());
+        std::fs::remove_dir_all(cache.root()).unwrap();
+    }
+
+    fn write_champsim_sample(path: &Path, records: u64) {
+        use ccsim_ingest::champsim::{ChampSimRecord, ChampSimWriter};
+        let mut w = ChampSimWriter::new(std::fs::File::create(path).unwrap());
+        for i in 0..records {
+            w.write(&ChampSimRecord::nonmem(0x400 + 4 * i)).unwrap();
+            w.write(&ChampSimRecord::load(0x404 + 4 * i, 0x1000 + 64 * i)).unwrap();
+        }
+    }
+
+    #[test]
+    fn ingested_trace_is_converted_once_then_served_from_disk() {
+        let cache = temp_cache("ingest");
+        let source = cache.root().join("sample.champsim");
+        write_champsim_sample(&source, 10);
+        let opts = IngestOptions { name: Some("ext".into()), ..Default::default() };
+
+        let first = cache.get_or_ingest(&source, &opts).unwrap();
+        assert_eq!((cache.hits(), cache.misses()), (0, 1));
+        assert_eq!(first.name(), "ext");
+        assert_eq!(first.len(), 10);
+        assert_eq!(first.instructions(), 20);
+
+        let second = cache.get_or_ingest(&source, &opts).unwrap();
+        assert_eq!((cache.hits(), cache.misses()), (1, 1), "second read is a hit");
+        assert_eq!(first, second);
+
+        // The cache entry passes the structural validity probe.
+        assert!(TraceCache::entry_is_valid(&cache.path_for_ingested(&source, &opts).unwrap()));
+        std::fs::remove_dir_all(cache.root()).unwrap();
+    }
+
+    #[test]
+    fn ingest_key_tracks_content_options_and_format() {
+        let cache = temp_cache("ingest_keys");
+        let source = cache.root().join("a.champsim");
+        write_champsim_sample(&source, 4);
+        let opts = IngestOptions::default();
+        let p1 = cache.path_for_ingested(&source, &opts).unwrap();
+
+        let named = IngestOptions { name: Some("other".into()), ..Default::default() };
+        assert_ne!(p1, cache.path_for_ingested(&source, &named).unwrap());
+
+        // Editing the file in place changes the digest, hence the key.
+        write_champsim_sample(&source, 5);
+        assert_ne!(p1, cache.path_for_ingested(&source, &opts).unwrap());
+        std::fs::remove_dir_all(cache.root()).unwrap();
+    }
+
+    #[test]
+    fn truncated_ingest_entry_is_detected_and_reingested() {
+        let cache = temp_cache("ingest_trunc");
+        let source = cache.root().join("sample.champsim");
+        write_champsim_sample(&source, 8);
+        let opts = IngestOptions { name: Some("ext".into()), ..Default::default() };
+        let good = cache.get_or_ingest(&source, &opts).unwrap();
+        let entry = cache.path_for_ingested(&source, &opts).unwrap();
+
+        // Truncate the cached CCTR mid-records: the magic/length check
+        // must reject it and the next read must regenerate, not poison
+        // downstream cells.
+        let bytes = std::fs::read(&entry).unwrap();
+        std::fs::write(&entry, &bytes[..bytes.len() - 7]).unwrap();
+        assert!(!TraceCache::entry_is_valid(&entry));
+        let recovered = cache.get_or_ingest(&source, &opts).unwrap();
+        assert_eq!(recovered, good);
+        assert_eq!(cache.misses(), 2, "truncated entry fell through to re-ingest");
+        assert!(TraceCache::entry_is_valid(&entry), "entry was repaired in place");
         std::fs::remove_dir_all(cache.root()).unwrap();
     }
 }

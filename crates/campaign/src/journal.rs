@@ -56,34 +56,10 @@ impl Journal {
         if let Some(dir) = path.parent() {
             std::fs::create_dir_all(dir)?;
         }
-        let mut completed = BTreeMap::new();
-        let mut valid_bytes = 0usize;
-        if let Ok(text) = std::fs::read_to_string(&path) {
-            let mut lines = text.split_inclusive('\n');
-            let header_ok = lines.next().is_some_and(|l| {
-                let ok = Json::parse(l.trim_end()).ok().is_some_and(|h| {
-                    h.get("ccsim_campaign_journal").and_then(Json::as_u64) == Some(JOURNAL_VERSION)
-                        && h.get("campaign").and_then(Json::as_str) == Some(campaign)
-                        && h.get("spec").and_then(Json::as_str) == Some(spec_digest)
-                });
-                if ok && l.ends_with('\n') {
-                    valid_bytes = l.len();
-                }
-                ok && l.ends_with('\n')
-            });
-            if header_ok {
-                for line in lines {
-                    // A torn final line (or any corruption) ends the replay:
-                    // everything after it will simply be re-simulated.
-                    let Some((cell, result)) = parse_cell_line(line.trim_end()) else { break };
-                    if !line.ends_with('\n') {
-                        break;
-                    }
-                    completed.insert(cell, result);
-                    valid_bytes += line.len();
-                }
-            }
-        }
+        let (completed, valid_bytes) = match std::fs::read_to_string(&path) {
+            Ok(text) => replay(&text, campaign, spec_digest),
+            Err(_) => (BTreeMap::new(), 0),
+        };
         let resumed = completed.len();
         let file = if valid_bytes == 0 {
             let mut f = File::create(&path)?;
@@ -137,6 +113,53 @@ impl Journal {
         self.completed.insert(cell.to_owned(), result.clone());
         Ok(())
     }
+
+    /// Read-only replay: the completed cells the journal at `path` holds
+    /// for this campaign/spec, creating and truncating nothing (campaign
+    /// dry-runs inspect journals through this). A missing, foreign or
+    /// torn journal simply yields fewer (or no) cells.
+    pub fn peek_completed(
+        path: &Path,
+        campaign: &str,
+        spec_digest: &str,
+    ) -> BTreeMap<String, SimResult> {
+        match std::fs::read_to_string(path) {
+            Ok(text) => replay(&text, campaign, spec_digest).0,
+            Err(_) => BTreeMap::new(),
+        }
+    }
+}
+
+/// Replays journal `text` for (campaign, spec digest): the completed-cell
+/// map plus the byte length of the valid prefix (header + whole lines).
+fn replay(text: &str, campaign: &str, spec_digest: &str) -> (BTreeMap<String, SimResult>, usize) {
+    let mut completed = BTreeMap::new();
+    let mut valid_bytes = 0usize;
+    let mut lines = text.split_inclusive('\n');
+    let header_ok = lines.next().is_some_and(|l| {
+        let ok = Json::parse(l.trim_end()).ok().is_some_and(|h| {
+            h.get("ccsim_campaign_journal").and_then(Json::as_u64) == Some(JOURNAL_VERSION)
+                && h.get("campaign").and_then(Json::as_str) == Some(campaign)
+                && h.get("spec").and_then(Json::as_str) == Some(spec_digest)
+        });
+        if ok && l.ends_with('\n') {
+            valid_bytes = l.len();
+        }
+        ok && l.ends_with('\n')
+    });
+    if header_ok {
+        for line in lines {
+            // A torn final line (or any corruption) ends the replay:
+            // everything after it will simply be re-simulated.
+            let Some((cell, result)) = parse_cell_line(line.trim_end()) else { break };
+            if !line.ends_with('\n') {
+                break;
+            }
+            completed.insert(cell, result);
+            valid_bytes += line.len();
+        }
+    }
+    (completed, valid_bytes)
 }
 
 fn parse_cell_line(line: &str) -> Option<(String, SimResult)> {
@@ -286,6 +309,26 @@ mod tests {
         assert_eq!(j.resumed(), 2);
         assert_eq!(j.completed()["w|llc_x1|lru"], sample_result(10));
         assert_eq!(j.completed()["w|llc_x1|srrip"], sample_result(20));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn peek_is_read_only_and_spec_aware() {
+        let path = temp_journal_path("peek");
+        let _ = std::fs::remove_file(&path);
+        // Peeking a missing journal creates nothing.
+        assert!(Journal::peek_completed(&path, "camp", "abcd").is_empty());
+        assert!(!path.exists());
+        {
+            let mut j = Journal::open(&path, "camp", "abcd").unwrap();
+            j.record("w|c|lru", &sample_result(5)).unwrap();
+        }
+        let before = std::fs::read(&path).unwrap();
+        let peeked = Journal::peek_completed(&path, "camp", "abcd");
+        assert_eq!(peeked.len(), 1);
+        assert_eq!(peeked["w|c|lru"], sample_result(5));
+        assert!(Journal::peek_completed(&path, "camp", "zzzz").is_empty(), "foreign spec");
+        assert_eq!(std::fs::read(&path).unwrap(), before, "peek must not modify the file");
         std::fs::remove_file(&path).unwrap();
     }
 

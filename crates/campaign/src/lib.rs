@@ -8,15 +8,22 @@
 //! * [`CampaignSpec`] — a JSON-parsable description of the full grid
 //!   (workload selectors with scale, policies, config variants), so
 //!   campaigns can be checked into the repo (`campaigns/*.json`);
+//!   selectors cover synthetic workloads, `suite:` expansions, and
+//!   external `trace:<path>` files (ChampSim/CVP/CCTR, decoded by
+//!   `ccsim-ingest` on first use);
 //! * [`TraceCache`] — an on-disk content-addressed store keyed by
-//!   (workload, scale, synthesis seed, trace-format version), generating
-//!   each trace once and sharing it across every cell, campaign and run;
+//!   (workload, scale, synthesis seed, trace-format version) for
+//!   synthetic traces and by (source digest, format, ingest options,
+//!   trace-format version) for ingested ones, generating/converting each
+//!   trace once and sharing it across every cell, campaign and run;
 //! * [`Campaign`] — the engine: per-cell checkpointing to a [`Journal`]
 //!   so an interrupted campaign resumes without redoing completed cells,
 //!   with cells executed by the lock-free work-stealing executor
-//!   ([`ccsim_core::experiment::run_jobs`]);
+//!   ([`ccsim_core::experiment::run_jobs`]); [`Campaign::plan`] predicts
+//!   a run cell-by-cell without simulating (`--dry-run`);
 //! * [`CampaignReport`] — deterministic JSON / CSV / pretty-table output:
-//!   same spec and seed, byte-identical report, interrupted or not.
+//!   same spec and seed, byte-identical report, interrupted or not —
+//!   plus [`ReportDiff`] for cross-campaign regression hunting.
 //!
 //! The `fig2` / `fig3` binaries in `ccsim-bench` and `ccsim campaign` in
 //! the CLI are thin wrappers over this crate; [`spec::presets`] holds
@@ -42,6 +49,7 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod diff;
 pub mod journal;
 pub mod json;
 pub mod report;
@@ -49,8 +57,9 @@ pub mod runner;
 pub mod spec;
 
 pub use cache::TraceCache;
+pub use diff::{DiffCell, ReportDiff};
 pub use journal::Journal;
 pub use json::Json;
 pub use report::{CampaignCell, CampaignReport, RawCell};
-pub use runner::{Campaign, CampaignOutcome};
+pub use runner::{Campaign, CampaignOutcome, CampaignPlan, CellStatus, PlanCell};
 pub use spec::{presets, BaseConfig, CampaignSpec};

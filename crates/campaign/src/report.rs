@@ -86,7 +86,7 @@ impl CampaignReport {
                     .map(|b| c.result.speedup_over(&b.result));
                 CampaignCell {
                     workload: c.result.workload.clone(),
-                    suite: Suite::of_workload(&c.result.workload).name().to_owned(),
+                    suite: suite_name(&c.result.workload),
                     config: c.config.clone(),
                     llc_scale: c.llc_scale,
                     policy: c.result.policy.clone(),
@@ -252,6 +252,16 @@ impl CampaignReport {
             ]);
         }
         table
+    }
+}
+
+/// The display suite of a workload: ingested `trace:` selectors report
+/// as `"external"`, everything else by its benchmark suite.
+fn suite_name(workload: &str) -> String {
+    if workload.starts_with("trace:") {
+        "external".to_owned()
+    } else {
+        Suite::of_workload(workload).name().to_owned()
     }
 }
 

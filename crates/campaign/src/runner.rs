@@ -1,17 +1,52 @@
 //! The campaign engine: grid expansion, cached trace acquisition,
 //! work-stealing execution and journaled checkpointing.
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
 use ccsim_core::experiment::run_jobs;
 use ccsim_core::{simulate, SimResult};
+use ccsim_ingest::{ingest_file_to_trace, IngestOptions};
 use ccsim_policies::PolicyKind;
-use ccsim_workloads::build_workload_seeded;
+use ccsim_trace::Trace;
+use ccsim_workloads::{build_workload_seeded, SuiteScale};
 
 use crate::cache::TraceCache;
 use crate::journal::Journal;
 use crate::report::{CampaignReport, RawCell};
 use crate::spec::CampaignSpec;
+
+/// The ingest options every `trace:` selector resolves with: strict
+/// decoding, auto-detected format, the full selector as the workload
+/// name (so cells, journals and reports all key consistently).
+fn ingest_options_for(selector: &str) -> IngestOptions {
+    IngestOptions { format: None, lossy: false, name: Some(selector.to_owned()) }
+}
+
+/// Acquires the trace for one workload selector: external `trace:` files
+/// go through the ingest pipeline (cached when a cache is attached),
+/// synthetic workloads through the per-name builders.
+fn acquire_trace(
+    cache: Option<&TraceCache>,
+    workload: &str,
+    scale: SuiteScale,
+    seed: u64,
+) -> Result<Trace, String> {
+    if let Some(path) = workload.strip_prefix("trace:") {
+        let opts = ingest_options_for(workload);
+        return match cache {
+            Some(cache) => cache.get_or_ingest(Path::new(path), &opts),
+            None => ingest_file_to_trace(Path::new(path), &opts)
+                .map(|(trace, _)| trace)
+                .map_err(|e| format!("ingesting {path}: {e}")),
+        };
+    }
+    match cache {
+        Some(cache) => cache.get_or_generate(workload, scale, seed, || {
+            build_workload_seeded(workload, scale, seed)
+        }),
+        None => build_workload_seeded(workload, scale, seed),
+    }
+}
 
 /// A configured, runnable campaign.
 ///
@@ -41,6 +76,89 @@ pub struct Campaign {
     cache: Option<TraceCache>,
     journal_path: Option<PathBuf>,
     verbose: bool,
+}
+
+/// The predicted fate of one grid cell, as reported by
+/// [`Campaign::plan`] (the engine behind `ccsim campaign --dry-run`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CellStatus {
+    /// Already completed in the journal — a run replays it for free.
+    Journaled,
+    /// Pending, and its workload's trace is a valid cache entry — a run
+    /// simulates it without generating or ingesting anything.
+    CachedTrace,
+    /// Pending, and its workload's trace must first be generated (or
+    /// ingested, for `trace:` selectors).
+    NeedsTrace,
+    /// A `trace:` selector whose source file does not exist — the run
+    /// would fail at this workload.
+    MissingSource,
+}
+
+impl CellStatus {
+    /// Stable display label.
+    pub fn name(self) -> &'static str {
+        match self {
+            CellStatus::Journaled => "journaled",
+            CellStatus::CachedTrace => "cached-trace",
+            CellStatus::NeedsTrace => "needs-trace",
+            CellStatus::MissingSource => "missing-source!",
+        }
+    }
+}
+
+/// One grid cell of a [`CampaignPlan`].
+#[derive(Debug, Clone)]
+pub struct PlanCell {
+    /// Canonical workload selector.
+    pub workload: String,
+    /// Config-variant label (`llc_x<scale>`).
+    pub config: String,
+    /// Policy name.
+    pub policy: String,
+    /// What a run would do with this cell.
+    pub status: CellStatus,
+}
+
+/// The resolved grid of a campaign, with per-cell predictions — what
+/// `--dry-run` prints so a big spec can be inspected before committing
+/// hours of simulation. Computing a plan simulates nothing and writes
+/// nothing (journals are peeked read-only; caches are only probed).
+#[derive(Debug, Clone)]
+pub struct CampaignPlan {
+    /// Every grid cell in spec order (workload-major, config-middle,
+    /// policy-minor).
+    pub cells: Vec<PlanCell>,
+}
+
+impl CampaignPlan {
+    /// Cell count with each [`CellStatus`], in enum order:
+    /// `(journaled, cached_trace, needs_trace, missing_source)`.
+    pub fn counts(&self) -> (usize, usize, usize, usize) {
+        let of = |s: CellStatus| self.cells.iter().filter(|c| c.status == s).count();
+        (
+            of(CellStatus::Journaled),
+            of(CellStatus::CachedTrace),
+            of(CellStatus::NeedsTrace),
+            of(CellStatus::MissingSource),
+        )
+    }
+
+    /// The plan as a printable table, one row per cell.
+    pub fn table(&self) -> ccsim_core::experiment::Table {
+        let mut t = ccsim_core::experiment::Table::new(
+            ["workload", "config", "policy", "status"].iter().map(|s| (*s).to_owned()).collect(),
+        );
+        for c in &self.cells {
+            t.row(vec![
+                c.workload.clone(),
+                c.config.clone(),
+                c.policy.clone(),
+                c.status.name().to_owned(),
+            ]);
+        }
+        t
+    }
 }
 
 /// What a campaign run produced, beyond the report itself.
@@ -95,6 +213,69 @@ impl Campaign {
         self
     }
 
+    /// Predicts what [`Campaign::run`] would do, cell by cell, without
+    /// simulating, generating or writing anything: which cells the
+    /// journal already holds, which workload traces are valid cache
+    /// entries, and which `trace:` sources are missing outright.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on invalid workload selectors.
+    pub fn plan(&self) -> Result<CampaignPlan, String> {
+        let workloads = self.spec.expand_workloads()?;
+        let configs = self.spec.configs();
+        let journaled = match &self.journal_path {
+            Some(path) => Journal::peek_completed(path, &self.spec.name, &self.spec.digest()),
+            None => Default::default(),
+        };
+        let mut cells = Vec::new();
+        for workload in &workloads {
+            let workload_status = self.plan_workload_status(workload);
+            for (label, _) in &configs {
+                for policy in &self.spec.policies {
+                    let id = format!("{workload}|{label}|{}", policy.name());
+                    let status = if journaled.contains_key(&id) {
+                        CellStatus::Journaled
+                    } else {
+                        workload_status
+                    };
+                    cells.push(PlanCell {
+                        workload: workload.clone(),
+                        config: label.clone(),
+                        policy: policy.name().to_owned(),
+                        status,
+                    });
+                }
+            }
+        }
+        Ok(CampaignPlan { cells })
+    }
+
+    /// The non-journaled status every cell of `workload` shares: is its
+    /// trace a valid cache entry, absent, or (for `trace:` selectors) is
+    /// the source file itself missing?
+    fn plan_workload_status(&self, workload: &str) -> CellStatus {
+        if let Some(path) = workload.strip_prefix("trace:") {
+            if !Path::new(path).exists() {
+                return CellStatus::MissingSource;
+            }
+            let cached = self.cache.as_ref().is_some_and(|cache| {
+                cache
+                    .path_for_ingested(Path::new(path), &ingest_options_for(workload))
+                    .is_ok_and(|entry| TraceCache::entry_is_valid(&entry))
+            });
+            return if cached { CellStatus::CachedTrace } else { CellStatus::NeedsTrace };
+        }
+        let cached = self.cache.as_ref().is_some_and(|cache| {
+            TraceCache::entry_is_valid(&cache.path_for(workload, self.spec.scale, self.spec.seed))
+        });
+        if cached {
+            CellStatus::CachedTrace
+        } else {
+            CellStatus::NeedsTrace
+        }
+    }
+
     /// Runs every pending cell of the grid and assembles the report.
     ///
     /// # Errors
@@ -137,14 +318,8 @@ impl Campaign {
             if !pending.is_empty() {
                 // Acquire the trace only when at least one cell needs it:
                 // a fully-journaled workload costs no generation at all.
-                let trace = match &self.cache {
-                    Some(cache) => {
-                        cache.get_or_generate(workload, self.spec.scale, self.spec.seed, || {
-                            build_workload_seeded(workload, self.spec.scale, self.spec.seed)
-                        })?
-                    }
-                    None => build_workload_seeded(workload, self.spec.scale, self.spec.seed)?,
-                };
+                let trace =
+                    acquire_trace(self.cache.as_ref(), workload, self.spec.scale, self.spec.seed)?;
                 let results = run_jobs(pending.len(), self.threads, |i| {
                     let (ci, policy, _) = pending[i];
                     simulate(&trace, &configs[*ci].1, *policy)
@@ -241,5 +416,92 @@ mod tests {
         let serial = Campaign::new(tiny_spec()).threads(1).run().unwrap();
         let parallel = Campaign::new(tiny_spec()).threads(8).run().unwrap();
         assert_eq!(serial.report, parallel.report);
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("ccsim_runner_{}_{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn plan_predicts_journal_and_cache_state() {
+        let dir = temp_dir("plan");
+        let journal = dir.join("journal.jsonl");
+        let cache_dir = dir.join("cache");
+
+        let fresh = Campaign::new(tiny_spec())
+            .cache(TraceCache::new(&cache_dir).unwrap())
+            .journal(&journal)
+            .plan()
+            .unwrap();
+        assert_eq!(fresh.cells.len(), 4);
+        assert_eq!(fresh.counts(), (0, 0, 4, 0), "nothing exists yet");
+        assert!(!journal.exists(), "planning must not create the journal");
+
+        Campaign::new(tiny_spec())
+            .cache(TraceCache::new(&cache_dir).unwrap())
+            .journal(&journal)
+            .run()
+            .unwrap();
+        let done = Campaign::new(tiny_spec())
+            .cache(TraceCache::new(&cache_dir).unwrap())
+            .journal(&journal)
+            .plan()
+            .unwrap();
+        assert_eq!(done.counts(), (4, 0, 0, 0), "everything journaled after a run");
+
+        // Journal gone, cache intact: cells pend but the trace is cached.
+        std::fs::remove_file(&journal).unwrap();
+        let cached = Campaign::new(tiny_spec())
+            .cache(TraceCache::new(&cache_dir).unwrap())
+            .journal(&journal)
+            .plan()
+            .unwrap();
+        assert_eq!(cached.counts(), (0, 4, 0, 0));
+        let table = cached.table().to_csv();
+        assert!(table.contains("xsbench.small,llc_x1,lru,cached-trace"), "{table}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_trace_source_is_flagged_in_the_plan_and_fails_the_run() {
+        let spec = CampaignSpec::from_json_str(
+            r#"{"name": "ext", "base_config": "tiny",
+                "workloads": ["trace:/nonexistent/foo.champsim"],
+                "policies": ["lru"]}"#,
+        )
+        .unwrap();
+        let plan = Campaign::new(spec.clone()).plan().unwrap();
+        assert_eq!(plan.counts(), (0, 0, 0, 1));
+        assert_eq!(plan.cells[0].status.name(), "missing-source!");
+        let err = Campaign::new(spec).run().unwrap_err();
+        assert!(err.contains("/nonexistent/foo.champsim"), "{err}");
+    }
+
+    #[test]
+    fn external_trace_workload_runs_without_a_cache() {
+        use ccsim_ingest::champsim::{ChampSimRecord, ChampSimWriter};
+        let dir = temp_dir("ext_nocache");
+        let source = dir.join("mini.champsim");
+        let mut w = ChampSimWriter::new(std::fs::File::create(&source).unwrap());
+        for i in 0..200u64 {
+            w.write(&ChampSimRecord::nonmem(0x400 + 4 * i)).unwrap();
+            w.write(&ChampSimRecord::load(0x600 + 4 * i, 0x10000 + 64 * (i % 32))).unwrap();
+        }
+        drop(w);
+        let selector = format!("trace:{}", source.display());
+        let spec = CampaignSpec::from_json_str(&format!(
+            r#"{{"name": "ext", "base_config": "tiny",
+                 "workloads": ["{selector}"], "policies": ["lru", "srrip"]}}"#
+        ))
+        .unwrap();
+        let outcome = Campaign::new(spec).threads(2).run().unwrap();
+        assert_eq!(outcome.cells_total, 2);
+        assert_eq!(outcome.report.cells[0].workload, selector);
+        assert_eq!(outcome.report.cells[0].suite, "external");
+        assert_eq!(outcome.report.cells[0].result.instructions, 400);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

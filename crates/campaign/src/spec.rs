@@ -77,7 +77,10 @@ pub struct CampaignSpec {
     /// Workload scale preset applied to every workload.
     pub scale: SuiteScale,
     /// Workload selectors in declaration order: canonical workload names
-    /// (`bfs.kron`, `spec.stream`, ...) or `suite:<spec|xsbench|qualcomm|gap>`.
+    /// (`bfs.kron`, `spec.stream`, ...), `suite:<spec|xsbench|qualcomm|gap>`,
+    /// or `trace:<path>` — an external ChampSim/CVP/CCTR trace file,
+    /// ingested on first use (relative paths resolve against the working
+    /// directory of the run).
     pub workloads: Vec<String>,
     /// Policies to sweep, in column order.
     pub policies: Vec<PolicyKind>,
@@ -211,6 +214,13 @@ impl CampaignSpec {
                     format!("unknown suite selector {sel:?}, expected suite:<spec|xsbench|qualcomm|gap>")
                 })?;
                 suite.member_names().into_iter().for_each(&mut push);
+            } else if let Some(path) = sel.strip_prefix("trace:") {
+                // External trace file: the path is validated for shape
+                // here and for existence/decodability when first used.
+                if path.is_empty() {
+                    return Err(format!("{sel:?} names no file, expected trace:<path>"));
+                }
+                push(sel.clone());
             } else if is_known_workload(sel) {
                 push(sel.clone());
             } else {
@@ -362,6 +372,28 @@ mod tests {
         assert_eq!(s.policies, vec![PolicyKind::Lru, PolicyKind::Srrip]);
         assert_eq!(s.configs().len(), 1);
         assert_eq!(s.configs()[0].0, "llc_x1");
+    }
+
+    #[test]
+    fn trace_selectors_pass_validation_and_expand_verbatim() {
+        let s = CampaignSpec::from_json_str(
+            r#"{"name": "x",
+                "workloads": ["trace:/data/gap/bfs.champsim", "xsbench.small",
+                              "trace:/data/gap/bfs.champsim"],
+                "policies": ["lru"]}"#,
+        )
+        .unwrap();
+        let w = s.expand_workloads().unwrap();
+        assert_eq!(w, ["trace:/data/gap/bfs.champsim", "xsbench.small"], "dedup keeps order");
+        // The selector survives the canonical echo and affects the digest.
+        let text = s.canonical_json().to_pretty();
+        let back = CampaignSpec::from_json_str(&text).unwrap();
+        assert_eq!(back.digest(), s.digest());
+        let err = CampaignSpec::from_json_str(
+            r#"{"name": "x", "workloads": ["trace:"], "policies": ["lru"]}"#,
+        )
+        .unwrap_err();
+        assert!(err.contains("trace:<path>"), "{err}");
     }
 
     #[test]

@@ -5,10 +5,11 @@ use std::io::{BufReader, BufWriter};
 use std::path::PathBuf;
 
 use ccsim_campaign::journal::sim_result_to_json;
-use ccsim_campaign::{Campaign, CampaignSpec, Json, TraceCache};
+use ccsim_campaign::{Campaign, CampaignSpec, Json, ReportDiff, TraceCache};
 use ccsim_core::experiment::report::fmt_f;
 use ccsim_core::experiment::{run_matrix, Table};
 use ccsim_core::{SimConfig, SimResult};
+use ccsim_ingest::{ingest_file, ingest_file_to_trace, IngestOptions, IngestReport, SourceFormat};
 use ccsim_policies::PolicyKind;
 use ccsim_trace::stats::{ReuseProfile, TraceStats};
 use ccsim_trace::{read_trace, write_trace, Trace};
@@ -20,13 +21,24 @@ ccsim — trace-driven LLC replacement-policy characterization
 
 USAGE:
     ccsim trace-gen <workload> <out.cctr> [--quick]
-    ccsim trace-stats <in.cctr>
+    ccsim trace-stats <in>
+    ccsim ingest <in> <out.cctr> [--format <cctr|champsim|cvp>]
+              [--name <name>] [--lossy]
     ccsim sim <in.cctr> [--policy <name>]... [--llc-scale <power-of-two>]
               [--threads <n>] [--json]
     ccsim campaign <spec.json> [--threads <n>] [--out <dir>]
               [--cache-dir <dir>] [--no-cache] [--fresh] [--json] [--quiet]
+              [--dry-run]
+    ccsim report-diff <a/report.json> <b/report.json> [--threshold <mpki>]
     ccsim workloads
     ccsim policies
+
+`ingest` converts an external simulator trace (ChampSim 64-byte
+instruction records or a CVP-style load/store stream; auto-detected
+unless --format is given) into the native CCTR format, streaming —
+multi-GB inputs never materialize in memory. `trace-stats` accepts the
+same foreign formats directly. Campaign specs accept external traces as
+`trace:<path>` workload selectors, converted once into the trace cache.
 
 Multi-policy `sim` runs sweep the policies in parallel (`--threads`,
 default: available cores, max 8); `--json` emits machine-readable
@@ -36,7 +48,13 @@ results instead of the table.
 generated once into a content-addressed cache, every completed cell is
 checkpointed to <out>/journal.jsonl so an interrupted campaign resumes
 where it stopped (`--fresh` discards the journal), and the report is
-written to <out>/report.json and <out>/report.csv.
+written to <out>/report.json and <out>/report.csv. `--dry-run` prints
+the resolved grid and each cell's predicted fate (journaled /
+cached-trace / needs-trace) without simulating anything.
+
+`report-diff` compares two report.json files over the same grid and
+prints per-cell LLC MPKI / miss-ratio / IPC deltas; it exits non-zero
+when any |MPKI delta| exceeds --threshold (default 0, i.e. any change).
 ";
 
 /// Builds the named workload's trace.
@@ -104,12 +122,86 @@ fn load_trace(path: &str) -> Result<Trace, String> {
     read_trace(BufReader::new(file)).map_err(|e| format!("decoding {path}: {e}"))
 }
 
+/// Loads a trace of any supported format: native `CCTR` directly,
+/// foreign formats (ChampSim/CVP) through the ingest pipeline. Returns
+/// the trace plus the ingest report for foreign inputs.
+fn load_any_trace(path: &str) -> Result<(Trace, Option<IngestReport>), String> {
+    let p = std::path::Path::new(path);
+    let format = ccsim_ingest::detect_file(p).map_err(|e| format!("{path}: {e}"))?;
+    if format == SourceFormat::Cctr {
+        return Ok((load_trace(path)?, None));
+    }
+    let opts = IngestOptions { format: Some(format), ..Default::default() };
+    let (trace, report) =
+        ingest_file_to_trace(p, &opts).map_err(|e| format!("ingesting {path}: {e}"))?;
+    Ok((trace, Some(report)))
+}
+
+/// `ccsim ingest <in> <out.cctr> [--format F] [--name N] [--lossy]`
+pub fn ingest(args: &[String]) -> Result<(), String> {
+    let positional = positionals(args, &["--format", "--name"], &["--lossy"])?;
+    let [input, output] = positional[..] else {
+        return Err(format!("expected <in> <out.cctr>\n\n{USAGE}"));
+    };
+    let opts = IngestOptions {
+        format: parse_flag_value::<SourceFormat>(args, "--format")?,
+        name: parse_flag_value::<String>(args, "--name")?,
+        lossy: args.iter().any(|a| a == "--lossy"),
+    };
+    let report = ingest_file(std::path::Path::new(input), std::path::Path::new(output), &opts)
+        .map_err(|e| format!("ingesting {input}: {e}"))?;
+    println!("wrote {output} [{}]", report.name);
+    println!("  {}", report.summary());
+    Ok(())
+}
+
+/// `ccsim report-diff <a.json> <b.json> [--threshold <mpki>]`
+pub fn report_diff(args: &[String]) -> Result<(), String> {
+    let positional = positionals(args, &["--threshold"], &[])?;
+    let [a_path, b_path] = positional[..] else {
+        return Err(format!("expected <a/report.json> <b/report.json>\n\n{USAGE}"));
+    };
+    let threshold: f64 = parse_flag_value(args, "--threshold")?.unwrap_or(0.0);
+    if !threshold.is_finite() || threshold < 0.0 {
+        return Err("--threshold must be a non-negative number".into());
+    }
+    let read = |p: &String| std::fs::read_to_string(p).map_err(|e| format!("reading {p}: {e}"));
+    let diff = ReportDiff::from_json_strs(&read(a_path)?, &read(b_path)?)?;
+    println!(
+        "comparing {} (a) vs {} (b): {} common cells",
+        diff.campaign_a,
+        diff.campaign_b,
+        diff.cells.len()
+    );
+    println!("{}", diff.table().render());
+    if !diff.same_grid() {
+        return Err(format!(
+            "grids differ: {} cell(s) only in a, {} only in b — same-grid reports required",
+            diff.only_in_a.len(),
+            diff.only_in_b.len()
+        ));
+    }
+    let over = diff.cells_over(threshold);
+    println!(
+        "max |llc_mpki delta| = {:.4} over {} cells (threshold {threshold})",
+        diff.max_abs_mpki_delta(),
+        diff.cells.len()
+    );
+    if over > 0 {
+        return Err(format!("{over} cell(s) exceed the LLC-MPKI delta threshold {threshold}"));
+    }
+    Ok(())
+}
+
 /// `ccsim trace-stats <in>`
 pub fn trace_stats(args: &[String]) -> Result<(), String> {
     let [path] = args else {
-        return Err(format!("expected <in.cctr>\n\n{USAGE}"));
+        return Err(format!("expected <in>\n\n{USAGE}"));
     };
-    let trace = load_trace(path)?;
+    let (trace, ingested) = load_any_trace(path)?;
+    if let Some(report) = &ingested {
+        println!("ingested            : {}", report.summary());
+    }
     let s = TraceStats::compute(&trace);
     println!("workload            : {}", trace.name());
     println!("memory records      : {}", trace.len());
@@ -220,12 +312,12 @@ pub fn sim(args: &[String]) -> Result<(), String> {
 }
 
 /// `ccsim campaign <spec.json> [--threads N] [--out DIR] [--cache-dir DIR]
-/// [--no-cache] [--fresh] [--json] [--quiet]`
+/// [--no-cache] [--fresh] [--json] [--quiet] [--dry-run]`
 pub fn campaign(args: &[String]) -> Result<(), String> {
     let positional = positionals(
         args,
         &["--threads", "--out", "--cache-dir"],
-        &["--no-cache", "--fresh", "--json", "--quiet"],
+        &["--no-cache", "--fresh", "--json", "--quiet", "--dry-run"],
     )?;
     let [spec_path] = positional[..] else {
         return Err(format!("expected <spec.json>\n\n{USAGE}"));
@@ -241,9 +333,42 @@ pub fn campaign(args: &[String]) -> Result<(), String> {
         .unwrap_or_else(|| PathBuf::from("campaign-out").join("trace-cache"));
     let json = args.iter().any(|a| a == "--json");
     let quiet = args.iter().any(|a| a == "--quiet");
+    let dry_run = args.iter().any(|a| a == "--dry-run");
+    let journal_path = out_dir.join("journal.jsonl");
+
+    if dry_run {
+        // Inspect only: no output dir, no journal, no cache mutation
+        // beyond creating the (possibly shared) cache directory. With
+        // --fresh the real run would discard the journal first, so the
+        // plan must not count its cells as journaled either.
+        let mut campaign = Campaign::new(spec);
+        if !args.iter().any(|a| a == "--fresh") {
+            campaign = campaign.journal(&journal_path);
+        }
+        if !args.iter().any(|a| a == "--no-cache") {
+            let cache = TraceCache::new(&cache_dir)
+                .map_err(|e| format!("opening trace cache {}: {e}", cache_dir.display()))?;
+            campaign = campaign.cache(cache);
+        }
+        let name = campaign.spec().name.clone();
+        let plan = campaign.plan()?;
+        if !quiet {
+            println!("{}", plan.table().render());
+        }
+        let (journaled, cached, needs, missing) = plan.counts();
+        println!(
+            "campaign {name} (dry run): {} cells — {journaled} journaled, \
+             {cached} trace-cache hits, {needs} to generate/ingest, {missing} missing sources",
+            plan.cells.len()
+        );
+        if missing > 0 {
+            return Err(format!("{missing} cell(s) reference missing trace: source files"));
+        }
+        return Ok(());
+    }
+
     std::fs::create_dir_all(&out_dir)
         .map_err(|e| format!("creating {}: {e}", out_dir.display()))?;
-    let journal_path = out_dir.join("journal.jsonl");
     if args.iter().any(|a| a == "--fresh") && journal_path.exists() {
         std::fs::remove_file(&journal_path)
             .map_err(|e| format!("removing {}: {e}", journal_path.display()))?;
@@ -392,6 +517,137 @@ mod tests {
     fn campaign_rejects_missing_spec() {
         assert!(campaign(&["/nonexistent/spec.json".into()]).is_err());
         assert!(campaign(&[]).is_err());
+    }
+
+    fn write_champsim(path: &std::path::Path, loads: u64) {
+        use ccsim_ingest::champsim::{ChampSimRecord, ChampSimWriter};
+        let mut w = ChampSimWriter::new(File::create(path).unwrap());
+        for i in 0..loads {
+            w.write(&ChampSimRecord::nonmem(0x400 + 8 * i)).unwrap();
+            w.write(&ChampSimRecord::load(0x404 + 8 * i, 0x10000 + 64 * (i % 16))).unwrap();
+        }
+    }
+
+    #[test]
+    fn ingest_command_converts_and_stats_reads_foreign_directly() {
+        let dir = std::env::temp_dir().join(format!("ccsim_cli_ingest_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let input = dir.join("mini.champsim");
+        write_champsim(&input, 50);
+        let out = dir.join("mini.cctr");
+        let in_s: String = input.to_str().unwrap().into();
+        let out_s: String = out.to_str().unwrap().into();
+
+        ingest(&[in_s.clone(), out_s.clone()]).unwrap();
+        let trace = load_trace(&out_s).unwrap();
+        assert_eq!(trace.name(), "mini");
+        assert_eq!(trace.len(), 50);
+        assert_eq!(trace.instructions(), 100);
+
+        // trace-stats accepts the foreign file and the converted one.
+        trace_stats(std::slice::from_ref(&in_s)).unwrap();
+        trace_stats(std::slice::from_ref(&out_s)).unwrap();
+        // And the converted trace simulates.
+        sim(&[out_s.clone(), "--policy".into(), "lru".into()]).unwrap();
+
+        // Explicit name + format flags are honored.
+        let out2 = dir.join("renamed.cctr");
+        ingest(&[
+            in_s.clone(),
+            out2.to_str().unwrap().into(),
+            "--format".into(),
+            "champsim".into(),
+            "--name".into(),
+            "bespoke".into(),
+        ])
+        .unwrap();
+        assert_eq!(load_trace(out2.to_str().unwrap()).unwrap().name(), "bespoke");
+
+        assert!(ingest(std::slice::from_ref(&in_s)).is_err(), "missing output path");
+        assert!(ingest(&[in_s, out_s, "--format".into(), "elf".into()]).is_err(), "unknown format");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn campaign_dry_run_predicts_without_running() {
+        let dir = std::env::temp_dir().join(format!("ccsim_cli_dry_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let spec_path = dir.join("spec.json");
+        std::fs::write(
+            &spec_path,
+            r#"{"name": "dry", "base_config": "tiny",
+                "workloads": ["xsbench.small"], "policies": ["lru", "srrip"]}"#,
+        )
+        .unwrap();
+        let base: Vec<String> = vec![
+            spec_path.to_str().unwrap().into(),
+            "--out".into(),
+            dir.join("out").to_str().unwrap().into(),
+            "--cache-dir".into(),
+            dir.join("cache").to_str().unwrap().into(),
+            "--quiet".into(),
+        ];
+        let mut dry = base.clone();
+        dry.push("--dry-run".into());
+        campaign(&dry).unwrap();
+        assert!(!dir.join("out").exists(), "dry run must not create outputs");
+        campaign(&base).unwrap();
+        campaign(&dry).unwrap(); // everything journaled now
+                                 // --dry-run --fresh models the journal discard without doing it.
+        let mut dry_fresh = dry.clone();
+        dry_fresh.push("--fresh".into());
+        campaign(&dry_fresh).unwrap();
+        assert!(
+            dir.join("out/journal.jsonl").exists(),
+            "--dry-run --fresh must not delete the journal"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn report_diff_flags_regressions_above_threshold() {
+        let dir = std::env::temp_dir().join(format!("ccsim_cli_diff_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let spec_path = dir.join("spec.json");
+        std::fs::write(
+            &spec_path,
+            r#"{"name": "d", "base_config": "tiny",
+                "workloads": ["xsbench.small"], "policies": ["lru"]}"#,
+        )
+        .unwrap();
+        for out in ["a", "b"] {
+            campaign(&[
+                spec_path.to_str().unwrap().into(),
+                "--out".into(),
+                dir.join(out).to_str().unwrap().into(),
+                "--no-cache".into(),
+                "--quiet".into(),
+            ])
+            .unwrap();
+        }
+        let a: String = dir.join("a/report.json").to_str().unwrap().into();
+        let b: String = dir.join("b/report.json").to_str().unwrap().into();
+        // Identical runs diff clean at threshold 0.
+        report_diff(&[a.clone(), b.clone()]).unwrap();
+
+        // Perturb b's llc mpki: the default threshold trips, a loose one
+        // does not.
+        let text = std::fs::read_to_string(&b).unwrap();
+        let needle = "\"llc\": ";
+        let pos = text.find("\"mpki\"").unwrap();
+        let llc = pos + text[pos..].find(needle).unwrap() + needle.len();
+        let end = llc + text[llc..].find([',', '}']).unwrap();
+        let bumped: f64 = text[llc..end].trim().parse::<f64>().unwrap() + 3.0;
+        let patched = format!("{}{}{}", &text[..llc], bumped, &text[end..]);
+        std::fs::write(&b, patched).unwrap();
+        let err = report_diff(&[a.clone(), b.clone()]).unwrap_err();
+        assert!(err.contains("threshold"), "{err}");
+        report_diff(&[a.clone(), b.clone(), "--threshold".into(), "5".into()]).unwrap();
+        assert!(report_diff(&[a, b, "--threshold".into(), "-1".into()]).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -2,16 +2,20 @@
 //!
 //! ```text
 //! ccsim trace-gen <workload> <out.cctr>   capture a workload trace to disk
-//! ccsim trace-stats <in.cctr>             footprint / PC / reuse statistics
+//! ccsim trace-stats <in>                  footprint / PC / reuse statistics
+//! ccsim ingest <in> <out.cctr>            convert a ChampSim/CVP trace to CCTR
 //! ccsim sim <in.cctr> [--policy P]...     simulate a trace file
 //! ccsim campaign <spec.json>              run a declarative campaign
+//! ccsim report-diff <a.json> <b.json>     per-cell deltas of two reports
 //! ccsim workloads                         list available workload names
 //! ccsim policies                          list available policy names
 //! ```
 //!
 //! Workload names: any GAP pair (`bfs.kron`, `pr.twitter`, ...) or a
 //! synthetic suite member (`spec.stream`, `xsbench.large`, `qcom.srv0`).
-//! Add `--quick` to `trace-gen` for reduced-scale captures.
+//! Add `--quick` to `trace-gen` for reduced-scale captures. `trace-stats`
+//! and `ingest` auto-detect foreign formats; campaign specs accept
+//! external trace files as `trace:<path>` workload selectors.
 
 use std::process::ExitCode;
 
@@ -22,8 +26,10 @@ fn main() -> ExitCode {
     let code = match args.first().map(String::as_str) {
         Some("trace-gen") => commands::trace_gen(&args[1..]),
         Some("trace-stats") => commands::trace_stats(&args[1..]),
+        Some("ingest") => commands::ingest(&args[1..]),
         Some("sim") => commands::sim(&args[1..]),
         Some("campaign") => commands::campaign(&args[1..]),
+        Some("report-diff") => commands::report_diff(&args[1..]),
         Some("workloads") => commands::list_workloads(),
         Some("policies") => commands::list_policies(),
         Some("--help") | Some("-h") | None => {

@@ -1,0 +1,91 @@
+//! Streaming content digests for ingest cache keys.
+
+use std::io::Read;
+use std::path::Path;
+
+/// Incremental 64-bit FNV-1a hasher.
+///
+/// The same function the campaign layer uses for cache filenames and spec
+/// digests, in streaming form so multi-gigabyte source files can be
+/// digested without reading them into memory. Stable and dependency-free;
+/// a content *identity*, not a cryptographic hash.
+#[derive(Debug, Clone, Copy)]
+pub struct Fnv64(u64);
+
+impl Fnv64 {
+    /// Creates a hasher in the FNV-1a initial state.
+    pub fn new() -> Fnv64 {
+        Fnv64(0xcbf2_9ce4_8422_2325)
+    }
+
+    /// Folds `bytes` into the running hash.
+    pub fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    /// The current hash value.
+    pub fn finish(self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Fnv64::new()
+    }
+}
+
+/// Digests a file's full contents in 64 KiB chunks (bounded memory).
+///
+/// # Errors
+///
+/// Propagates I/O errors from opening or reading the file.
+pub fn digest_file(path: &Path) -> std::io::Result<u64> {
+    let mut file = std::fs::File::open(path)?;
+    let mut hasher = Fnv64::new();
+    let mut buf = [0u8; 64 * 1024];
+    loop {
+        let n = file.read(&mut buf)?;
+        if n == 0 {
+            return Ok(hasher.finish());
+        }
+        hasher.update(&buf[..n]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_fnv1a_reference_vectors() {
+        assert_eq!(Fnv64::new().finish(), 0xcbf29ce484222325);
+        let mut h = Fnv64::new();
+        h.update(b"a");
+        assert_eq!(h.finish(), 0xaf63dc4c8601ec8c);
+    }
+
+    #[test]
+    fn chunking_does_not_change_the_digest() {
+        let mut whole = Fnv64::new();
+        whole.update(b"hello ingest world");
+        let mut split = Fnv64::new();
+        split.update(b"hello ");
+        split.update(b"ingest ");
+        split.update(b"world");
+        assert_eq!(whole.finish(), split.finish());
+    }
+
+    #[test]
+    fn file_digest_streams_the_contents() {
+        let path = std::env::temp_dir().join(format!("ccsim_digest_{}", std::process::id()));
+        std::fs::write(&path, b"abc").unwrap();
+        let mut h = Fnv64::new();
+        h.update(b"abc");
+        assert_eq!(digest_file(&path).unwrap(), h.finish());
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -1,0 +1,91 @@
+//! Error type for trace ingestion.
+
+use std::error::Error;
+use std::fmt;
+use std::io;
+
+/// Error returned when ingesting an external trace fails.
+#[derive(Debug)]
+pub enum IngestError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The input matches none of the known formats.
+    UnknownFormat,
+    /// A structural problem in the source stream, with the byte offset at
+    /// which it was detected and a short description. In lossy mode most
+    /// of these are downgraded to counted skips instead.
+    Corrupt {
+        /// Byte offset into the source stream.
+        offset: u64,
+        /// What was malformed.
+        what: &'static str,
+    },
+    /// Decoding a pass-through `CCTR` source failed.
+    Cctr(ccsim_trace::DecodeTraceError),
+}
+
+impl fmt::Display for IngestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IngestError::Io(e) => write!(f, "i/o error while ingesting trace: {e}"),
+            IngestError::UnknownFormat => f.write_str(
+                "cannot determine trace format (not CCTR, ChampSim or CVP); \
+                 if the format is known, convert with `ccsim ingest` and an \
+                 explicit --format",
+            ),
+            IngestError::Corrupt { offset, what } => {
+                write!(f, "corrupt source record at byte {offset}: {what}")
+            }
+            IngestError::Cctr(e) => write!(f, "decoding CCTR source: {e}"),
+        }
+    }
+}
+
+impl Error for IngestError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            IngestError::Io(e) => Some(e),
+            IngestError::Cctr(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for IngestError {
+    fn from(e: io::Error) -> Self {
+        IngestError::Io(e)
+    }
+}
+
+impl From<ccsim_trace::DecodeTraceError> for IngestError {
+    fn from(e: ccsim_trace::DecodeTraceError) -> Self {
+        match e {
+            ccsim_trace::DecodeTraceError::Io(io) => IngestError::Io(io),
+            other => IngestError::Cctr(other),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_failure() {
+        assert!(IngestError::UnknownFormat.to_string().contains("format"));
+        let e = IngestError::Corrupt { offset: 64, what: "branch flag" };
+        assert!(e.to_string().contains("byte 64"));
+        assert!(e.to_string().contains("branch flag"));
+        let e = IngestError::from(io::Error::new(io::ErrorKind::UnexpectedEof, "eof"));
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn cctr_io_errors_collapse_to_io() {
+        let inner = io::Error::new(io::ErrorKind::UnexpectedEof, "eof");
+        let e = IngestError::from(ccsim_trace::DecodeTraceError::Io(inner));
+        assert!(matches!(e, IngestError::Io(_)));
+        let e = IngestError::from(ccsim_trace::DecodeTraceError::BadName);
+        assert!(matches!(e, IngestError::Cctr(_)));
+    }
+}

@@ -1,0 +1,194 @@
+//! Source-format identification and auto-detection.
+
+use std::fmt;
+use std::str::FromStr;
+
+use crate::champsim;
+use crate::cvp::MAX_CLASS;
+use crate::IngestError;
+
+/// A trace format the ingest pipeline can decode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SourceFormat {
+    /// The native `CCTR` format (pass-through ingestion: renaming,
+    /// re-normalization, cache population).
+    Cctr,
+    /// ChampSim 64-byte fixed instruction records
+    /// (see [`crate::champsim`]).
+    ChampSim,
+    /// CVP-style variable-length load/store records
+    /// (see [`crate::cvp`]).
+    Cvp,
+}
+
+impl SourceFormat {
+    /// Stable lowercase identifier (CLI flag value, cache-key component).
+    pub fn name(self) -> &'static str {
+        match self {
+            SourceFormat::Cctr => "cctr",
+            SourceFormat::ChampSim => "champsim",
+            SourceFormat::Cvp => "cvp",
+        }
+    }
+
+    /// Identifies the format of a stream from its first bytes and (when
+    /// known) its total length.
+    ///
+    /// Detection is layered:
+    ///
+    /// 1. a `CCTR` magic is authoritative;
+    /// 2. a length that is a positive multiple of 64 whose leading
+    ///    records carry plausible ChampSim branch flags (`is_branch`,
+    ///    `branch_taken` both 0/1) is ChampSim;
+    /// 3. a prefix that walks cleanly as CVP-style records (every class
+    ///    byte in range) is CVP.
+    ///
+    /// `prefix` should carry at least a few records (256 bytes is
+    /// plenty). These are heuristics — a crafted file can fool them —
+    /// so every CLI surface also accepts an explicit `--format`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IngestError::UnknownFormat`] when nothing matches.
+    pub fn detect(prefix: &[u8], file_len: Option<u64>) -> Result<SourceFormat, IngestError> {
+        if prefix.starts_with(&ccsim_trace::CCTR_MAGIC) {
+            return Ok(SourceFormat::Cctr);
+        }
+        if looks_like_champsim(prefix, file_len) {
+            return Ok(SourceFormat::ChampSim);
+        }
+        if looks_like_cvp(prefix) {
+            return Ok(SourceFormat::Cvp);
+        }
+        Err(IngestError::UnknownFormat)
+    }
+}
+
+/// Identifies the format of the file at `path` by reading its length and
+/// first 512 bytes (see [`SourceFormat::detect`]).
+///
+/// # Errors
+///
+/// Propagates I/O errors; returns [`IngestError::UnknownFormat`] when
+/// the contents match no known format.
+pub fn detect_file(path: &std::path::Path) -> Result<SourceFormat, IngestError> {
+    use std::io::Read as _;
+    let mut file = std::fs::File::open(path)?;
+    let len = file.metadata()?.len();
+    let mut prefix = vec![0u8; 512.min(len as usize)];
+    file.read_exact(&mut prefix)?;
+    SourceFormat::detect(&prefix, Some(len))
+}
+
+/// ChampSim shape test: whole number of 64-byte records overall, and
+/// every complete record in the prefix carries 0/1 branch flags.
+fn looks_like_champsim(prefix: &[u8], file_len: Option<u64>) -> bool {
+    match file_len {
+        Some(len) if len > 0 && len % champsim::RECORD_BYTES as u64 == 0 => {}
+        Some(_) => return false,
+        // Length unknown (pure stream): fall through to the flag test.
+        None => {}
+    }
+    let records = prefix.len() / champsim::RECORD_BYTES;
+    if records == 0 {
+        return false;
+    }
+    prefix.chunks_exact(champsim::RECORD_BYTES).all(|r| r[8] <= 1 && r[9] <= 1)
+}
+
+/// CVP shape test: the prefix walks as records with in-range class bytes
+/// (a trailing partial record at the end of the *prefix* is fine).
+fn looks_like_cvp(prefix: &[u8]) -> bool {
+    let mut pos = 0usize;
+    let mut complete = 0usize;
+    while pos + 9 <= prefix.len() {
+        let class = prefix[pos + 8];
+        if class > MAX_CLASS {
+            return false;
+        }
+        pos += if class == 1 || class == 2 { 18 } else { 9 };
+        complete += 1;
+    }
+    complete > 0
+}
+
+impl fmt::Display for SourceFormat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for SourceFormat {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<SourceFormat, String> {
+        match s {
+            "cctr" => Ok(SourceFormat::Cctr),
+            "champsim" => Ok(SourceFormat::ChampSim),
+            "cvp" => Ok(SourceFormat::Cvp),
+            other => Err(format!("unknown trace format {other:?}, expected cctr|champsim|cvp")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::champsim::{ChampSimRecord, ChampSimWriter};
+    use crate::cvp::{CvpRecord, CvpWriter, InstClass};
+
+    #[test]
+    fn names_roundtrip_through_parsing() {
+        for f in [SourceFormat::Cctr, SourceFormat::ChampSim, SourceFormat::Cvp] {
+            assert_eq!(f.name().parse::<SourceFormat>().unwrap(), f);
+            assert_eq!(f.to_string(), f.name());
+        }
+        assert!("elf".parse::<SourceFormat>().is_err());
+    }
+
+    #[test]
+    fn cctr_magic_wins() {
+        let mut bytes = Vec::new();
+        let mut buf = ccsim_trace::TraceBuffer::new("t");
+        buf.load(1, 0, 8);
+        ccsim_trace::write_trace(&buf.finish(), &mut bytes).unwrap();
+        assert_eq!(
+            SourceFormat::detect(&bytes, Some(bytes.len() as u64)).unwrap(),
+            SourceFormat::Cctr
+        );
+    }
+
+    #[test]
+    fn champsim_detected_by_shape() {
+        let mut bytes = Vec::new();
+        let mut w = ChampSimWriter::new(&mut bytes);
+        w.write(&ChampSimRecord::load(0x400000, 0x1000)).unwrap();
+        w.write(&ChampSimRecord::branch(0x400004, true)).unwrap();
+        let len = bytes.len() as u64;
+        assert_eq!(SourceFormat::detect(&bytes, Some(len)).unwrap(), SourceFormat::ChampSim);
+        // An off-size file is never taken for ChampSim (it may still walk
+        // as something else — these are heuristics).
+        let det = SourceFormat::detect(&bytes, Some(len + 1));
+        assert!(!matches!(det, Ok(SourceFormat::ChampSim)), "{det:?}");
+    }
+
+    #[test]
+    fn cvp_detected_by_walking_records() {
+        let mut bytes = Vec::new();
+        let mut w = CvpWriter::new(&mut bytes);
+        w.write(&CvpRecord::nonmem(0x10, InstClass::Alu)).unwrap();
+        w.write(&CvpRecord::load(0x18, 0x1000, 4)).unwrap();
+        w.write(&CvpRecord::store(0x20, 0x2000, 8)).unwrap();
+        let len = bytes.len() as u64;
+        assert_eq!(SourceFormat::detect(&bytes, Some(len)).unwrap(), SourceFormat::Cvp);
+        // Unknown length (stream) still detects by structure.
+        assert_eq!(SourceFormat::detect(&bytes, None).unwrap(), SourceFormat::Cvp);
+    }
+
+    #[test]
+    fn garbage_is_rejected() {
+        let junk = [0xABu8; 100];
+        assert!(matches!(SourceFormat::detect(&junk, Some(100)), Err(IngestError::UnknownFormat)));
+        assert!(matches!(SourceFormat::detect(&[], Some(0)), Err(IngestError::UnknownFormat)));
+    }
+}

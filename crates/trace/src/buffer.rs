@@ -5,10 +5,21 @@ use crate::{AccessKind, Trace, TraceRecord};
 /// Builder that accumulates [`TraceRecord`]s and pending non-memory
 /// instruction counts.
 ///
+/// # The `nonmem_before` splitting invariant
+///
 /// Non-memory instructions registered through [`TraceBuffer::nonmem`] are
-/// attached to the *next* emitted memory record (saturating at `u16::MAX` per
-/// record; overflow spills into synthetic zero-address... no — overflow is
-/// carried over to subsequent records, preserving the exact total).
+/// attached to the *next* emitted memory record's `nonmem_before` field.
+/// That field is a `u16`, so a gap `g > u16::MAX` cannot be carried by one
+/// record; instead it is **split**: each subsequent record acts as a
+/// filler, absorbing up to `u16::MAX` of the remaining gap until it is
+/// drained, and any residue left after the final record lands in the
+/// trace's `trailing_nonmem` (a `u64`, lossless). The placement of
+/// individual non-memory instructions within a huge gap is therefore
+/// approximate, but the **total instruction count is preserved exactly**
+/// — `Trace::instructions()` equals the number of `nonmem` instructions
+/// registered plus the number of records pushed, whatever the gap sizes.
+/// `ccsim-ingest` applies the same rule when folding foreign traces, and
+/// `tests/proptests.rs` pins the round-trip through the `CCTR` format.
 ///
 /// # Examples
 ///

@@ -47,7 +47,10 @@ pub mod synth;
 pub use arena::{Pc, TraceArena, TraceScalar, TracedVec};
 pub use buffer::TraceBuffer;
 pub use error::DecodeTraceError;
-pub use io::{read_trace, write_trace};
+pub use io::{
+    read_trace, read_trace_header, write_trace, TraceHeader, TraceReader, TraceWriter,
+    MAGIC as CCTR_MAGIC, VERSION as CCTR_VERSION,
+};
 pub use record::{AccessKind, Trace, TraceRecord};
 
 /// log2 of the cache block size.

@@ -17,8 +17,11 @@
 //!   three cache levels, DDR4 DRAM) and the experiment harness;
 //! * [`workloads`] — the four benchmark suites of the paper (GAP, SPEC-,
 //!   XSBench- and Qualcomm-like proxies);
+//! * [`ingest`] — streaming ingestion of external simulator traces
+//!   (ChampSim, CVP) into the native `CCTR` format;
 //! * [`campaign`] — declarative, resumable experiment campaigns with an
-//!   on-disk trace cache and deterministic JSON/CSV reports.
+//!   on-disk trace cache (synthetic and ingested), dry-run planning,
+//!   deterministic JSON/CSV reports and cross-campaign diffing.
 //!
 //! # Quickstart
 //!
@@ -39,6 +42,7 @@
 pub use ccsim_campaign as campaign;
 pub use ccsim_core as core;
 pub use ccsim_graph as graph;
+pub use ccsim_ingest as ingest;
 pub use ccsim_policies as policies;
 pub use ccsim_trace as trace;
 pub use ccsim_workloads as workloads;
@@ -50,6 +54,7 @@ pub mod prelude {
         geomean, geomean_speedup_percent, simulate, simulate_with_llc_log, SimConfig, SimResult,
     };
     pub use ccsim_graph::Graph;
+    pub use ccsim_ingest::{IngestOptions, SourceFormat};
     pub use ccsim_policies::{PolicyKind, ReplacementPolicy};
     pub use ccsim_trace::{Trace, TraceArena, TraceBuffer};
     pub use ccsim_workloads::{GapScale, GapWorkload, Suite, SuiteScale};

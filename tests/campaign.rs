@@ -127,6 +127,14 @@ fn checked_in_specs_parse_and_fig3_matches_the_preset() {
     assert_eq!(sweep.llc_scales, vec![1, 2, 4]);
     assert_eq!(sweep.configs().len(), 3);
     assert!(sweep.policies.contains(&PolicyKind::Hawkeye));
+
+    // The ingest demo spec references the checked-in ChampSim fixture by
+    // a repo-root-relative path; keep the selector and fixture in sync.
+    let ingest =
+        CampaignSpec::from_file(&root.join("campaigns/ingest_fixture_quick.json")).unwrap();
+    let workloads = ingest.expand_workloads().unwrap();
+    assert_eq!(workloads[0], "trace:tests/fixtures/ingest_v1.champsim");
+    assert!(root.join("tests/fixtures/ingest_v1.champsim").exists());
 }
 
 /// Pins the v1 JSON report schema byte-for-byte, the way

@@ -1,8 +1,10 @@
 //! Property-based tests over the whole stack.
 
+use ccsim::ingest::champsim::{ChampSimRecord, ChampSimWriter};
+use ccsim::ingest::{ingest, ingest_to_trace, IngestOptions};
 use ccsim::policies::belady::belady_replay;
 use ccsim::prelude::*;
-use ccsim::trace::{read_trace, write_trace, AccessKind, TraceRecord};
+use ccsim::trace::{read_trace, write_trace, AccessKind, TraceBuffer, TraceRecord};
 use proptest::prelude::*;
 
 fn arb_record() -> impl Strategy<Value = TraceRecord> {
@@ -32,6 +34,89 @@ proptest! {
         write_trace(&trace, &mut bytes).unwrap();
         let back = read_trace(&bytes[..]).unwrap();
         prop_assert_eq!(back, trace);
+    }
+
+    /// The `nonmem_before` splitting invariant (`TraceBuffer` docs):
+    /// arbitrary non-memory gaps — including ones far beyond `u16::MAX`
+    /// — survive construction and a `CCTR` round-trip with the exact
+    /// instruction total intact, each record's field saturating at
+    /// `u16::MAX` and the residue landing in `trailing_nonmem`.
+    #[test]
+    fn nonmem_gaps_beyond_u16_split_losslessly(
+        gaps in proptest::collection::vec(0u64..200_000, 1..40),
+        trailing in 0u64..200_000,
+    ) {
+        let mut buf = TraceBuffer::new("gaps");
+        for (i, &gap) in gaps.iter().enumerate() {
+            buf.nonmem(gap);
+            buf.load(0x400, 64 * i as u64, 8);
+        }
+        buf.nonmem(trailing);
+        let trace = buf.finish();
+        let expected = gaps.iter().sum::<u64>() + trailing + gaps.len() as u64;
+        prop_assert_eq!(trace.instructions(), expected);
+        // The split is canonical: greedy front-loading, so a record only
+        // carries less than u16::MAX when the backlog is drained.
+        let mut backlog = 0u64;
+        for (r, &gap) in trace.records().iter().zip(&gaps) {
+            backlog += gap;
+            let take = backlog.min(u16::MAX as u64);
+            prop_assert_eq!(r.nonmem_before as u64, take);
+            backlog -= take;
+        }
+        prop_assert_eq!(trace.trailing_nonmem(), backlog + trailing);
+
+        let mut bytes = Vec::new();
+        write_trace(&trace, &mut bytes).unwrap();
+        let back = read_trace(&bytes[..]).unwrap();
+        prop_assert_eq!(back.instructions(), expected);
+        prop_assert_eq!(back, trace);
+    }
+
+    /// Ingesting arbitrary ChampSim instruction streams: the streaming
+    /// and in-memory pipelines emit identical bytes, and the exact
+    /// accounting identity `output = source + residual_debt` holds.
+    #[test]
+    fn champsim_ingest_streaming_equals_in_memory(
+        instrs in proptest::collection::vec(
+            (0u64..1 << 40, 0u8..4, 0u8..3, any::<bool>()), 0..120),
+    ) {
+        let mut source = Vec::new();
+        let mut w = ChampSimWriter::new(&mut source);
+        let mut source_instructions = 0u64;
+        for &(pc, loads, stores, branch) in &instrs {
+            let mut rec = if branch {
+                ChampSimRecord::branch(pc, pc % 2 == 0)
+            } else {
+                ChampSimRecord::nonmem(pc)
+            };
+            for l in 0..loads {
+                rec.source_memory[l as usize] = 0x1000 + 64 * (pc % 97) + l as u64;
+            }
+            for s in 0..stores {
+                rec.destination_memory[s as usize] = 0x8000_0000 + 64 * (pc % 31) + s as u64;
+            }
+            w.write(&rec).unwrap();
+            source_instructions += 1;
+        }
+        // Explicit format: an empty stream has nothing to auto-detect.
+        let opts = IngestOptions {
+            format: Some(SourceFormat::ChampSim),
+            name: Some("prop".into()),
+            ..Default::default()
+        };
+        let (trace, report) = ingest_to_trace(&source[..], &opts).unwrap();
+        let mut via_mem = Vec::new();
+        write_trace(&trace, &mut via_mem).unwrap();
+        let mut cursor = std::io::Cursor::new(Vec::new());
+        let stream_report = ingest(&source[..], &mut cursor, &opts).unwrap();
+        prop_assert_eq!(cursor.into_inner(), via_mem);
+        prop_assert_eq!(&report, &stream_report);
+        prop_assert_eq!(report.source_instructions, source_instructions);
+        prop_assert_eq!(
+            trace.instructions(),
+            report.source_instructions + report.residual_debt
+        );
     }
 
     /// The reuse profile conserves mass on arbitrary traces.
