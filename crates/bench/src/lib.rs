@@ -11,6 +11,9 @@
 
 #![warn(missing_docs)]
 
+pub mod alloc_track;
+pub mod throughput;
+
 use ccsim_core::experiment::{run_matrix, MatrixEntry};
 use ccsim_core::{SimConfig, SimResult};
 use ccsim_policies::PolicyKind;

@@ -1,0 +1,360 @@
+//! Simulator throughput benchmarking (`ccsim bench`).
+//!
+//! The paper's characterization replays billions of memory accesses per
+//! (workload × policy × LLC-size) cell, so *simulator* records-per-second —
+//! not simulated IPC — is the binding constraint on campaign scale. This
+//! module measures it over a small matrix of synthetic patterns chosen to
+//! stress the distinct cost regimes of the hot path:
+//!
+//! * `llc_thrash` — a sequential sweep over twice the LLC capacity: every
+//!   access misses at every level and every fill finds a full set, so the
+//!   victim-selection path (the allocation/dispatch hot spot) runs at every
+//!   level on every record. This is the *eviction-heavy microbench* that
+//!   perf-regression gates compare against `BENCH_seed.json`.
+//! * `random_churn` — uniform random access over twice the LLC capacity:
+//!   the same miss behaviour with set-index and DRAM-row entropy.
+//! * `l1_hot` — a loop over an L1-resident buffer: the pure hit path
+//!   (lookup + policy promotion, no victim queries).
+//!
+//! Each (pattern × policy) cell runs `warmup` untimed repetitions followed
+//! by `reps` timed ones; the best and median records/sec are reported (the
+//! best approximates the noise floor, the median guards against a lucky
+//! outlier). Results serialize to a pinned JSON schema
+//! ([`BENCH_SCHEMA_VERSION`], fixture `tests/fixtures/bench_v1.json`) so CI
+//! dashboards can consume them alongside campaign reports.
+
+use std::time::Instant;
+
+use ccsim_campaign::Json;
+use ccsim_core::{simulate, SimConfig};
+use ccsim_policies::PolicyKind;
+use ccsim_trace::synth::{PatternGen, RandomAccess, SequentialStream};
+use ccsim_trace::{Trace, TraceBuffer};
+
+use crate::alloc_track;
+
+/// Version of the `ccsim bench --json` output schema.
+pub const BENCH_SCHEMA_VERSION: u64 = 1;
+
+/// Pattern name of the eviction-heavy microbench that perf gates track.
+pub const EVICTION_HEAVY_PATTERN: &str = "llc_thrash";
+
+/// Options for a throughput run.
+#[derive(Debug, Clone)]
+pub struct ThroughputOptions {
+    /// Reduced-scale traces and repetition counts (CI smoke).
+    pub quick: bool,
+    /// Policies to measure; defaults to LRU plus the paper's six.
+    pub policies: Vec<PolicyKind>,
+    /// Untimed repetitions per cell before measurement.
+    pub warmup: u32,
+    /// Timed repetitions per cell.
+    pub reps: u32,
+}
+
+impl ThroughputOptions {
+    /// Default options at the given scale: LRU + the paper's six policies,
+    /// one warmup repetition, five timed repetitions (three when quick).
+    pub fn new(quick: bool) -> ThroughputOptions {
+        let mut policies = vec![PolicyKind::Lru];
+        policies.extend(PolicyKind::PAPER_POLICIES);
+        if quick {
+            policies = vec![PolicyKind::Lru, PolicyKind::Srrip, PolicyKind::Hawkeye];
+        }
+        ThroughputOptions { quick, policies, warmup: 1, reps: if quick { 3 } else { 5 } }
+    }
+}
+
+/// One measured (pattern × policy) cell.
+#[derive(Debug, Clone)]
+pub struct BenchCell {
+    /// Pattern name (`llc_thrash`, `random_churn`, `l1_hot`).
+    pub pattern: &'static str,
+    /// Policy measured.
+    pub policy: PolicyKind,
+    /// Trace records replayed per repetition.
+    pub records: u64,
+    /// Timed repetitions.
+    pub reps: u32,
+    /// Best records/second across the timed repetitions.
+    pub best_rps: f64,
+    /// Median records/second across the timed repetitions.
+    pub median_rps: f64,
+}
+
+impl BenchCell {
+    /// Nanoseconds per record at the best repetition.
+    pub fn best_ns_per_record(&self) -> f64 {
+        if self.best_rps == 0.0 {
+            return 0.0;
+        }
+        1e9 / self.best_rps
+    }
+}
+
+/// Outcome of the steady-state allocation check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AllocCheck {
+    /// Zero heap allocations per steady-state record.
+    Pass,
+    /// This many heap allocations per record (the delta between two runs
+    /// differing by the given record count, divided down).
+    Fail(u64),
+    /// No counting allocator is installed in this process.
+    Unavailable,
+}
+
+impl AllocCheck {
+    /// Stable status label (`pass` / `fail` / `unavailable`).
+    pub fn status(&self) -> &'static str {
+        match self {
+            AllocCheck::Pass => "pass",
+            AllocCheck::Fail(_) => "fail",
+            AllocCheck::Unavailable => "unavailable",
+        }
+    }
+}
+
+/// A full throughput report.
+#[derive(Debug, Clone)]
+pub struct BenchReport {
+    /// Simulated platform summary.
+    pub platform: String,
+    /// Whether reduced-scale inputs were used.
+    pub quick: bool,
+    /// Untimed repetitions per cell.
+    pub warmup: u32,
+    /// Timed repetitions per cell.
+    pub reps: u32,
+    /// Hot-path generation identifier ([`ccsim_core::HOT_PATH`]).
+    pub hot_path: &'static str,
+    /// Steady-state allocation check outcome.
+    pub alloc_check: AllocCheck,
+    /// Measured cells, pattern-major in declaration order, policy-minor in
+    /// option order.
+    pub cells: Vec<BenchCell>,
+}
+
+/// Builds the benchmark traces at the requested scale.
+///
+/// Record counts are chosen so every cell replays enough records for the
+/// timer to dominate scheduling noise (~1M full scale, ~180k quick) while
+/// a full default run stays in tens of seconds.
+pub fn bench_traces(quick: bool) -> Vec<(&'static str, Trace)> {
+    let llc_bytes = SimConfig::cascade_lake().llc.capacity_bytes();
+    let thrash_bytes = 2 * llc_bytes;
+    let blocks = thrash_bytes / 64;
+    let laps = if quick { 4 } else { 23 };
+    let count = if quick { 150_000 } else { 1_000_000 };
+
+    let mut thrash = TraceBuffer::new(EVICTION_HEAVY_PATTERN);
+    SequentialStream::new(0x1000_0000, thrash_bytes).stride(64).laps(laps).emit(&mut thrash);
+
+    let mut churn = TraceBuffer::new("random_churn");
+    RandomAccess::new(0x4000_0000, blocks, 64, count).seed(11).emit(&mut churn);
+
+    let mut hot = TraceBuffer::new("l1_hot");
+    let hot_laps = (count / (16 * 1024 / 8)).max(1) as u32;
+    SequentialStream::new(0x2000_0000, 16 * 1024).laps(hot_laps).emit(&mut hot);
+
+    vec![
+        (EVICTION_HEAVY_PATTERN, thrash.finish()),
+        ("random_churn", churn.finish()),
+        ("l1_hot", hot.finish()),
+    ]
+}
+
+/// Measures one (trace × policy) cell.
+fn measure_cell(
+    pattern: &'static str,
+    trace: &Trace,
+    policy: PolicyKind,
+    config: &SimConfig,
+    warmup: u32,
+    reps: u32,
+) -> BenchCell {
+    for _ in 0..warmup {
+        std::hint::black_box(simulate(trace, config, policy));
+    }
+    let mut rps: Vec<f64> = (0..reps)
+        .map(|_| {
+            let start = Instant::now();
+            std::hint::black_box(simulate(trace, config, policy));
+            trace.len() as f64 / start.elapsed().as_secs_f64().max(1e-9)
+        })
+        .collect();
+    rps.sort_by(|a, b| a.total_cmp(b));
+    BenchCell {
+        pattern,
+        policy,
+        records: trace.len() as u64,
+        reps,
+        best_rps: *rps.last().expect("reps > 0"),
+        median_rps: rps[rps.len() / 2],
+    }
+}
+
+/// Verifies the zero-allocations-per-steady-state-record contract by
+/// differencing: two LRU replays of the same eviction-heavy pattern,
+/// differing only in lap count, must allocate *exactly* the same number of
+/// times — end-of-run result assembly cancels out, so any difference is a
+/// per-record allocation. Requires a [`crate::alloc_track::CountingAlloc`]
+/// in the running binary; reports [`AllocCheck::Unavailable`] otherwise.
+pub fn steady_state_alloc_check() -> AllocCheck {
+    if !alloc_track::counting_enabled() {
+        return AllocCheck::Unavailable;
+    }
+    let config = SimConfig::cascade_lake();
+    let bytes = 2 * config.llc.capacity_bytes();
+    let build = |laps: u32| {
+        let mut buf = TraceBuffer::new("alloc_probe");
+        SequentialStream::new(0x1000_0000, bytes).stride(64).laps(laps).emit(&mut buf);
+        buf.finish()
+    };
+    let short = build(2);
+    let long = build(4);
+    let extra_records = (long.len() - short.len()) as u64;
+    let count = |trace: &Trace| {
+        let before = alloc_track::allocations();
+        std::hint::black_box(simulate(trace, &config, PolicyKind::Lru));
+        alloc_track::allocations() - before
+    };
+    // Warm both so one-time lazy work (thread-locals etc.) is excluded.
+    count(&short);
+    count(&long);
+    let delta = count(&long).saturating_sub(count(&short));
+    if delta == 0 {
+        AllocCheck::Pass
+    } else {
+        AllocCheck::Fail(delta.div_ceil(extra_records.max(1)).max(1))
+    }
+}
+
+/// Runs the full throughput matrix.
+pub fn run_throughput(options: &ThroughputOptions) -> BenchReport {
+    let config = SimConfig::cascade_lake();
+    let traces = bench_traces(options.quick);
+    let mut cells = Vec::new();
+    for (pattern, trace) in &traces {
+        for &policy in &options.policies {
+            cells.push(measure_cell(pattern, trace, policy, &config, options.warmup, options.reps));
+        }
+    }
+    BenchReport {
+        platform: config.to_string(),
+        quick: options.quick,
+        warmup: options.warmup,
+        reps: options.reps,
+        hot_path: ccsim_core::HOT_PATH,
+        alloc_check: steady_state_alloc_check(),
+        cells,
+    }
+}
+
+impl BenchReport {
+    /// The report as a JSON tree in the pinned schema
+    /// ([`BENCH_SCHEMA_VERSION`]; fixture `tests/fixtures/bench_v1.json`).
+    pub fn to_json(&self) -> Json {
+        let alloc = match self.alloc_check {
+            AllocCheck::Pass => {
+                Json::obj(vec![("status", Json::str("pass")), ("allocs_per_record", Json::int(0))])
+            }
+            AllocCheck::Fail(n) => {
+                Json::obj(vec![("status", Json::str("fail")), ("allocs_per_record", Json::int(n))])
+            }
+            AllocCheck::Unavailable => Json::obj(vec![
+                ("status", Json::str("unavailable")),
+                ("allocs_per_record", Json::Null),
+            ]),
+        };
+        let cells = self
+            .cells
+            .iter()
+            .map(|c| {
+                Json::obj(vec![
+                    ("pattern", Json::str(c.pattern)),
+                    ("policy", Json::str(c.policy.name())),
+                    ("records", Json::int(c.records)),
+                    ("reps", Json::int(c.reps as u64)),
+                    ("best_rps", Json::num(c.best_rps)),
+                    ("median_rps", Json::num(c.median_rps)),
+                    ("best_ns_per_record", Json::num(c.best_ns_per_record())),
+                ])
+            })
+            .collect();
+        Json::obj(vec![
+            ("ccsim_bench", Json::int(BENCH_SCHEMA_VERSION)),
+            ("platform", Json::str(&self.platform)),
+            ("quick", Json::Bool(self.quick)),
+            ("warmup", Json::int(self.warmup as u64)),
+            ("reps", Json::int(self.reps as u64)),
+            ("hot_path", Json::str(self.hot_path)),
+            ("alloc_check", alloc),
+            ("cells", Json::Arr(cells)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_traces_have_expected_shapes() {
+        let traces = bench_traces(true);
+        assert_eq!(traces.len(), 3);
+        assert_eq!(traces[0].0, EVICTION_HEAVY_PATTERN);
+        for (name, trace) in &traces {
+            assert!(trace.len() > 50_000, "{name} too small: {}", trace.len());
+        }
+        // The thrash working set must exceed the LLC so steady-state fills
+        // always find full sets.
+        let llc_blocks = SimConfig::cascade_lake().llc.capacity_bytes() / 64;
+        let stats = ccsim_trace::stats::TraceStats::compute(&traces[0].1);
+        assert!(stats.footprint_blocks > llc_blocks, "thrash must exceed the LLC");
+    }
+
+    #[test]
+    fn measure_cell_reports_ordered_statistics() {
+        let mut buf = TraceBuffer::new("t");
+        SequentialStream::new(0, 1 << 12).emit(&mut buf);
+        let trace = buf.finish();
+        let cell = measure_cell("t", &trace, PolicyKind::Lru, &SimConfig::tiny(), 0, 3);
+        assert_eq!(cell.records, trace.len() as u64);
+        assert!(cell.best_rps >= cell.median_rps);
+        assert!(cell.best_ns_per_record() > 0.0);
+    }
+
+    #[test]
+    fn alloc_check_without_counting_allocator_is_unavailable() {
+        // The test harness binary does not install CountingAlloc.
+        assert_eq!(steady_state_alloc_check(), AllocCheck::Unavailable);
+        assert_eq!(AllocCheck::Unavailable.status(), "unavailable");
+        assert_eq!(AllocCheck::Pass.status(), "pass");
+        assert_eq!(AllocCheck::Fail(3).status(), "fail");
+    }
+
+    #[test]
+    fn report_serializes_in_schema_order() {
+        let report = BenchReport {
+            platform: "test".into(),
+            quick: true,
+            warmup: 1,
+            reps: 3,
+            hot_path: ccsim_core::HOT_PATH,
+            alloc_check: AllocCheck::Pass,
+            cells: vec![BenchCell {
+                pattern: "llc_thrash",
+                policy: PolicyKind::Lru,
+                records: 10,
+                reps: 3,
+                best_rps: 100.0,
+                median_rps: 90.0,
+            }],
+        };
+        let json = report.to_json().to_string();
+        assert!(json.starts_with(r#"{"ccsim_bench":1,"#), "{json}");
+        assert!(json.contains(r#""alloc_check":{"status":"pass","allocs_per_record":0}"#));
+        assert!(json.contains(r#""pattern":"llc_thrash""#));
+    }
+}

@@ -20,7 +20,7 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use ccsim_ingest::{detect_file, digest_file, ingest_file, IngestOptions};
-use ccsim_trace::{read_trace, read_trace_header, write_trace, Trace};
+use ccsim_trace::{read_trace, read_trace_header, write_trace, Trace, TraceReader};
 use ccsim_workloads::SuiteScale;
 
 use crate::spec::fnv1a64;
@@ -142,30 +142,49 @@ impl TraceCache {
         Ok(self.root.join(format!("ingest-{:016x}.cctr", fnv1a64(key.as_bytes()))))
     }
 
-    /// Returns the cached conversion of the external trace `source`, or
-    /// ingests it (streaming, bounded memory), stores the result, and
-    /// reads it back. The same tmp-file + atomic-rename discipline as
-    /// [`TraceCache::get_or_generate`] applies, and a present-but-corrupt
-    /// or truncated entry (bad magic, short file) is detected and
-    /// re-ingested rather than poisoning every downstream cell.
+    /// Ensures a cached conversion of the external trace `source` exists
+    /// on disk and returns its path — without materializing the records,
+    /// so callers can stream the entry through
+    /// [`ccsim_core::simulate_stream`] in O(1) memory. A missing,
+    /// truncated, magic-damaged, misnamed or record-corrupt entry is
+    /// re-ingested (validation decodes every record in bounded memory,
+    /// preserving the poisoned-cache recovery guarantee the old
+    /// full-read path provided) with the usual tmp-file + atomic-rename
+    /// discipline.
     ///
     /// # Errors
     ///
     /// Returns a message on unreadable sources, undetectable formats,
     /// corrupt source records (strict mode) and cache I/O failures.
-    pub fn get_or_ingest(&self, source: &Path, opts: &IngestOptions) -> Result<Trace, String> {
+    pub fn ensure_ingested(&self, source: &Path, opts: &IngestOptions) -> Result<PathBuf, String> {
         let path = self.path_for_ingested(source, opts)?;
-        if let Ok(file) = File::open(&path) {
-            match read_trace(BufReader::new(file)) {
-                Ok(trace) if opts.name.as_deref().is_none_or(|n| n == trace.name()) => {
-                    self.hits.fetch_add(1, Ordering::Relaxed);
-                    return Ok(trace);
-                }
-                _ => {
-                    // Corrupt, truncated or aliased: fall through and
-                    // re-ingest over it.
+        let entry_matches = || -> bool {
+            let Some(header) = valid_entry_header(&path) else {
+                return false;
+            };
+            if opts.name.as_deref().is_some_and(|n| n != header.name) {
+                return false;
+            }
+            // Record-level scan: a flipped byte mid-file must fall
+            // through to re-ingest here, not abort every downstream cell
+            // at replay time. One sequential pass, one record in memory.
+            let Ok(file) = File::open(&path) else {
+                return false;
+            };
+            let Ok(mut reader) = TraceReader::new(BufReader::new(file)) else {
+                return false;
+            };
+            loop {
+                match reader.next_record() {
+                    Ok(Some(_)) => {}
+                    Ok(None) => return true,
+                    Err(_) => return false,
                 }
             }
+        };
+        if entry_matches() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(path);
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
         let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
@@ -178,6 +197,21 @@ impl TraceCache {
         convert().inspect_err(|_| {
             let _ = std::fs::remove_file(&tmp);
         })?;
+        Ok(path)
+    }
+
+    /// Returns the cached conversion of the external trace `source` as an
+    /// in-memory [`Trace`], ingesting it first if needed (see
+    /// [`TraceCache::ensure_ingested`]). Campaign cells stream entries
+    /// instead; this remains for callers that genuinely need the whole
+    /// trace resident.
+    ///
+    /// # Errors
+    ///
+    /// As [`TraceCache::ensure_ingested`], plus decode failures on the
+    /// cached entry itself.
+    pub fn get_or_ingest(&self, source: &Path, opts: &IngestOptions) -> Result<Trace, String> {
+        let path = self.ensure_ingested(source, opts)?;
         let file = File::open(&path)
             .map_err(|e| format!("reopening ingested trace {}: {e}", path.display()))?;
         read_trace(BufReader::new(file))
@@ -186,19 +220,21 @@ impl TraceCache {
 
     /// `true` if `path` holds a structurally valid `CCTR` file: good
     /// magic and header, and exactly the length the header promises.
-    /// Used by campaign dry-runs to predict cache hits cheaply.
+    /// Used by campaign dry-runs to predict cache hits cheaply (the
+    /// actual acquisition, [`TraceCache::ensure_ingested`], additionally
+    /// scans the records).
     pub fn entry_is_valid(path: &Path) -> bool {
-        let Ok(file) = File::open(path) else {
-            return false;
-        };
-        let Ok(meta) = file.metadata() else {
-            return false;
-        };
-        match read_trace_header(BufReader::new(file)) {
-            Ok(header) => header.expected_file_len() == meta.len(),
-            Err(_) => false,
-        }
+        valid_entry_header(path).is_some()
     }
+}
+
+/// Shared structural probe: the parsed header of `path` if its magic,
+/// header and exact file length check out; `None` otherwise.
+fn valid_entry_header(path: &Path) -> Option<ccsim_trace::TraceHeader> {
+    let file = File::open(path).ok()?;
+    let meta = file.metadata().ok()?;
+    let header = read_trace_header(BufReader::new(file)).ok()?;
+    (header.expected_file_len() == meta.len()).then_some(header)
 }
 
 #[cfg(test)]
@@ -315,6 +351,32 @@ mod tests {
         // Editing the file in place changes the digest, hence the key.
         write_champsim_sample(&source, 5);
         assert_ne!(p1, cache.path_for_ingested(&source, &opts).unwrap());
+        std::fs::remove_dir_all(cache.root()).unwrap();
+    }
+
+    #[test]
+    fn record_corrupt_ingest_entry_is_detected_and_reingested() {
+        let cache = temp_cache("ingest_bitflip");
+        let source = cache.root().join("sample.champsim");
+        write_champsim_sample(&source, 8);
+        let opts = IngestOptions { name: Some("ext".into()), ..Default::default() };
+        let good = cache.get_or_ingest(&source, &opts).unwrap();
+        let entry = cache.path_for_ingested(&source, &opts).unwrap();
+
+        // Flip one record's access-kind byte mid-file: header and length
+        // stay intact, so only the record scan can catch it — and it
+        // must heal the entry rather than poison downstream streaming
+        // cells.
+        let mut bytes = std::fs::read(&entry).unwrap();
+        let kind_off = bytes.len() - 3 * 20 + 17; // third-from-last record
+        bytes[kind_off] = 9;
+        std::fs::write(&entry, &bytes).unwrap();
+        assert!(TraceCache::entry_is_valid(&entry), "header probe alone cannot see this");
+
+        let path = cache.ensure_ingested(&source, &opts).unwrap();
+        assert_eq!(cache.misses(), 2, "record corruption fell through to re-ingest");
+        let healed = read_trace(BufReader::new(File::open(path).unwrap())).unwrap();
+        assert_eq!(healed, good, "entry repaired in place");
         std::fs::remove_dir_all(cache.root()).unwrap();
     }
 

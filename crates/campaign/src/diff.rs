@@ -13,6 +13,9 @@ use ccsim_core::experiment::Table;
 
 use crate::json::Json;
 
+/// Version of the `report-diff --json` output schema.
+pub const DIFF_SCHEMA_VERSION: u64 = 1;
+
 /// The comparable metrics of one report cell.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CellMetrics {
@@ -119,6 +122,53 @@ impl ReportDiff {
         self.cells.iter().filter(|c| c.mpki_delta().abs() > threshold).count()
     }
 
+    /// Machine-readable rendering (`ccsim report-diff --json`): schema
+    /// [`DIFF_SCHEMA_VERSION`], one object per common cell with both
+    /// sides' metrics and the signed deltas, plus the summary fields CI
+    /// dashboards gate on (`max_abs_mpki_delta`, `cells_over_threshold`,
+    /// `same_grid`).
+    pub fn to_json(&self, threshold: f64) -> Json {
+        let metrics = |m: &CellMetrics| {
+            Json::obj(vec![
+                ("llc_mpki", Json::num(m.llc_mpki)),
+                ("llc_miss_ratio", Json::num(m.llc_miss_ratio)),
+                ("ipc", Json::num(m.ipc)),
+            ])
+        };
+        let cells = self
+            .cells
+            .iter()
+            .map(|c| {
+                Json::obj(vec![
+                    ("id", Json::str(&c.id)),
+                    ("a", metrics(&c.a)),
+                    ("b", metrics(&c.b)),
+                    (
+                        "delta",
+                        Json::obj(vec![
+                            ("llc_mpki", Json::num(c.mpki_delta())),
+                            ("llc_miss_ratio_pp", Json::num(c.miss_ratio_delta_pp())),
+                            ("ipc_percent", Json::num(c.ipc_delta_percent())),
+                        ]),
+                    ),
+                ])
+            })
+            .collect();
+        let ids = |v: &[String]| Json::Arr(v.iter().map(Json::str).collect());
+        Json::obj(vec![
+            ("ccsim_report_diff", Json::int(DIFF_SCHEMA_VERSION)),
+            ("campaign_a", Json::str(&self.campaign_a)),
+            ("campaign_b", Json::str(&self.campaign_b)),
+            ("same_grid", Json::Bool(self.same_grid())),
+            ("threshold", Json::num(threshold)),
+            ("max_abs_mpki_delta", Json::num(self.max_abs_mpki_delta())),
+            ("cells_over_threshold", Json::int(self.cells_over(threshold) as u64)),
+            ("cells", Json::Arr(cells)),
+            ("only_in_a", ids(&self.only_in_a)),
+            ("only_in_b", ids(&self.only_in_b)),
+        ])
+    }
+
     /// Per-cell delta table (also the CSV layout of `report-diff`).
     pub fn table(&self) -> Table {
         let mut t = Table::new(
@@ -163,7 +213,12 @@ fn parse_report(text: &str) -> Result<ParsedReport, String> {
         .get("schema_version")
         .and_then(Json::as_u64)
         .ok_or("missing \"schema_version\" (not a campaign report?)")?;
-    if schema != crate::report::REPORT_SCHEMA_VERSION {
+    // The diff only reads derived metrics, which every schema since v1
+    // carries — accept the whole supported range so reports from older
+    // revisions remain comparable.
+    if !(crate::report::MIN_REPORT_SCHEMA_VERSION..=crate::report::REPORT_SCHEMA_VERSION)
+        .contains(&schema)
+    {
         return Err(format!("unsupported report schema version {schema}"));
     }
     let campaign =
@@ -266,6 +321,28 @@ mod tests {
         assert!(!d.same_grid());
         assert!(d.only_in_a.is_empty());
         assert_eq!(d.only_in_b, ["pr.twitter|llc_x1|lru"]);
+    }
+
+    #[test]
+    fn json_rendering_carries_summary_and_cell_deltas() {
+        let a = report("x", 5.0, 0.4, 1.5, false);
+        let b = report("y", 6.5, 0.5, 1.2, true);
+        let d = ReportDiff::from_json_strs(&a, &b).unwrap();
+        let j = d.to_json(1.0);
+        assert_eq!(j.get("ccsim_report_diff").and_then(Json::as_u64), Some(DIFF_SCHEMA_VERSION));
+        assert_eq!(j.get("campaign_b").and_then(Json::as_str), Some("y"));
+        assert_eq!(j.get("same_grid"), Some(&Json::Bool(false)));
+        assert_eq!(j.get("cells_over_threshold").and_then(Json::as_u64), Some(1));
+        let cells = j.get("cells").unwrap().as_array().unwrap();
+        assert_eq!(cells.len(), 1);
+        let delta = cells[0].get("delta").unwrap();
+        assert!((delta.get("llc_mpki").unwrap().as_f64().unwrap() - 1.5).abs() < 1e-12);
+        assert!((delta.get("ipc_percent").unwrap().as_f64().unwrap() - -20.0).abs() < 1e-9);
+        let only_b = j.get("only_in_b").unwrap().as_array().unwrap();
+        assert_eq!(only_b.len(), 1);
+        // The document is valid JSON and round-trips.
+        let text = j.to_pretty();
+        assert_eq!(Json::parse(&text).unwrap(), j);
     }
 
     #[test]

@@ -212,6 +212,7 @@ fn cache_stats_to_json(s: &CacheStats) -> Json {
         ("evictions", Json::int(s.evictions)),
         ("writebacks_out", Json::int(s.writebacks_out)),
         ("bypasses", Json::int(s.bypasses)),
+        ("writeback_bypass_overrides", Json::int(s.writeback_bypass_overrides)),
     ])
 }
 
@@ -228,6 +229,8 @@ fn cache_stats_from_json(v: &Json) -> Option<CacheStats> {
         evictions: f("evictions")?,
         writebacks_out: f("writebacks_out")?,
         bypasses: f("bypasses")?,
+        // Absent in journals written before the stat existed: zero then.
+        writeback_bypass_overrides: f("writeback_bypass_overrides").unwrap_or(0),
     })
 }
 

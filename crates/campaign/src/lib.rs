@@ -43,7 +43,7 @@
 //! let outcome = Campaign::new(spec).threads(2).run().unwrap();
 //! assert_eq!(outcome.report.cells.len(), 2);
 //! let json = outcome.report.to_json_string();
-//! assert!(json.contains("\"schema_version\": 1"));
+//! assert!(json.contains("\"schema_version\": 2"));
 //! ```
 
 #![warn(missing_docs)]
@@ -60,6 +60,6 @@ pub use cache::TraceCache;
 pub use diff::{DiffCell, ReportDiff};
 pub use journal::Journal;
 pub use json::Json;
-pub use report::{CampaignCell, CampaignReport, RawCell};
+pub use report::{CampaignCell, CampaignReport, RawCell, REPORT_SCHEMA_VERSION};
 pub use runner::{Campaign, CampaignOutcome, CampaignPlan, CellStatus, PlanCell};
 pub use spec::{presets, BaseConfig, CampaignSpec};

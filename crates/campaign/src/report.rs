@@ -6,7 +6,8 @@
 //! level, DRAM reach, speed-up over LRU). It renders as:
 //!
 //! * canonical JSON ([`CampaignReport::to_json`], schema pinned by
-//!   `tests/fixtures/campaign_report_v1.json`),
+//!   `tests/fixtures/campaign_report_v2.json`; v2 added the
+//!   `writeback_bypass_overrides` cache counter),
 //! * per-cell CSV ([`CampaignReport::to_csv`]),
 //! * the paper's pretty tables ([`CampaignReport::cells_table`],
 //!   [`CampaignReport::speedup_by_suite_table`],
@@ -24,8 +25,14 @@ use crate::journal::sim_result_to_json;
 use crate::json::Json;
 use crate::spec::CampaignSpec;
 
-/// Version of the JSON report schema.
-pub const REPORT_SCHEMA_VERSION: u64 = 1;
+/// Version of the JSON report schema. v2 added the
+/// `writeback_bypass_overrides` counter to each per-level stats object;
+/// consumers that only read derived metrics (e.g. `report-diff`) accept
+/// v1 reports too ([`MIN_REPORT_SCHEMA_VERSION`]).
+pub const REPORT_SCHEMA_VERSION: u64 = 2;
+
+/// Oldest report schema version `report-diff` still understands.
+pub const MIN_REPORT_SCHEMA_VERSION: u64 = 1;
 
 /// One completed grid cell, ready for reporting.
 #[derive(Debug, Clone, PartialEq)]
@@ -364,7 +371,7 @@ mod tests {
         let report =
             CampaignReport::build(&spec(), vec![raw_cell("bfs.kron", "llc_x1", 1, "lru", 1000)]);
         let j = report.to_json();
-        assert_eq!(j.get("schema_version").and_then(Json::as_u64), Some(1));
+        assert_eq!(j.get("schema_version").and_then(Json::as_u64), Some(REPORT_SCHEMA_VERSION));
         let cells = j.get("cells").unwrap().as_array().unwrap();
         assert_eq!(cells.len(), 1);
         let counters = cells[0].get("counters").unwrap();

@@ -1,13 +1,15 @@
 //! The campaign engine: grid expansion, cached trace acquisition,
 //! work-stealing execution and journaled checkpointing.
 
+use std::fs::File;
+use std::io::BufReader;
 use std::path::{Path, PathBuf};
 
 use ccsim_core::experiment::run_jobs;
-use ccsim_core::{simulate, SimResult};
-use ccsim_ingest::{ingest_file_to_trace, IngestOptions};
+use ccsim_core::{simulate, simulate_stream, SimConfig, SimResult};
+use ccsim_ingest::{ingest_file, IngestOptions};
 use ccsim_policies::PolicyKind;
-use ccsim_trace::Trace;
+use ccsim_trace::{read_trace_header, Trace, TraceReader};
 use ccsim_workloads::{build_workload_seeded, SuiteScale};
 
 use crate::cache::TraceCache;
@@ -22,30 +24,99 @@ fn ingest_options_for(selector: &str) -> IngestOptions {
     IngestOptions { format: None, lossy: false, name: Some(selector.to_owned()) }
 }
 
+/// The trace of one workload, ready for the executor.
+///
+/// Synthetic workloads are generated (or cache-read) into memory — they
+/// are bounded by construction. External `trace:` selectors stay **on
+/// disk**: each cell streams the converted `CCTR` file through
+/// [`simulate_stream`], so a multi-gigabyte ingested trace never
+/// materializes no matter how many (policy × config) cells replay it.
+#[derive(Debug)]
+enum WorkloadTrace {
+    /// Resident trace, replayed with [`simulate`].
+    InMemory(Trace),
+    /// On-disk `CCTR` file, streamed per cell. `temp` marks a one-shot
+    /// conversion (no cache attached) deleted after the workload's cells
+    /// finish.
+    Streamed { path: PathBuf, records: u64, temp: bool },
+}
+
+impl WorkloadTrace {
+    /// Memory-access records per replay (for progress lines).
+    fn records(&self) -> u64 {
+        match self {
+            WorkloadTrace::InMemory(trace) => trace.len() as u64,
+            WorkloadTrace::Streamed { records, .. } => *records,
+        }
+    }
+
+    /// Runs one grid cell over this trace.
+    fn simulate_cell(&self, config: &SimConfig, policy: PolicyKind) -> Result<SimResult, String> {
+        match self {
+            WorkloadTrace::InMemory(trace) => Ok(simulate(trace, config, policy)),
+            WorkloadTrace::Streamed { path, .. } => {
+                let file = File::open(path)
+                    .map_err(|e| format!("opening trace {}: {e}", path.display()))?;
+                let reader = TraceReader::new(BufReader::new(file))
+                    .map_err(|e| format!("decoding trace {}: {e}", path.display()))?;
+                simulate_stream(reader, config, policy)
+                    .map_err(|e| format!("streaming trace {}: {e}", path.display()))
+            }
+        }
+    }
+}
+
+/// Probes the header of a `CCTR` file for its record count.
+fn cctr_record_count(path: &Path) -> Result<u64, String> {
+    let file = File::open(path).map_err(|e| format!("opening {}: {e}", path.display()))?;
+    read_trace_header(BufReader::new(file))
+        .map(|h| h.count)
+        .map_err(|e| format!("reading header of {}: {e}", path.display()))
+}
+
 /// Acquires the trace for one workload selector: external `trace:` files
-/// go through the ingest pipeline (cached when a cache is attached),
-/// synthetic workloads through the per-name builders.
+/// go through the ingest pipeline onto disk (the trace cache when one is
+/// attached, a temporary file otherwise) and are streamed per cell;
+/// synthetic workloads come from the per-name builders (cached when a
+/// cache is attached).
 fn acquire_trace(
     cache: Option<&TraceCache>,
     workload: &str,
     scale: SuiteScale,
     seed: u64,
-) -> Result<Trace, String> {
-    if let Some(path) = workload.strip_prefix("trace:") {
+) -> Result<WorkloadTrace, String> {
+    if let Some(source) = workload.strip_prefix("trace:") {
         let opts = ingest_options_for(workload);
-        return match cache {
-            Some(cache) => cache.get_or_ingest(Path::new(path), &opts),
-            None => ingest_file_to_trace(Path::new(path), &opts)
-                .map(|(trace, _)| trace)
-                .map_err(|e| format!("ingesting {path}: {e}")),
+        let (path, temp) = match cache {
+            Some(cache) => (cache.ensure_ingested(Path::new(source), &opts)?, false),
+            None => {
+                // One-shot conversion: still streamed (bounded memory),
+                // just not kept. pid + a process-wide counter keep the
+                // name unique even across concurrent campaigns in one
+                // process replaying the same selector.
+                static TEMP_SEQ: std::sync::atomic::AtomicU64 =
+                    std::sync::atomic::AtomicU64::new(0);
+                let tmp = std::env::temp_dir().join(format!(
+                    "ccsim-stream-{}-{}-{:016x}.cctr",
+                    std::process::id(),
+                    TEMP_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
+                    crate::spec::fnv1a64(workload.as_bytes()),
+                ));
+                ingest_file(Path::new(source), &tmp, &opts)
+                    .map_err(|e| format!("ingesting {source}: {e}"))?;
+                (tmp, true)
+            }
         };
+        let records = cctr_record_count(&path)?;
+        return Ok(WorkloadTrace::Streamed { path, records, temp });
     }
-    match cache {
+    let trace = match cache {
         Some(cache) => cache.get_or_generate(workload, scale, seed, || {
             build_workload_seeded(workload, scale, seed)
-        }),
-        None => build_workload_seeded(workload, scale, seed),
-    }
+        })?,
+        None => build_workload_seeded(workload, scale, seed)?,
+    };
+    Ok(WorkloadTrace::InMemory(trace))
 }
 
 /// A configured, runnable campaign.
@@ -322,24 +393,38 @@ impl Campaign {
                     acquire_trace(self.cache.as_ref(), workload, self.spec.scale, self.spec.seed)?;
                 let results = run_jobs(pending.len(), self.threads, |i| {
                     let (ci, policy, _) = pending[i];
-                    simulate(&trace, &configs[*ci].1, *policy)
+                    trace.simulate_cell(&configs[*ci].1, *policy)
                 });
                 if self.verbose {
                     eprintln!(
-                        "[{}/{}] {:<16} {} records, {} cells simulated",
+                        "[{}/{}] {:<16} {} records, {} cells simulated{}",
                         wi + 1,
                         workloads.len(),
                         workload,
-                        trace.len(),
-                        pending.len()
+                        trace.records(),
+                        pending.len(),
+                        if matches!(trace, WorkloadTrace::Streamed { .. }) {
+                            " (streamed)"
+                        } else {
+                            ""
+                        }
                     );
                 }
-                for ((_, _, cell_id), result) in pending.iter().zip(results) {
-                    if let Some(j) = journal.as_mut() {
-                        j.record(cell_id, &result).map_err(|e| format!("writing journal: {e}"))?;
+                let recorded = (|| -> Result<(), String> {
+                    for ((_, _, cell_id), result) in pending.iter().zip(results) {
+                        let result = result?;
+                        if let Some(j) = journal.as_mut() {
+                            j.record(cell_id, &result)
+                                .map_err(|e| format!("writing journal: {e}"))?;
+                        }
+                        fresh.push((cell_id.clone(), result));
                     }
-                    fresh.push((cell_id.clone(), result));
+                    Ok(())
+                })();
+                if let WorkloadTrace::Streamed { path, temp: true, .. } = &trace {
+                    let _ = std::fs::remove_file(path);
                 }
+                recorded?;
             } else if self.verbose {
                 eprintln!("[{}/{}] {:<16} resumed from journal", wi + 1, workloads.len(), workload);
             }

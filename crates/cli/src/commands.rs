@@ -30,6 +30,8 @@ USAGE:
               [--cache-dir <dir>] [--no-cache] [--fresh] [--json] [--quiet]
               [--dry-run]
     ccsim report-diff <a/report.json> <b/report.json> [--threshold <mpki>]
+              [--json]
+    ccsim bench [--quick] [--json] [--out <file>] [--policy <name>]...
     ccsim workloads
     ccsim policies
 
@@ -55,6 +57,15 @@ cached-trace / needs-trace) without simulating anything.
 `report-diff` compares two report.json files over the same grid and
 prints per-cell LLC MPKI / miss-ratio / IPC deltas; it exits non-zero
 when any |MPKI delta| exceeds --threshold (default 0, i.e. any change).
+`--json` emits the same comparison in a pinned machine schema for CI
+dashboards (summary fields mirror the exit-code conditions).
+
+`bench` measures *simulator* throughput (trace records replayed per
+second) per (pattern x policy) cell, including the eviction-heavy
+`llc_thrash` sweep perf gates compare against BENCH_seed.json, and
+verifies the zero-allocations-per-record hot-path contract with the
+binary's counting allocator. `--json` emits the pinned machine schema
+(tests/fixtures/bench_v1.json); `--out` also writes it to a file.
 ";
 
 /// Builds the named workload's trace.
@@ -155,9 +166,9 @@ pub fn ingest(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-/// `ccsim report-diff <a.json> <b.json> [--threshold <mpki>]`
+/// `ccsim report-diff <a.json> <b.json> [--threshold <mpki>] [--json]`
 pub fn report_diff(args: &[String]) -> Result<(), String> {
-    let positional = positionals(args, &["--threshold"], &[])?;
+    let positional = positionals(args, &["--threshold"], &["--json"])?;
     let [a_path, b_path] = positional[..] else {
         return Err(format!("expected <a/report.json> <b/report.json>\n\n{USAGE}"));
     };
@@ -167,6 +178,19 @@ pub fn report_diff(args: &[String]) -> Result<(), String> {
     }
     let read = |p: &String| std::fs::read_to_string(p).map_err(|e| format!("reading {p}: {e}"));
     let diff = ReportDiff::from_json_strs(&read(a_path)?, &read(b_path)?)?;
+    if args.iter().any(|a| a == "--json") {
+        // Machine output for CI dashboards; the summary fields mirror the
+        // exit-code conditions below, which still apply.
+        println!("{}", diff.to_json(threshold).to_pretty().trim_end());
+        if !diff.same_grid() {
+            return Err("grids differ — same-grid reports required".into());
+        }
+        let over = diff.cells_over(threshold);
+        if over > 0 {
+            return Err(format!("{over} cell(s) exceed the LLC-MPKI delta threshold {threshold}"));
+        }
+        return Ok(());
+    }
     println!(
         "comparing {} (a) vs {} (b): {} common cells",
         diff.campaign_a,
@@ -189,6 +213,72 @@ pub fn report_diff(args: &[String]) -> Result<(), String> {
     );
     if over > 0 {
         return Err(format!("{over} cell(s) exceed the LLC-MPKI delta threshold {threshold}"));
+    }
+    Ok(())
+}
+
+/// `ccsim bench [--quick] [--json] [--out <file>] [--policy <name>]...`
+pub fn bench(args: &[String]) -> Result<(), String> {
+    let positional = positionals(args, &["--policy", "--out"], &["--quick", "--json"])?;
+    if let Some(extra) = positional.first() {
+        return Err(format!("unexpected argument {extra:?}\n\n{USAGE}"));
+    }
+    let quick = args.iter().any(|a| a == "--quick");
+    let json = args.iter().any(|a| a == "--json");
+    let out: Option<PathBuf> = parse_flag_value(args, "--out")?;
+    let mut options = ccsim_bench::throughput::ThroughputOptions::new(quick);
+    let mut chosen: Vec<PolicyKind> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--policy" {
+            let v = it.next().ok_or("--policy needs a value")?;
+            chosen.push(v.parse().map_err(|e| format!("{e}"))?);
+        }
+    }
+    if !chosen.is_empty() {
+        options.policies = chosen;
+    }
+    let report = ccsim_bench::throughput::run_throughput(&options);
+    let doc = report.to_json().to_pretty();
+    if let Some(path) = &out {
+        std::fs::write(path, format!("{}\n", doc.trim_end()))
+            .map_err(|e| format!("writing {}: {e}", path.display()))?;
+    }
+    if json {
+        println!("{}", doc.trim_end());
+        return Ok(());
+    }
+    println!("platform: {} [{}]", report.platform, report.hot_path);
+    println!(
+        "alloc check: {} (steady-state heap allocations per record)",
+        match report.alloc_check {
+            ccsim_bench::throughput::AllocCheck::Pass => "0 — allocation-free".to_owned(),
+            ccsim_bench::throughput::AllocCheck::Fail(n) => format!("{n} — NOT allocation-free"),
+            ccsim_bench::throughput::AllocCheck::Unavailable =>
+                "unavailable (no counting allocator)".to_owned(),
+        }
+    );
+    let mut table = Table::new(vec![
+        "pattern".into(),
+        "policy".into(),
+        "records".into(),
+        "best_Mrec/s".into(),
+        "median_Mrec/s".into(),
+        "ns/record".into(),
+    ]);
+    for c in &report.cells {
+        table.row(vec![
+            c.pattern.to_owned(),
+            c.policy.name().to_owned(),
+            c.records.to_string(),
+            fmt_f(c.best_rps / 1e6, 3),
+            fmt_f(c.median_rps / 1e6, 3),
+            fmt_f(c.best_ns_per_record(), 1),
+        ]);
+    }
+    println!("{}", table.render());
+    if let Some(path) = out {
+        println!("wrote {}", path.display());
     }
     Ok(())
 }
@@ -630,8 +720,9 @@ mod tests {
         }
         let a: String = dir.join("a/report.json").to_str().unwrap().into();
         let b: String = dir.join("b/report.json").to_str().unwrap().into();
-        // Identical runs diff clean at threshold 0.
+        // Identical runs diff clean at threshold 0, in both renderings.
         report_diff(&[a.clone(), b.clone()]).unwrap();
+        report_diff(&[a.clone(), b.clone(), "--json".into()]).unwrap();
 
         // Perturb b's llc mpki: the default threshold trips, a loose one
         // does not.
@@ -645,6 +736,8 @@ mod tests {
         std::fs::write(&b, patched).unwrap();
         let err = report_diff(&[a.clone(), b.clone()]).unwrap_err();
         assert!(err.contains("threshold"), "{err}");
+        let err = report_diff(&[a.clone(), b.clone(), "--json".into()]).unwrap_err();
+        assert!(err.contains("threshold"), "--json must keep the exit contract: {err}");
         report_diff(&[a.clone(), b.clone(), "--threshold".into(), "5".into()]).unwrap();
         assert!(report_diff(&[a, b, "--threshold".into(), "-1".into()]).is_err());
         std::fs::remove_dir_all(&dir).unwrap();

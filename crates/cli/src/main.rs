@@ -7,6 +7,7 @@
 //! ccsim sim <in.cctr> [--policy P]...     simulate a trace file
 //! ccsim campaign <spec.json>              run a declarative campaign
 //! ccsim report-diff <a.json> <b.json>     per-cell deltas of two reports
+//! ccsim bench [--quick] [--json]          simulator throughput benchmark
 //! ccsim workloads                         list available workload names
 //! ccsim policies                          list available policy names
 //! ```
@@ -21,6 +22,13 @@ use std::process::ExitCode;
 
 mod commands;
 
+/// Counting allocator so `ccsim bench` can measure (and CI can gate on)
+/// the zero-allocations-per-record hot-path contract from inside the real
+/// binary. One relaxed atomic add per allocation; no measurable cost on
+/// any other subcommand.
+#[global_allocator]
+static ALLOC: ccsim_bench::alloc_track::CountingAlloc = ccsim_bench::alloc_track::CountingAlloc;
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let code = match args.first().map(String::as_str) {
@@ -30,6 +38,7 @@ fn main() -> ExitCode {
         Some("sim") => commands::sim(&args[1..]),
         Some("campaign") => commands::campaign(&args[1..]),
         Some("report-diff") => commands::report_diff(&args[1..]),
+        Some("bench") => commands::bench(&args[1..]),
         Some("workloads") => commands::list_workloads(),
         Some("policies") => commands::list_policies(),
         Some("--help") | Some("-h") | None => {

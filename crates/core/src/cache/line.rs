@@ -1,20 +1,16 @@
 //! Cache line state.
+//!
+//! The tag array stores [`ccsim_policies::LineView`] directly: the same
+//! struct the replacement-policy trait receives on victim queries. Keeping
+//! one representation lets [`Cache::fill`](crate::Cache::fill) lend the
+//! policy a slice of the live tag array instead of materializing a copy —
+//! the victim path is zero-copy and allocation-free.
 
 /// One cache line: validity, dirtiness and the block it holds.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct CacheLine {
-    /// Whether the line holds a valid block.
-    pub valid: bool,
-    /// Whether the line has been written since allocation.
-    pub dirty: bool,
-    /// Block address (full address >> 6).
-    pub block: u64,
-}
-
-impl CacheLine {
-    /// An invalid line.
-    pub const INVALID: CacheLine = CacheLine { valid: false, dirty: false, block: 0 };
-}
+///
+/// An alias of [`ccsim_policies::LineView`]; see the module docs for why
+/// the two are the same type.
+pub type CacheLine = ccsim_policies::LineView;
 
 #[cfg(test)]
 mod tests {

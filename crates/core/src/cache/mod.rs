@@ -8,7 +8,7 @@ pub use line::CacheLine;
 pub use mshr::{MshrBank, MshrGrant};
 pub use stats::CacheStats;
 
-use ccsim_policies::{AccessInfo, AccessType, LineView, ReplacementPolicy, Victim};
+use ccsim_policies::{AccessInfo, AccessType, LineView, PolicyDispatch, Victim};
 
 use crate::config::CacheConfig;
 
@@ -30,6 +30,15 @@ pub enum FillOutcome {
 /// addresses as tags. The set index is the block address modulo the set
 /// count (sets are a power of two, validated by
 /// [`CacheConfig::validate`]).
+///
+/// # Hot-path contract
+///
+/// Steady-state accesses (lookup + fill, including victim queries) perform
+/// **zero heap allocations** and no tag copies: the tag array stores
+/// [`LineView`]s directly, so victim queries lend the policy the live set
+/// slice, and the policy is driven through statically dispatched
+/// [`PolicyDispatch`] hooks. `tests/alloc_free.rs` enforces the
+/// allocation-free property with a counting allocator.
 #[derive(Debug)]
 pub struct Cache {
     name: &'static str,
@@ -37,23 +46,26 @@ pub struct Cache {
     ways: u32,
     latency: u64,
     lines: Vec<CacheLine>,
-    policy: Box<dyn ReplacementPolicy>,
+    policy: PolicyDispatch,
     mshrs: MshrBank,
     stats: CacheStats,
+    /// Valid lines per set. Lines are never invalidated (the hierarchy is
+    /// non-inclusive, without back-invalidation), so the valid ways of a
+    /// set are always a prefix and this counter *is* the first free way —
+    /// fills skip the invalid-way scan entirely.
+    occupied: Vec<u16>,
 }
 
 impl Cache {
-    /// Builds a cache from `config` with the given `policy`.
+    /// Builds a cache from `config` with the given `policy` (a
+    /// [`PolicyDispatch`] or anything convertible into one, e.g. a
+    /// `Box<dyn ReplacementPolicy>`).
     ///
     /// # Panics
     ///
     /// Panics if the configuration is invalid (callers validate configs at
     /// the simulator boundary; this is a defence in depth).
-    pub fn new(
-        name: &'static str,
-        config: CacheConfig,
-        policy: Box<dyn ReplacementPolicy>,
-    ) -> Self {
+    pub fn new(name: &'static str, config: CacheConfig, policy: impl Into<PolicyDispatch>) -> Self {
         config.validate().expect("invalid cache config");
         Cache {
             name,
@@ -61,9 +73,10 @@ impl Cache {
             ways: config.ways,
             latency: config.latency,
             lines: vec![CacheLine::INVALID; (config.sets * config.ways) as usize],
-            policy,
+            policy: policy.into(),
             mshrs: MshrBank::new(config.mshrs),
             stats: CacheStats::default(),
+            occupied: vec![0; config.sets as usize],
         }
     }
 
@@ -156,28 +169,32 @@ impl Cache {
         debug_assert!(self.probe(info.block).is_none(), "fill of resident block");
         let set = info.set;
         let base = self.idx(set, 0);
-        let way = match self.lines[base..base + self.ways as usize].iter().position(|l| !l.valid) {
-            Some(w) => w as u32,
-            None => {
-                let views: Vec<LineView> = self.lines[base..base + self.ways as usize]
-                    .iter()
-                    .map(|l| LineView { valid: l.valid, block: l.block, dirty: l.dirty })
-                    .collect();
-                match self.policy.victim(set, info, &views) {
-                    Victim::Way(w) => {
-                        assert!(w < self.ways, "{}: policy victim out of range", self.name);
-                        w
+        let way = if (self.occupied[set as usize] as u32) < self.ways {
+            // Valid lines form a prefix (nothing ever invalidates a line),
+            // so the occupancy counter is the first free way.
+            self.occupied[set as usize] as u32
+        } else {
+            // Full set: lend the policy the live tag-array slice — no
+            // copy, no allocation.
+            let views: &[LineView] = &self.lines[base..base + self.ways as usize];
+            match self.policy.victim(set, info, views) {
+                Victim::Way(w) => {
+                    assert!(w < self.ways, "{}: policy victim out of range", self.name);
+                    w
+                }
+                Victim::Bypass => {
+                    if info.kind.is_demand() {
+                        self.stats.bypasses += 1;
+                        return FillOutcome::Bypassed;
                     }
-                    Victim::Bypass => {
-                        if info.kind.is_demand() {
-                            self.stats.bypasses += 1;
-                            return FillOutcome::Bypassed;
-                        }
-                        // Writebacks cannot bypass: fall back to way 0's
-                        // aging-independent choice via policy re-query is
-                        // not possible, so evict way 0 deterministically.
-                        0
-                    }
+                    // Writebacks cannot bypass (the incoming dirty block
+                    // must land somewhere): re-query with bypassing
+                    // forbidden so the eviction follows the policy's own
+                    // aging order, and count the override.
+                    self.stats.writeback_bypass_overrides += 1;
+                    let w = self.policy.forced_victim(set, info, views);
+                    assert!(w < self.ways, "{}: forced victim out of range", self.name);
+                    w
                 }
             }
         };
@@ -190,6 +207,8 @@ impl Cache {
                 self.stats.writebacks_out += 1;
                 writeback = Some(old.block);
             }
+        } else {
+            self.occupied[set as usize] += 1;
         }
         self.lines[i] = CacheLine {
             valid: true,

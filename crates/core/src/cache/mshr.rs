@@ -2,6 +2,46 @@
 //! same-block merging.
 
 use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplicative hasher for block addresses. The outstanding-miss map is
+/// consulted on every lookup and updated on every miss at every level;
+/// SipHash (the `HashMap` default) was a measurable fraction of the
+/// per-record cost on miss-heavy traces. Block addresses are already
+/// high-entropy in the low bits, so a Fibonacci multiply followed by a
+/// down-mix is collision-adequate and compiles to a few cycles. Not
+/// DoS-resistant — fine for simulator-internal keys.
+#[derive(Debug, Default)]
+struct BlockHasher(u64);
+
+impl Hasher for BlockHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        // Fallback for non-u64 keys (unused by MshrBank).
+        for &b in bytes {
+            self.0 = (self.0 ^ b as u64).wrapping_mul(0x100_0000_01b3);
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        let h = n.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        self.0 = h ^ (h >> 32);
+    }
+}
+
+type BlockMap = HashMap<u64, u64, BuildHasherDefault<BlockHasher>>;
+
+/// Minimum reserved capacity for a bank's outstanding-miss map. The live
+/// window scales with the core's ROB depth, not the bank size (the L1
+/// bank has 8 registers but can have hundreds of completed-but-unretired
+/// misses in flight), so small banks still reserve room for a deep
+/// window.
+const RESERVE_FLOOR: usize = 1024;
 
 /// Outcome of requesting an MSHR for a missing block.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -29,14 +69,38 @@ pub enum MshrGrant {
 #[derive(Debug)]
 pub struct MshrBank {
     free_at: Vec<u64>,
-    outstanding: HashMap<u64, u64>,
+    outstanding: BlockMap,
+    /// Map length that triggers the next stale-entry prune. Doubles past
+    /// the surviving length after each prune (floored at 4x the bank) so
+    /// pruning costs amortized O(1) per miss even when the retirement
+    /// frontier lags far behind the fill frontier and most entries are
+    /// still live — a fixed threshold made every acquire rescan the map
+    /// on ROB-deep miss streams. Capped at [`MshrBank::prune_cap`] so the
+    /// map's length can never cross the half-capacity line where a
+    /// tombstone-triggered rehash would reallocate instead of rehashing
+    /// in place: steady-state misses stay allocation-free.
+    prune_at: usize,
 }
 
 impl MshrBank {
+    /// Upper bound for `prune_at`: half the reserved capacity, so inserts
+    /// only ever rehash in place (see [`MshrBank::new`]).
+    fn prune_cap(&self) -> usize {
+        RESERVE_FLOOR.max(16 * self.free_at.len()) / 2
+    }
+
     /// Creates a bank of `count` registers.
     pub fn new(count: u32) -> Self {
         assert!(count > 0, "mshr bank must have at least one register");
-        MshrBank { free_at: vec![0; count as usize], outstanding: HashMap::new() }
+        // Reserve well past the prune band: hashbrown reallocates (rather
+        // than rehashing tombstones in place) once length exceeds half
+        // the table, so keeping `prune_at` <= reserve/2 pins the table's
+        // allocation for the bank's lifetime under any bounded-lag
+        // workload.
+        let reserve = RESERVE_FLOOR.max(16 * count as usize);
+        let outstanding =
+            BlockMap::with_capacity_and_hasher(reserve, BuildHasherDefault::default());
+        MshrBank { free_at: vec![0; count as usize], outstanding, prune_at: 4 * count as usize }
     }
 
     /// Requests a register for a miss to `block` observed at cycle `ready`.
@@ -48,12 +112,33 @@ impl MshrBank {
             // Stale entry: the miss already completed.
             self.outstanding.remove(&block);
         }
-        // Opportunistic pruning keeps the map proportional to the bank.
-        if self.outstanding.len() > 4 * self.free_at.len() {
+        // Opportunistic pruning keeps the map proportional to the live
+        // miss window. Dropping a stale entry (completes <= ready) never
+        // changes behaviour — a lookup would discard it anyway — so the
+        // schedule is free to amortize: prune only once the map doubles
+        // past the last prune's survivors.
+        if self.outstanding.len() > self.prune_at {
             self.outstanding.retain(|_, &mut c| c > ready);
+            self.prune_at =
+                (2 * self.outstanding.len()).clamp(4 * self.free_at.len(), self.prune_cap());
         }
-        let (slot, &free) =
-            self.free_at.iter().enumerate().min_by_key(|&(_, &f)| f).expect("bank non-empty");
+        // Any already-free slot is as good as the earliest-freeing one
+        // (`start_at` is `ready` either way), so stop at the first — the
+        // common case in steady state; the full min-scan only runs while
+        // the bank is saturated.
+        let mut slot = 0usize;
+        let mut free = self.free_at[0];
+        if free > ready {
+            for (i, &f) in self.free_at.iter().enumerate().skip(1) {
+                if f <= ready {
+                    (slot, free) = (i, f);
+                    break;
+                }
+                if f < free {
+                    (slot, free) = (i, f);
+                }
+            }
+        }
         MshrGrant::Issue { slot: slot as u32, start_at: ready.max(free) }
     }
 

@@ -27,6 +27,10 @@ pub struct CacheStats {
     pub writebacks_out: u64,
     /// Demand fills the policy chose not to cache.
     pub bypasses: u64,
+    /// Writeback fills where the policy proposed a bypass and was
+    /// overridden (writebacks cannot bypass; the eviction falls back to
+    /// the policy's bypass-forbidden aging order).
+    pub writeback_bypass_overrides: u64,
 }
 
 impl CacheStats {

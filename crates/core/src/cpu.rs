@@ -46,7 +46,11 @@ impl Core {
     pub fn new(config: CoreConfig) -> Self {
         config.validate().expect("invalid core config");
         Core {
-            rob: VecDeque::new(),
+            // Each entry covers >= 1 instruction and total occupancy is
+            // capped at rob_size, so the ring can never hold more than
+            // rob_size entries: reserving once makes the dispatch loop
+            // allocation-free for the lifetime of the core.
+            rob: VecDeque::with_capacity(config.rob_size as usize + 1),
             occupancy: 0,
             rob_size: config.rob_size,
             width: config.width,

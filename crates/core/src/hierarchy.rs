@@ -11,7 +11,7 @@
 //! block, or waiting when the bank is exhausted) and then pays the
 //! downstream path.
 
-use ccsim_policies::{AccessInfo, AccessType, PolicyKind, ReplacementPolicy};
+use ccsim_policies::{AccessInfo, AccessType, PolicyDispatch, PolicyKind};
 
 use crate::cache::{Cache, CacheStats, FillOutcome, MshrGrant};
 use crate::config::SimConfig;
@@ -42,15 +42,21 @@ pub struct Hierarchy {
 }
 
 impl Hierarchy {
-    /// Builds the hierarchy with `llc_policy` at the last level.
-    pub fn new(config: &SimConfig, llc_policy: Box<dyn ReplacementPolicy>) -> Self {
+    /// Builds the hierarchy with `llc_policy` at the last level (a
+    /// [`PolicyDispatch`] or anything convertible into one, e.g. a boxed
+    /// external policy).
+    pub fn new(config: &SimConfig, llc_policy: impl Into<PolicyDispatch>) -> Self {
         Hierarchy {
             l1d: Cache::new(
                 "L1D",
                 config.l1d,
-                PolicyKind::Lru.build(config.l1d.sets, config.l1d.ways),
+                PolicyKind::Lru.build_dispatch(config.l1d.sets, config.l1d.ways),
             ),
-            l2: Cache::new("L2", config.l2, PolicyKind::Lru.build(config.l2.sets, config.l2.ways)),
+            l2: Cache::new(
+                "L2",
+                config.l2,
+                PolicyKind::Lru.build_dispatch(config.l2.sets, config.l2.ways),
+            ),
             llc: Cache::new("LLC", config.llc, llc_policy),
             dram: Dram::new(config.dram),
             llc_log: None,
@@ -204,7 +210,7 @@ mod tests {
 
     fn hierarchy() -> Hierarchy {
         let cfg = SimConfig::tiny();
-        Hierarchy::new(&cfg, PolicyKind::Lru.build(cfg.llc.sets, cfg.llc.ways))
+        Hierarchy::new(&cfg, PolicyKind::Lru.build_dispatch(cfg.llc.sets, cfg.llc.ways))
     }
 
     #[test]

@@ -29,6 +29,13 @@
 
 #![warn(missing_docs)]
 
+/// Identifies the per-access hot-path generation this build simulates
+/// with. Surfaced by `ccsim bench --json` (and grepped by CI) so
+/// throughput baselines record which implementation produced them.
+/// `BENCH_seed.json` was recorded at `boxed_dyn_v0` (per-fill `Vec`
+/// allocation, `Box<dyn>` policy dispatch, SipHash MSHR map).
+pub const HOT_PATH: &str = "scratch_enum_dispatch_v1";
+
 pub mod cache;
 mod config;
 mod cpu;
@@ -44,4 +51,4 @@ pub use cpu::Core;
 pub use dram::{Dram, DramStats};
 pub use hierarchy::{Hierarchy, Level};
 pub use result::{geomean, geomean_speedup_percent, SimResult};
-pub use simulator::{simulate, simulate_with_llc_log};
+pub use simulator::{simulate, simulate_stream, simulate_with_llc_log};

@@ -1,12 +1,89 @@
 //! Trace replay: ties the core model to the memory hierarchy.
+//!
+//! Two equivalent drivers share one replay engine:
+//!
+//! * [`simulate`] replays an in-memory [`Trace`];
+//! * [`simulate_stream`] replays records straight from a
+//!   [`ccsim_trace::TraceReader`], so a multi-gigabyte `CCTR` file on
+//!   disk simulates in O(1) memory without ever materializing.
+//!
+//! The two produce byte-identical [`SimResult`]s for the same records
+//! (`tests/stream_replay.rs` pins this with proptests and the ingest
+//! golden fixture).
+
+use std::io::Read;
 
 use ccsim_policies::PolicyKind;
-use ccsim_trace::Trace;
+use ccsim_trace::{DecodeTraceError, Trace, TraceReader, TraceRecord};
 
 use crate::config::SimConfig;
 use crate::cpu::Core;
 use crate::hierarchy::{Hierarchy, Level};
 use crate::result::SimResult;
+
+/// The replay engine: one core driving one hierarchy, record by record.
+/// Both simulation entry points are thin loops over [`Engine::step`].
+struct Engine {
+    hierarchy: Hierarchy,
+    core: Core,
+}
+
+impl Engine {
+    fn new(config: &SimConfig, llc_policy: PolicyKind, log_llc: bool) -> Engine {
+        config.validate().expect("invalid simulator config");
+        let mut hierarchy =
+            Hierarchy::new(config, llc_policy.build_dispatch(config.llc.sets, config.llc.ways));
+        if log_llc {
+            hierarchy.enable_llc_log();
+        }
+        Engine { hierarchy, core: Core::new(config.core) }
+    }
+
+    #[inline]
+    fn step(&mut self, rec: &TraceRecord) {
+        if rec.nonmem_before > 0 {
+            self.core.dispatch_nonmem(rec.nonmem_before as u64);
+        }
+        let is_store = rec.kind.is_store();
+        let (pc, vaddr) = (rec.pc, rec.vaddr);
+        let hierarchy = &mut self.hierarchy;
+        self.core.dispatch_mem(|at| {
+            let done = hierarchy.demand_access(pc, vaddr, is_store, at);
+            if is_store {
+                // Stores retire through the store buffer: the RFO proceeds
+                // in the background and does not stall the core.
+                at + 1
+            } else {
+                done
+            }
+        });
+    }
+
+    fn finish(
+        mut self,
+        workload: &str,
+        trailing_nonmem: u64,
+        llc_policy: PolicyKind,
+    ) -> (SimResult, Option<Vec<(u32, u64)>>) {
+        if trailing_nonmem > 0 {
+            self.core.dispatch_nonmem(trailing_nonmem);
+        }
+        let (instructions, cycles) = self.core.finish();
+        let log = self.hierarchy.take_llc_log();
+        let result = SimResult {
+            workload: workload.to_owned(),
+            policy: llc_policy.name().to_owned(),
+            instructions,
+            cycles,
+            l1d: *self.hierarchy.cache_stats(Level::L1d),
+            l2: *self.hierarchy.cache_stats(Level::L2),
+            llc: *self.hierarchy.cache_stats(Level::Llc),
+            dram: *self.hierarchy.dram_stats(),
+            llc_diag: self.hierarchy.llc_policy_diag(),
+        };
+        (result, log)
+    }
+}
 
 /// Simulates `trace` on `config` with `llc_policy` at the last level.
 ///
@@ -39,59 +116,71 @@ pub fn simulate_with_llc_log(
     (result, log.expect("log was enabled"))
 }
 
+/// Replays a `CCTR` stream straight from `reader` — one record in memory
+/// at a time, so campaign cells over multi-gigabyte ingested traces never
+/// materialize them. Produces a [`SimResult`] byte-identical to
+/// [`simulate`] over the same records (workload name and trailing
+/// non-memory count come from the stream header).
+///
+/// # Errors
+///
+/// Returns [`DecodeTraceError`] on a truncated or corrupt record; the
+/// partial simulation is discarded.
+///
+/// # Examples
+///
+/// ```
+/// # use std::error::Error;
+/// # fn main() -> Result<(), Box<dyn Error>> {
+/// use ccsim_core::{simulate, simulate_stream, SimConfig};
+/// use ccsim_policies::PolicyKind;
+/// use ccsim_trace::{write_trace, TraceBuffer, TraceReader};
+///
+/// let mut buf = TraceBuffer::new("demo");
+/// for i in 0..512u64 {
+///     buf.load(0x400, i * 64, 8);
+/// }
+/// let trace = buf.finish();
+/// let mut bytes = Vec::new();
+/// write_trace(&trace, &mut bytes)?;
+///
+/// let config = SimConfig::tiny();
+/// let streamed = simulate_stream(TraceReader::new(&bytes[..])?, &config, PolicyKind::Lru)?;
+/// assert_eq!(streamed, simulate(&trace, &config, PolicyKind::Lru));
+/// # Ok(())
+/// # }
+/// ```
+pub fn simulate_stream<R: Read>(
+    mut reader: TraceReader<R>,
+    config: &SimConfig,
+    llc_policy: PolicyKind,
+) -> Result<SimResult, DecodeTraceError> {
+    let mut engine = Engine::new(config, llc_policy, false);
+    while let Some(rec) = reader.next_record()? {
+        engine.step(&rec);
+    }
+    let header = reader.header();
+    Ok(engine.finish(&header.name, header.trailing_nonmem, llc_policy).0)
+}
+
 fn run(
     trace: &Trace,
     config: &SimConfig,
     llc_policy: PolicyKind,
     log_llc: bool,
 ) -> (SimResult, Option<Vec<(u32, u64)>>) {
-    config.validate().expect("invalid simulator config");
-    let mut hierarchy = Hierarchy::new(config, llc_policy.build(config.llc.sets, config.llc.ways));
-    if log_llc {
-        hierarchy.enable_llc_log();
-    }
-    let mut core = Core::new(config.core);
+    let mut engine = Engine::new(config, llc_policy, log_llc);
     for rec in trace {
-        if rec.nonmem_before > 0 {
-            core.dispatch_nonmem(rec.nonmem_before as u64);
-        }
-        let is_store = rec.kind.is_store();
-        let (pc, vaddr) = (rec.pc, rec.vaddr);
-        core.dispatch_mem(|at| {
-            let done = hierarchy.demand_access(pc, vaddr, is_store, at);
-            if is_store {
-                // Stores retire through the store buffer: the RFO proceeds
-                // in the background and does not stall the core.
-                at + 1
-            } else {
-                done
-            }
-        });
+        engine.step(rec);
     }
-    if trace.trailing_nonmem() > 0 {
-        core.dispatch_nonmem(trace.trailing_nonmem());
-    }
-    let (instructions, cycles) = core.finish();
-    let log = hierarchy.take_llc_log();
-    let result = SimResult {
-        workload: trace.name().to_owned(),
-        policy: llc_policy.name().to_owned(),
-        instructions,
-        cycles,
-        l1d: *hierarchy.cache_stats(Level::L1d),
-        l2: *hierarchy.cache_stats(Level::L2),
-        llc: *hierarchy.cache_stats(Level::Llc),
-        dram: *hierarchy.dram_stats(),
-        llc_diag: hierarchy.llc_policy_diag(),
-    };
-    (result, log)
+    engine.finish(trace.name(), trace.trailing_nonmem(), llc_policy)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use ccsim_trace::synth::{PatternGen, PointerChase, RandomAccess, SequentialStream};
-    use ccsim_trace::TraceBuffer;
+    use ccsim_trace::{write_trace, TraceBuffer};
 
     fn trace_of(gen: &dyn PatternGen, name: &str) -> Trace {
         let mut buf = TraceBuffer::new(name);
@@ -161,5 +250,29 @@ mod tests {
         let b = simulate(&t, &cfg, PolicyKind::Hawkeye);
         assert_eq!(a.l1d.demand_misses, b.l1d.demand_misses);
         assert_eq!(a.l2.demand_accesses, b.l2.demand_accesses);
+    }
+
+    #[test]
+    fn stream_replay_equals_in_memory_replay() {
+        let t = trace_of(&RandomAccess::new(0, 1 << 16, 64, 8_000).seed(5), "r");
+        let mut bytes = Vec::new();
+        write_trace(&t, &mut bytes).unwrap();
+        let cfg = SimConfig::cascade_lake();
+        for policy in [PolicyKind::Lru, PolicyKind::Mpppb] {
+            let streamed =
+                simulate_stream(TraceReader::new(&bytes[..]).unwrap(), &cfg, policy).unwrap();
+            assert_eq!(streamed, simulate(&t, &cfg, policy), "{policy}");
+        }
+    }
+
+    #[test]
+    fn stream_replay_surfaces_decode_errors() {
+        let t = trace_of(&SequentialStream::new(0, 1 << 12), "w");
+        let mut bytes = Vec::new();
+        write_trace(&t, &mut bytes).unwrap();
+        bytes.truncate(bytes.len() - 3);
+        let reader = TraceReader::new(&bytes[..]).unwrap();
+        let err = simulate_stream(reader, &SimConfig::tiny(), PolicyKind::Lru);
+        assert!(err.is_err(), "truncated stream must not produce a result");
     }
 }

@@ -36,6 +36,7 @@ impl ReplacementPolicy for BitPlru {
         "bitplru"
     }
 
+    #[inline]
     fn victim(&mut self, set: u32, _info: &AccessInfo, _lines: &[LineView]) -> Victim {
         let base = (set * self.ways) as usize;
         let n = self.ways as usize;
@@ -43,10 +44,12 @@ impl ReplacementPolicy for BitPlru {
         Victim::Way(way as u32)
     }
 
+    #[inline]
     fn on_hit(&mut self, set: u32, way: u32, _info: &AccessInfo) {
         self.touch(set, way);
     }
 
+    #[inline]
     fn on_fill(&mut self, set: u32, way: u32, _info: &AccessInfo, _evicted: Option<u64>) {
         self.touch(set, way);
     }

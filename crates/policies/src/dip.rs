@@ -80,6 +80,7 @@ impl ReplacementPolicy for Dip {
         "dip"
     }
 
+    #[inline]
     fn victim(&mut self, set: u32, _info: &AccessInfo, _lines: &[LineView]) -> Victim {
         let base = self.idx(set, 0);
         let slice = &self.stamps[base..base + self.ways as usize];
@@ -87,12 +88,14 @@ impl ReplacementPolicy for Dip {
         Victim::Way(way as u32)
     }
 
+    #[inline]
     fn on_hit(&mut self, set: u32, way: u32, _info: &AccessInfo) {
         self.stamp += 1;
         let i = self.idx(set, way);
         self.stamps[i] = self.stamp;
     }
 
+    #[inline]
     fn on_fill(&mut self, set: u32, way: u32, info: &AccessInfo, _evicted: Option<u64>) {
         if info.kind.is_demand() {
             match Self::role(set) {

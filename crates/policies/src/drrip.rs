@@ -86,16 +86,19 @@ impl ReplacementPolicy for Drrip {
         "drrip"
     }
 
+    #[inline]
     fn victim(&mut self, set: u32, _info: &AccessInfo, _lines: &[LineView]) -> Victim {
         Victim::Way(self.table.find_victim(set))
     }
 
+    #[inline]
     fn on_hit(&mut self, set: u32, way: u32, info: &AccessInfo) {
         if info.kind.is_demand() {
             self.table.set(set, way, 0);
         }
     }
 
+    #[inline]
     fn on_fill(&mut self, set: u32, way: u32, info: &AccessInfo, _evicted: Option<u64>) {
         // A fill is a miss: leaders vote. Writeback fills don't vote (they
         // say nothing about demand locality).

@@ -25,6 +25,7 @@ impl ReplacementPolicy for Fifo {
         "fifo"
     }
 
+    #[inline]
     fn victim(&mut self, set: u32, _info: &AccessInfo, _lines: &[LineView]) -> Victim {
         let base = (set * self.ways) as usize;
         let slice = &self.stamps[base..base + self.ways as usize];
@@ -32,10 +33,12 @@ impl ReplacementPolicy for Fifo {
         Victim::Way(way as u32)
     }
 
+    #[inline]
     fn on_hit(&mut self, _set: u32, _way: u32, _info: &AccessInfo) {
         // Hits do not refresh FIFO age.
     }
 
+    #[inline]
     fn on_fill(&mut self, set: u32, way: u32, _info: &AccessInfo, _evicted: Option<u64>) {
         self.stamp += 1;
         self.stamps[(set * self.ways + way) as usize] = self.stamp;

@@ -137,6 +137,7 @@ impl ReplacementPolicy for Glider {
         "glider"
     }
 
+    #[inline]
     fn victim(&mut self, set: u32, _info: &AccessInfo, _lines: &[LineView]) -> Victim {
         let base = self.idx(set, 0);
         let metas = &self.meta[base..base + self.ways as usize];
@@ -147,6 +148,7 @@ impl ReplacementPolicy for Glider {
         Victim::Way(w as u32)
     }
 
+    #[inline]
     fn on_hit(&mut self, set: u32, way: u32, info: &AccessInfo) {
         if !info.kind.is_demand() {
             return;
@@ -156,6 +158,7 @@ impl ReplacementPolicy for Glider {
         self.meta[i].rrpv = if sum < 0 { HAWKEYE_RRPV_MAX } else { 0 };
     }
 
+    #[inline]
     fn on_fill(&mut self, set: u32, way: u32, info: &AccessInfo, _evicted: Option<u64>) {
         let i = self.idx(set, way);
         if !info.kind.is_demand() {

@@ -165,6 +165,7 @@ impl ReplacementPolicy for Hawkeye {
         "hawkeye"
     }
 
+    #[inline]
     fn victim(&mut self, set: u32, _info: &AccessInfo, _lines: &[LineView]) -> Victim {
         let base = self.idx(set, 0);
         let metas = &self.meta[base..base + self.ways as usize];
@@ -181,6 +182,7 @@ impl ReplacementPolicy for Hawkeye {
         Victim::Way(w as u32)
     }
 
+    #[inline]
     fn on_hit(&mut self, set: u32, way: u32, info: &AccessInfo) {
         if !info.kind.is_demand() {
             return;
@@ -189,6 +191,7 @@ impl ReplacementPolicy for Hawkeye {
         self.touch(set, way, info, false);
     }
 
+    #[inline]
     fn on_fill(&mut self, set: u32, way: u32, info: &AccessInfo, _evicted: Option<u64>) {
         if !info.kind.is_demand() {
             // Writebacks are inserted averse and never train the predictor.

@@ -42,6 +42,7 @@
 pub mod belady;
 mod bitplru;
 mod dip;
+mod dispatch;
 mod drrip;
 mod fifo;
 pub mod glider;
@@ -56,6 +57,7 @@ pub mod util;
 
 pub use bitplru::BitPlru;
 pub use dip::Dip;
+pub use dispatch::PolicyDispatch;
 pub use drrip::Drrip;
 pub use fifo::Fifo;
 pub use glider::Glider;
@@ -145,7 +147,14 @@ impl PolicyKind {
         }
     }
 
-    /// Instantiates the policy for a `sets x ways` cache.
+    /// Instantiates the policy in its statically dispatched form — what
+    /// the simulator's hot path uses ([`PolicyDispatch`] monomorphizes
+    /// every hook call).
+    pub fn build_dispatch(self, sets: u32, ways: u32) -> PolicyDispatch {
+        PolicyDispatch::from_kind(self, sets, ways)
+    }
+
+    /// Instantiates the policy as a trait object (dynamic dispatch).
     pub fn build(self, sets: u32, ways: u32) -> Box<dyn ReplacementPolicy> {
         match self {
             PolicyKind::Lru => Box::new(Lru::new(sets, ways)),

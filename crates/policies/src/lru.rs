@@ -39,6 +39,7 @@ impl ReplacementPolicy for Lru {
         "lru"
     }
 
+    #[inline]
     fn victim(&mut self, set: u32, _info: &AccessInfo, _lines: &[LineView]) -> Victim {
         let base = self.idx(set, 0);
         let slice = &self.stamps[base..base + self.ways as usize];
@@ -46,10 +47,12 @@ impl ReplacementPolicy for Lru {
         Victim::Way(way as u32)
     }
 
+    #[inline]
     fn on_hit(&mut self, set: u32, way: u32, _info: &AccessInfo) {
         self.touch(set, way);
     }
 
+    #[inline]
     fn on_fill(&mut self, set: u32, way: u32, _info: &AccessInfo, _evicted: Option<u64>) {
         self.touch(set, way);
     }

@@ -159,6 +159,7 @@ impl ReplacementPolicy for Mpppb {
         "mpppb"
     }
 
+    #[inline]
     fn victim(&mut self, set: u32, info: &AccessInfo, _lines: &[LineView]) -> Victim {
         if info.kind.is_demand() {
             let snap = feature_indices(&self.context(info));
@@ -170,6 +171,14 @@ impl ReplacementPolicy for Mpppb {
         Victim::Way(self.table.find_victim(set))
     }
 
+    #[inline]
+    fn forced_victim(&mut self, set: u32, _info: &AccessInfo, _lines: &[LineView]) -> u32 {
+        // Bypass is off the table: evict by the RRPV aging order, exactly
+        // as a non-bypassed victim would be chosen.
+        self.table.find_victim(set)
+    }
+
+    #[inline]
     fn on_hit(&mut self, set: u32, way: u32, info: &AccessInfo) {
         if !info.kind.is_demand() {
             return;
@@ -184,6 +193,7 @@ impl ReplacementPolicy for Mpppb {
         self.push_history(info.pc);
     }
 
+    #[inline]
     fn on_fill(&mut self, set: u32, way: u32, info: &AccessInfo, _evicted: Option<u64>) {
         if !info.kind.is_demand() {
             self.table.set(set, way, RRPV_MAX);

@@ -59,7 +59,11 @@ impl AccessInfo {
 }
 
 /// A policy's view of one cache line when asked for a victim.
-#[derive(Debug, Clone, Copy)]
+///
+/// This is also the cache's own tag-array entry (`ccsim_core` stores its
+/// lines as `LineView`s), so victim queries lend the policy a slice of
+/// the live tag array directly — zero copies, zero allocations.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct LineView {
     /// Whether the line holds a valid block.
     pub valid: bool,
@@ -67,6 +71,11 @@ pub struct LineView {
     pub block: u64,
     /// Whether the line is dirty.
     pub dirty: bool,
+}
+
+impl LineView {
+    /// An invalid (empty) line.
+    pub const INVALID: LineView = LineView { valid: false, block: 0, dirty: false };
 }
 
 /// A victim decision.
@@ -101,6 +110,22 @@ pub trait ReplacementPolicy: fmt::Debug {
 
     /// Chooses a victim way for `info` in a full `set`.
     fn victim(&mut self, set: u32, info: &AccessInfo, lines: &[LineView]) -> Victim;
+
+    /// Chooses a victim way for `info` in a full `set` when bypassing is
+    /// not permitted — the cache asks this for writeback fills, whose
+    /// incoming dirty block must be cached somewhere.
+    ///
+    /// The default re-queries [`victim`](ReplacementPolicy::victim) and
+    /// falls back to way 0 if the policy still insists on bypassing.
+    /// Policies that can bypass (e.g. MPPPB) should override this with
+    /// their aging order so the forced eviction follows the same ranking
+    /// as their ordinary victims.
+    fn forced_victim(&mut self, set: u32, info: &AccessInfo, lines: &[LineView]) -> u32 {
+        match self.victim(set, info, lines) {
+            Victim::Way(way) => way,
+            Victim::Bypass => 0,
+        }
+    }
 
     /// Notifies the policy of a hit in `set`/`way`.
     fn on_hit(&mut self, set: u32, way: u32, info: &AccessInfo);

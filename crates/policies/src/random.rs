@@ -31,12 +31,15 @@ impl ReplacementPolicy for RandomPolicy {
         "random"
     }
 
+    #[inline]
     fn victim(&mut self, _set: u32, _info: &AccessInfo, _lines: &[LineView]) -> Victim {
         Victim::Way(self.rng.below(self.ways as u64) as u32)
     }
 
+    #[inline]
     fn on_hit(&mut self, _set: u32, _way: u32, _info: &AccessInfo) {}
 
+    #[inline]
     fn on_fill(&mut self, _set: u32, _way: u32, _info: &AccessInfo, _evicted: Option<u64>) {}
 }
 

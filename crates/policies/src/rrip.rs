@@ -88,16 +88,19 @@ impl ReplacementPolicy for Srrip {
         "srrip"
     }
 
+    #[inline]
     fn victim(&mut self, set: u32, _info: &AccessInfo, _lines: &[LineView]) -> Victim {
         Victim::Way(self.table.find_victim(set))
     }
 
+    #[inline]
     fn on_hit(&mut self, set: u32, way: u32, info: &AccessInfo) {
         if info.kind.is_demand() {
             self.table.set(set, way, 0);
         }
     }
 
+    #[inline]
     fn on_fill(&mut self, set: u32, way: u32, _info: &AccessInfo, _evicted: Option<u64>) {
         self.table.set(set, way, RRPV_LONG);
     }
@@ -138,16 +141,19 @@ impl ReplacementPolicy for Brrip {
         "brrip"
     }
 
+    #[inline]
     fn victim(&mut self, set: u32, _info: &AccessInfo, _lines: &[LineView]) -> Victim {
         Victim::Way(self.table.find_victim(set))
     }
 
+    #[inline]
     fn on_hit(&mut self, set: u32, way: u32, info: &AccessInfo) {
         if info.kind.is_demand() {
             self.table.set(set, way, 0);
         }
     }
 
+    #[inline]
     fn on_fill(&mut self, set: u32, way: u32, _info: &AccessInfo, _evicted: Option<u64>) {
         let v = self.insertion_rrpv();
         self.table.set(set, way, v);

@@ -68,10 +68,12 @@ impl ReplacementPolicy for Ship {
         "ship"
     }
 
+    #[inline]
     fn victim(&mut self, set: u32, _info: &AccessInfo, _lines: &[LineView]) -> Victim {
         Victim::Way(self.table.find_victim(set))
     }
 
+    #[inline]
     fn on_hit(&mut self, set: u32, way: u32, info: &AccessInfo) {
         if !info.kind.is_demand() {
             return;
@@ -84,6 +86,7 @@ impl ReplacementPolicy for Ship {
         }
     }
 
+    #[inline]
     fn on_fill(&mut self, set: u32, way: u32, info: &AccessInfo, _evicted: Option<u64>) {
         let i = self.idx(set, way);
         // Train on the displaced line: never re-used => its signature

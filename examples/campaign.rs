@@ -72,7 +72,11 @@ fn main() {
     println!("speed-up over LRU by suite (baseline LLC):");
     println!("{}", second.report.speedup_by_suite_table("llc_x1").render());
     let json = second.report.to_json_string();
-    println!("report.json is {} bytes of schema v1 JSON", json.len());
+    println!(
+        "report.json is {} bytes of schema v{} JSON",
+        json.len(),
+        ccsim::campaign::REPORT_SCHEMA_VERSION
+    );
 
     let _ = std::fs::remove_dir_all(&dir);
 }

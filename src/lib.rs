@@ -51,7 +51,8 @@ pub use ccsim_workloads as workloads;
 pub mod prelude {
     pub use ccsim_campaign::{Campaign, CampaignReport, CampaignSpec, TraceCache};
     pub use ccsim_core::{
-        geomean, geomean_speedup_percent, simulate, simulate_with_llc_log, SimConfig, SimResult,
+        geomean, geomean_speedup_percent, simulate, simulate_stream, simulate_with_llc_log,
+        SimConfig, SimResult,
     };
     pub use ccsim_graph::Graph;
     pub use ccsim_ingest::{IngestOptions, SourceFormat};

@@ -1,0 +1,93 @@
+//! Enforces the hot-path contract: steady-state simulation performs
+//! **zero heap allocations per trace record**, for every built-in policy.
+//!
+//! The binary installs a counting global allocator and drives a warmed
+//! `Hierarchy` + `Core` pair — the exact record loop `simulate` runs —
+//! across a second full pass of an eviction-heavy trace, asserting the
+//! allocation counter does not move at all. A second check exercises the
+//! production differencing probe (`ccsim bench`'s alloc check) end to
+//! end.
+//!
+//! Everything lives in one `#[test]`: the counter is process-global, so
+//! concurrent tests in the same binary would pollute the measurement.
+
+use ccsim::prelude::*;
+use ccsim::trace::synth::{PatternGen, RandomAccess, SequentialStream};
+use ccsim::trace::TraceBuffer;
+use ccsim_bench::alloc_track::{allocations, counting_enabled, CountingAlloc};
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// Replays `trace` once on an existing hierarchy/core pair — the same
+/// per-record loop as `ccsim_core::simulate`.
+fn replay(hierarchy: &mut ccsim::core::Hierarchy, core: &mut ccsim::core::Core, trace: &Trace) {
+    for rec in trace {
+        if rec.nonmem_before > 0 {
+            core.dispatch_nonmem(rec.nonmem_before as u64);
+        }
+        let is_store = rec.kind.is_store();
+        let (pc, vaddr) = (rec.pc, rec.vaddr);
+        core.dispatch_mem(|at| {
+            let done = hierarchy.demand_access(pc, vaddr, is_store, at);
+            if is_store {
+                at + 1
+            } else {
+                done
+            }
+        });
+    }
+}
+
+#[test]
+fn steady_state_replay_allocates_nothing() {
+    assert!(counting_enabled(), "the counting allocator must be installed in this binary");
+
+    let config = SimConfig::cascade_lake();
+    // Eviction-heavy: twice the LLC, so every level evicts on every fill;
+    // 10% stores so writeback fills (and their victim queries) run too.
+    let mut buf = TraceBuffer::new("thrash");
+    SequentialStream::new(0x1000_0000, 2 * config.llc.capacity_bytes())
+        .stride(64)
+        .store_every(10)
+        .laps(2)
+        .emit(&mut buf);
+    let thrash = buf.finish();
+    // And a random mix, for set-index entropy and MSHR-merge variety.
+    let mut buf = TraceBuffer::new("mix");
+    RandomAccess::new(0x4000_0000, 2 * config.llc.capacity_bytes() / 64, 64, 60_000)
+        .store_fraction(0.2)
+        .seed(9)
+        .emit(&mut buf);
+    let mix = buf.finish();
+
+    for kind in PolicyKind::ALL {
+        let mut hierarchy = ccsim::core::Hierarchy::new(
+            &config,
+            kind.build_dispatch(config.llc.sets, config.llc.ways),
+        );
+        let mut core = ccsim::core::Core::new(config.core);
+        // Warm pass: fills every set, saturates MSHR maps, policy
+        // samplers and the ROB ring to their steady-state footprint.
+        replay(&mut hierarchy, &mut core, &thrash);
+        replay(&mut hierarchy, &mut core, &mix);
+
+        let before = allocations();
+        replay(&mut hierarchy, &mut core, &thrash);
+        replay(&mut hierarchy, &mut core, &mix);
+        let during = allocations() - before;
+        assert_eq!(
+            during,
+            0,
+            "{kind}: {during} heap allocations across {} steady-state records",
+            thrash.len() + mix.len(),
+        );
+    }
+
+    // The production probe (what `ccsim bench` reports and CI greps on)
+    // must agree now that a counting allocator is present.
+    assert_eq!(
+        ccsim_bench::throughput::steady_state_alloc_check(),
+        ccsim_bench::throughput::AllocCheck::Pass,
+    );
+}

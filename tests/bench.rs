@@ -1,0 +1,89 @@
+//! Pins the `ccsim bench --json` output schema (v1) against
+//! `tests/fixtures/bench_v1.json`.
+//!
+//! Throughput *values* are machine-dependent, so unlike the campaign
+//! report fixture this one is compared **structurally**: same keys, same
+//! order, same value kinds. The fixture itself was recorded from a real
+//! run; regenerate with `CCSIM_BLESS=1 cargo test --test bench` after an
+//! intentional schema change (and bump
+//! [`ccsim_bench::throughput::BENCH_SCHEMA_VERSION`]).
+
+use std::path::Path;
+
+use ccsim::campaign::Json;
+use ccsim::policies::PolicyKind;
+use ccsim_bench::throughput::{run_throughput, ThroughputOptions, BENCH_SCHEMA_VERSION};
+
+/// Canonical structural signature of a JSON value: object keys in order,
+/// array element shape, and leaf kinds. Numbers are treated as nullable
+/// (`alloc_check.allocs_per_record` is `null` when no counting allocator
+/// is installed, as in this test binary).
+fn shape(v: &Json) -> String {
+    match v {
+        Json::Null | Json::Num(_) => "num?".into(),
+        Json::Bool(_) => "bool".into(),
+        Json::Str(_) => "str".into(),
+        Json::Arr(items) => {
+            let first = items.first().map(shape).unwrap_or_default();
+            for (i, item) in items.iter().enumerate() {
+                assert_eq!(shape(item), first, "array element {i} shape diverges");
+            }
+            format!("[{first}]")
+        }
+        Json::Obj(pairs) => {
+            let fields: Vec<String> =
+                pairs.iter().map(|(k, v)| format!("{k}:{}", shape(v))).collect();
+            format!("{{{}}}", fields.join(","))
+        }
+    }
+}
+
+#[test]
+fn bench_json_schema_matches_pinned_fixture() {
+    let options = ThroughputOptions {
+        quick: true,
+        policies: vec![PolicyKind::Lru, PolicyKind::Srrip],
+        warmup: 0,
+        reps: 1,
+    };
+    let report = run_throughput(&options);
+    assert_eq!(report.cells.len(), 3 * 2, "3 patterns x 2 policies");
+    let json = report.to_json();
+
+    // Summary fields CI greps on.
+    assert_eq!(json.get("ccsim_bench").and_then(Json::as_u64), Some(BENCH_SCHEMA_VERSION));
+    assert_eq!(json.get("hot_path").and_then(Json::as_str), Some(ccsim::core::HOT_PATH));
+    let status = json.get("alloc_check").unwrap().get("status").unwrap().as_str().unwrap();
+    assert!(["pass", "fail", "unavailable"].contains(&status), "{status}");
+
+    let fixture_path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/bench_v1.json");
+    if std::env::var_os("CCSIM_BLESS").is_some() {
+        std::fs::write(&fixture_path, format!("{}\n", json.to_pretty().trim_end())).unwrap();
+    }
+    let fixture = std::fs::read_to_string(&fixture_path)
+        .expect("fixture missing; run with CCSIM_BLESS=1 to create it");
+    let pinned = Json::parse(&fixture).unwrap();
+    assert_eq!(
+        shape(&json),
+        shape(&pinned),
+        "the bench --json schema changed; bump BENCH_SCHEMA_VERSION and rebless the fixture"
+    );
+
+    // The committed seed baseline carries the same schema, so perf gates
+    // can always compare current output against it.
+    let seed =
+        std::fs::read_to_string(Path::new(env!("CARGO_MANIFEST_DIR")).join("BENCH_seed.json"))
+            .expect("BENCH_seed.json baseline missing");
+    let seed = Json::parse(&seed).unwrap();
+    assert_eq!(shape(&seed), shape(&pinned), "BENCH_seed.json drifted from the pinned schema");
+    assert!(
+        seed.get("cells")
+            .unwrap()
+            .as_array()
+            .unwrap()
+            .iter()
+            .any(|c| c.get("pattern").and_then(Json::as_str)
+                == Some(ccsim_bench::throughput::EVICTION_HEAVY_PATTERN)),
+        "seed baseline must cover the eviction-heavy microbench"
+    );
+}

@@ -137,7 +137,7 @@ fn checked_in_specs_parse_and_fig3_matches_the_preset() {
     assert!(root.join("tests/fixtures/ingest_v1.champsim").exists());
 }
 
-/// Pins the v1 JSON report schema byte-for-byte, the way
+/// Pins the v2 JSON report schema byte-for-byte, the way
 /// `tests/golden_trace.rs` pins the CCTR format: the report below is
 /// assembled from hand-written counters (no simulation), so this fixture
 /// only changes when the *schema* changes. If it does, bump
@@ -177,6 +177,7 @@ fn golden_report_schema_fixture() {
                 evictions: 9_488,
                 writebacks_out: 3_000,
                 bypasses: 0,
+                writeback_bypass_overrides: 0,
             },
             l2: CacheStats {
                 demand_accesses: 10_000,
@@ -189,6 +190,7 @@ fn golden_report_schema_fixture() {
                 evictions: 7_100,
                 writebacks_out: 1_000,
                 bypasses: 0,
+                writeback_bypass_overrides: 0,
             },
             llc: CacheStats {
                 demand_accesses: 7_500,
@@ -201,6 +203,7 @@ fn golden_report_schema_fixture() {
                 evictions: llc_misses.saturating_sub(352),
                 writebacks_out: 500,
                 bypasses: 12,
+                writeback_bypass_overrides: 2,
             },
             dram: DramStats {
                 reads: llc_misses,
@@ -226,7 +229,7 @@ fn golden_report_schema_fixture() {
     let rendered = report.to_json_string();
 
     let fixture_path =
-        Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/campaign_report_v1.json");
+        Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/campaign_report_v2.json");
     if std::env::var_os("CCSIM_BLESS").is_some() {
         std::fs::write(&fixture_path, &rendered).unwrap();
     }
@@ -234,14 +237,30 @@ fn golden_report_schema_fixture() {
         .expect("fixture missing; run with CCSIM_BLESS=1 to create it");
     assert_eq!(
         rendered, fixture,
-        "the v1 report schema changed; bump REPORT_SCHEMA_VERSION and \
+        "the v2 report schema changed; bump REPORT_SCHEMA_VERSION and \
          add a new fixture rather than editing this one"
     );
 
     // The fixture is also valid JSON that round-trips through the parser.
     let parsed = ccsim::campaign::Json::parse(&fixture).unwrap();
-    assert_eq!(parsed.get("schema_version").and_then(ccsim::campaign::Json::as_u64), Some(1));
+    assert_eq!(parsed.get("schema_version").and_then(ccsim::campaign::Json::as_u64), Some(2));
     assert_eq!(parsed.get("cells").unwrap().as_array().unwrap().len(), 4);
+}
+
+/// `report-diff` must keep reading v1 reports (written before the
+/// `writeback_bypass_overrides` counter existed): the retired v1 fixture
+/// diffs cleanly against its v2 successor — same grid, zero deltas.
+#[test]
+fn report_diff_accepts_v1_reports() {
+    let read = |name: &str| {
+        std::fs::read_to_string(Path::new(env!("CARGO_MANIFEST_DIR")).join(name)).unwrap()
+    };
+    let v1 = read("tests/fixtures/campaign_report_v1.json");
+    let v2 = read("tests/fixtures/campaign_report_v2.json");
+    let diff = ccsim::campaign::ReportDiff::from_json_strs(&v1, &v2).unwrap();
+    assert!(diff.same_grid());
+    assert_eq!(diff.cells.len(), 4);
+    assert_eq!(diff.max_abs_mpki_delta(), 0.0);
 }
 
 #[test]

@@ -1,0 +1,165 @@
+//! Streaming replay equivalence: `simulate_stream` over a `CCTR` byte
+//! stream must be indistinguishable — every counter of every level — from
+//! `simulate` over the materialized trace.
+
+use std::io::BufReader;
+use std::path::Path;
+
+use ccsim::prelude::*;
+use ccsim::trace::{write_trace, AccessKind, TraceReader, TraceRecord};
+use proptest::prelude::*;
+
+fn arb_record() -> impl Strategy<Value = TraceRecord> {
+    (0u64..1 << 40, 0u64..1 << 44, 1u8..=8, any::<bool>(), 0u16..2000).prop_map(
+        |(pc, vaddr, size, store, nonmem)| TraceRecord {
+            pc,
+            vaddr,
+            size,
+            kind: if store { AccessKind::Store } else { AccessKind::Load },
+            nonmem_before: nonmem,
+        },
+    )
+}
+
+fn arb_trace(max_len: usize) -> impl Strategy<Value = Trace> {
+    (proptest::collection::vec(arb_record(), 0..max_len), 0u64..1000)
+        .prop_map(|(records, trailing)| Trace::from_parts("prop", records, trailing))
+}
+
+/// Streams `trace` through `simulate_stream` via an in-memory CCTR
+/// round-trip.
+fn stream_replay(trace: &Trace, config: &SimConfig, policy: PolicyKind) -> SimResult {
+    let mut bytes = Vec::new();
+    write_trace(trace, &mut bytes).unwrap();
+    simulate_stream(TraceReader::new(&bytes[..]).unwrap(), config, policy).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The streaming driver produces an identical `SimResult` — including
+    /// every per-level counter and the policy diagnostic — for arbitrary
+    /// traces, policies and LLC scales.
+    #[test]
+    fn simulate_stream_equals_simulate(
+        trace in arb_trace(300),
+        policy_idx in 0usize..PolicyKind::ALL.len(),
+        llc_scale_log2 in 0u32..3,
+    ) {
+        let policy = PolicyKind::ALL[policy_idx];
+        let config = SimConfig::tiny().with_llc_scale(1 << llc_scale_log2);
+        let in_memory = simulate(&trace, &config, policy);
+        let streamed = stream_replay(&trace, &config, policy);
+        prop_assert_eq!(streamed, in_memory);
+    }
+}
+
+/// Regression: streaming replay of the pinned ingest golden fixture (a
+/// real converted ChampSim trace) matches in-memory replay bit for bit on
+/// the full platform model, for the paper's policies.
+#[test]
+fn golden_ingest_fixture_streams_identically() {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/ingest_golden_v1.cctr");
+    let bytes = std::fs::read(&path).unwrap();
+    let trace = ccsim::trace::read_trace(&bytes[..]).unwrap();
+    assert!(!trace.is_empty(), "golden fixture must carry records");
+    let config = SimConfig::cascade_lake();
+    for policy in [PolicyKind::Lru, PolicyKind::Ship, PolicyKind::Hawkeye, PolicyKind::Mpppb] {
+        let in_memory = simulate(&trace, &config, policy);
+        let streamed = simulate_stream(
+            TraceReader::new(BufReader::new(std::fs::File::open(&path).unwrap())).unwrap(),
+            &config,
+            policy,
+        )
+        .unwrap();
+        assert_eq!(streamed, in_memory, "{policy}");
+    }
+}
+
+/// A multi-million-record on-disk trace streams to the same result as
+/// its materialized twin — the scale regime campaigns rely on for
+/// ingested traces (the stream side holds one record in memory at a
+/// time; `TraceWriter` keeps the generation side bounded too).
+#[test]
+fn multi_million_record_trace_streams_identically() {
+    use ccsim::trace::{TraceRecord, TraceWriter};
+
+    let dir = std::env::temp_dir().join(format!("ccsim_stream_big_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("big.cctr");
+    const RECORDS: u64 = 2_500_000;
+
+    // Write straight to disk and build the in-memory twin in lockstep:
+    // a zipfian-ish mix of a hot region and a cold sweep.
+    let mut writer =
+        TraceWriter::new(std::io::BufWriter::new(std::fs::File::create(&path).unwrap()), "big")
+            .unwrap();
+    let mut records = Vec::with_capacity(RECORDS as usize);
+    for i in 0..RECORDS {
+        let vaddr = if i % 3 == 0 { 0x100_0000 + (i % 512) * 64 } else { 0x800_0000 + i * 64 };
+        let mut rec = if i % 7 == 0 {
+            TraceRecord::store(0x400 + (i % 97) * 4, vaddr, 8)
+        } else {
+            TraceRecord::load(0x400 + (i % 97) * 4, vaddr, 8)
+        };
+        rec.nonmem_before = (i % 5) as u16;
+        writer.write_record(&rec).unwrap();
+        records.push(rec);
+    }
+    let inner = writer.finish(11).unwrap();
+    drop(inner);
+    let trace = Trace::from_parts("big", records, 11);
+
+    let config = SimConfig::cascade_lake();
+    let policy = PolicyKind::Ship;
+    let streamed = simulate_stream(
+        TraceReader::new(BufReader::new(std::fs::File::open(&path).unwrap())).unwrap(),
+        &config,
+        policy,
+    )
+    .unwrap();
+    let in_memory = simulate(&trace, &config, policy);
+    assert_eq!(streamed, in_memory);
+    assert_eq!(streamed.instructions, trace.instructions());
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Campaigns stream `trace:` cells by default; the streamed cell results
+/// must equal a plain in-memory simulation of the same converted trace.
+#[test]
+fn campaign_streams_external_cells_identically() {
+    use ccsim::ingest::champsim::{ChampSimRecord, ChampSimWriter};
+
+    let dir = std::env::temp_dir().join(format!("ccsim_stream_campaign_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let source = dir.join("ext.champsim");
+    let mut w = ChampSimWriter::new(std::fs::File::create(&source).unwrap());
+    for i in 0..600u64 {
+        w.write(&ChampSimRecord::nonmem(0x400 + 4 * i)).unwrap();
+        w.write(&ChampSimRecord::load(0x600 + 4 * i, 0x10000 + 64 * (i % 48))).unwrap();
+    }
+    drop(w);
+
+    let selector = format!("trace:{}", source.display());
+    let spec = CampaignSpec::from_json_str(&format!(
+        r#"{{"name": "stream", "base_config": "tiny",
+             "workloads": ["{selector}"], "policies": ["lru", "srrip"]}}"#
+    ))
+    .unwrap();
+    let cache = TraceCache::new(dir.join("cache")).unwrap();
+    let outcome = Campaign::new(spec).threads(2).cache(cache).run().unwrap();
+
+    // Reference: materialize the cached conversion and simulate in memory.
+    let cache = TraceCache::new(dir.join("cache")).unwrap();
+    let opts = IngestOptions { name: Some(selector.clone()), ..Default::default() };
+    let reference_trace = cache.get_or_ingest(&source, &opts).unwrap();
+    assert_eq!(cache.hits(), 1, "campaign must have converted the trace already");
+    for cell in &outcome.report.cells {
+        let policy: PolicyKind = cell.policy.parse().unwrap();
+        let reference = simulate(&reference_trace, &SimConfig::tiny(), policy);
+        assert_eq!(cell.result, reference, "{}", cell.policy);
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
