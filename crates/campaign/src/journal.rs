@@ -17,6 +17,19 @@
 //! A header mismatch (different spec digest — the grid changed) restarts
 //! the journal from scratch; a torn trailing line (the process died
 //! mid-write) is dropped.
+//!
+//! # Concurrent writers: per-worker segments
+//!
+//! Two processes appending to one journal file could interleave partial
+//! lines, so distributed campaigns give every worker its **own segment**
+//! — `journal.<worker-id>.jsonl` next to the solo `journal.jsonl`, same
+//! format ([`Journal::open_segment`]). Each file has exactly one writer
+//! for its lifetime; [`merge_dir`] folds any set of segments (plus the
+//! solo journal, if present) back into one completed-cell map, dropping
+//! torn tails per segment and **failing loudly when two segments record
+//! conflicting results for the same cell**. Identical duplicates (a
+//! lease expired mid-cell and the cell was re-run — results are
+//! deterministic, so re-runs agree) merge cleanly and are counted.
 
 use std::collections::BTreeMap;
 use std::fs::{File, OpenOptions};
@@ -128,6 +141,102 @@ impl Journal {
             Err(_) => BTreeMap::new(),
         }
     }
+
+    /// The journal-segment path of `worker` under `dir`:
+    /// `journal.<worker>.jsonl`.
+    pub fn segment_path(dir: &Path, worker: &str) -> PathBuf {
+        dir.join(format!("journal.{worker}.jsonl"))
+    }
+
+    /// Opens (or resumes) the per-worker journal segment of `worker`
+    /// under `dir` — the concurrent-writer-safe form of [`Journal::open`]:
+    /// each worker appends only to its own file, so two workers can never
+    /// interleave partial lines no matter how the shared filesystem
+    /// orders their writes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-creation failures.
+    pub fn open_segment(
+        dir: &Path,
+        worker: &str,
+        campaign: &str,
+        spec_digest: &str,
+    ) -> std::io::Result<Journal> {
+        Journal::open(Self::segment_path(dir, worker), campaign, spec_digest)
+    }
+}
+
+/// The result of merging every journal segment in a directory
+/// ([`merge_dir`]).
+#[derive(Debug, Default)]
+pub struct MergedJournal {
+    /// The union of completed cells across all segments.
+    pub completed: BTreeMap<String, SimResult>,
+    /// Valid cell lines read across all segments (>= `completed.len()`).
+    pub entries: usize,
+    /// Cells recorded by more than one segment with **identical** results
+    /// (`entries - completed.len()`); conflicting duplicates are an error
+    /// instead.
+    pub duplicates: usize,
+    /// `(file name, valid cell lines)` per matching segment, sorted by
+    /// file name.
+    pub segments: Vec<(String, usize)>,
+}
+
+/// Merges the solo `journal.jsonl` plus every `journal.<worker>.jsonl`
+/// segment under `dir` for (campaign, spec digest) into one
+/// completed-cell map, read-only. Missing directories yield an empty
+/// merge; foreign-spec and torn-tail content is skipped per segment
+/// exactly as [`Journal::open`] would.
+///
+/// # Errors
+///
+/// Returns a message naming the first cell for which two segments hold
+/// **different** results — the distributed-campaign invariant that every
+/// cell is a deterministic function of the spec has been violated (mixed
+/// binaries or a corrupted segment), and assembling a report would
+/// silently pick one of the two.
+pub fn merge_dir(dir: &Path, campaign: &str, spec_digest: &str) -> Result<MergedJournal, String> {
+    let mut paths: Vec<PathBuf> = match std::fs::read_dir(dir) {
+        Err(_) => Vec::new(),
+        Ok(entries) => entries
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| {
+                // Matches worker segments (`journal.<id>.jsonl`) and the
+                // solo `journal.jsonl` alike.
+                p.file_name()
+                    .and_then(|n| n.to_str())
+                    .is_some_and(|n| n.starts_with("journal.") && n.ends_with(".jsonl"))
+            })
+            .collect(),
+    };
+    paths.sort();
+    let mut merged = MergedJournal::default();
+    for path in paths {
+        let Ok(text) = std::fs::read_to_string(&path) else { continue };
+        let (cells, _) = replay(&text, campaign, spec_digest);
+        let name = path.file_name().unwrap_or_default().to_string_lossy().into_owned();
+        merged.entries += cells.len();
+        merged.segments.push((name.clone(), cells.len()));
+        for (cell, result) in cells {
+            match merged.completed.get(&cell) {
+                None => {
+                    merged.completed.insert(cell, result);
+                }
+                Some(existing) if *existing == result => merged.duplicates += 1,
+                Some(_) => {
+                    return Err(format!(
+                        "conflicting results for cell {cell:?}: segment {name} disagrees with an \
+                         earlier segment — refusing to assemble (were the segments produced by \
+                         different binaries or a corrupted file?)"
+                    ));
+                }
+            }
+        }
+    }
+    Ok(merged)
 }
 
 /// Replays journal `text` for (campaign, spec digest): the completed-cell
@@ -346,6 +455,90 @@ mod tests {
         let j = Journal::open(&path, "camp", "bbbb").unwrap();
         assert_eq!(j.resumed(), 0, "a different grid must not reuse cells");
         std::fs::remove_file(&path).unwrap();
+    }
+
+    fn temp_journal_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("ccsim_journal_dir_{}_{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn segments_merge_with_solo_journal_and_count_duplicates() {
+        let dir = temp_journal_dir("merge");
+        {
+            let mut solo = Journal::open(dir.join("journal.jsonl"), "camp", "abcd").unwrap();
+            solo.record("w|c|lru", &sample_result(1)).unwrap();
+            let mut a = Journal::open_segment(&dir, "worker-a", "camp", "abcd").unwrap();
+            a.record("w|c|srrip", &sample_result(2)).unwrap();
+            // worker-b re-ran a cell worker-a already finished (lease
+            // expiry race): identical results merge cleanly.
+            let mut b = Journal::open_segment(&dir, "worker-b", "camp", "abcd").unwrap();
+            b.record("w|c|srrip", &sample_result(2)).unwrap();
+            b.record("w|c|drrip", &sample_result(3)).unwrap();
+        }
+        let merged = merge_dir(&dir, "camp", "abcd").unwrap();
+        assert_eq!(merged.completed.len(), 3);
+        assert_eq!(merged.entries, 4);
+        assert_eq!(merged.duplicates, 1);
+        assert_eq!(
+            merged.segments,
+            vec![
+                ("journal.jsonl".to_owned(), 1),
+                ("journal.worker-a.jsonl".to_owned(), 1),
+                ("journal.worker-b.jsonl".to_owned(), 2),
+            ]
+        );
+        assert_eq!(merged.completed["w|c|drrip"], sample_result(3));
+        // A foreign spec digest sees none of it.
+        assert!(merge_dir(&dir, "camp", "zzzz").unwrap().completed.is_empty());
+        // A missing directory is an empty merge, not an error.
+        assert!(merge_dir(&dir.join("nope"), "camp", "abcd").unwrap().completed.is_empty());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn conflicting_segment_results_fail_the_merge_loudly() {
+        let dir = temp_journal_dir("conflict");
+        {
+            let mut a = Journal::open_segment(&dir, "a", "camp", "abcd").unwrap();
+            a.record("w|c|lru", &sample_result(1)).unwrap();
+            let mut b = Journal::open_segment(&dir, "b", "camp", "abcd").unwrap();
+            b.record("w|c|lru", &sample_result(999)).unwrap();
+        }
+        let err = merge_dir(&dir, "camp", "abcd").unwrap_err();
+        assert!(err.contains("conflicting results"), "{err}");
+        assert!(err.contains("w|c|lru"), "{err}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn merge_drops_torn_tail_per_segment_and_keeps_the_rest() {
+        // A worker killed mid-append leaves a torn final line in *its*
+        // segment only; the merge must recover every fully-written line
+        // of every segment.
+        let dir = temp_journal_dir("merge_torn");
+        {
+            let mut a = Journal::open_segment(&dir, "a", "camp", "abcd").unwrap();
+            a.record("w|c|lru", &sample_result(1)).unwrap();
+            a.record("w|c|srrip", &sample_result(2)).unwrap();
+            let mut b = Journal::open_segment(&dir, "b", "camp", "abcd").unwrap();
+            b.record("w|c|drrip", &sample_result(3)).unwrap();
+        }
+        let a_path = Journal::segment_path(&dir, "a");
+        let text = std::fs::read_to_string(&a_path).unwrap();
+        std::fs::write(&a_path, &text[..text.len() - 25]).unwrap();
+        let merged = merge_dir(&dir, "camp", "abcd").unwrap();
+        assert_eq!(merged.completed.len(), 2, "torn cell dropped, both others kept");
+        assert!(merged.completed.contains_key("w|c|lru"));
+        assert!(merged.completed.contains_key("w|c|drrip"));
+        assert_eq!(
+            merged.segments,
+            vec![("journal.a.jsonl".to_owned(), 1), ("journal.b.jsonl".to_owned(), 1)]
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -58,8 +58,11 @@ pub mod spec;
 
 pub use cache::TraceCache;
 pub use diff::{DiffCell, ReportDiff};
-pub use journal::Journal;
+pub use journal::{merge_dir, Journal, MergedJournal};
 pub use json::Json;
 pub use report::{CampaignCell, CampaignReport, RawCell, REPORT_SCHEMA_VERSION};
-pub use runner::{Campaign, CampaignOutcome, CampaignPlan, CellStatus, PlanCell};
+pub use runner::{
+    AcquiredTrace, Campaign, CampaignGrid, CampaignOutcome, CampaignPlan, CellStatus, GridCell,
+    LeaseView, PlanCell,
+};
 pub use spec::{presets, BaseConfig, CampaignSpec};

@@ -24,37 +24,61 @@ fn ingest_options_for(selector: &str) -> IngestOptions {
     IngestOptions { format: None, lossy: false, name: Some(selector.to_owned()) }
 }
 
-/// The trace of one workload, ready for the executor.
+/// The acquired trace of one workload, ready to simulate cells against.
 ///
 /// Synthetic workloads are generated (or cache-read) into memory — they
 /// are bounded by construction. External `trace:` selectors stay **on
 /// disk**: each cell streams the converted `CCTR` file through
 /// [`simulate_stream`], so a multi-gigabyte ingested trace never
 /// materializes no matter how many (policy × config) cells replay it.
+///
+/// This is the claim-one-cell granularity the distributed campaign
+/// worker (`ccsim-dist`) builds on: acquire a workload once via
+/// [`Campaign::acquire`], then run any subset of its (config × policy)
+/// cells independently with [`AcquiredTrace::simulate_cell`].
+///
+/// The internals stay private: one-shot conversions delete their file
+/// when the handle drops, a contract callers must not be able to point
+/// at arbitrary paths.
 #[derive(Debug)]
-enum WorkloadTrace {
+pub struct AcquiredTrace(Acquired);
+
+#[derive(Debug)]
+enum Acquired {
     /// Resident trace, replayed with [`simulate`].
     InMemory(Trace),
     /// On-disk `CCTR` file, streamed per cell. `temp` marks a one-shot
-    /// conversion (no cache attached) deleted after the workload's cells
-    /// finish.
+    /// conversion (no cache attached) deleted when the handle drops.
     Streamed { path: PathBuf, records: u64, temp: bool },
 }
 
-impl WorkloadTrace {
+impl AcquiredTrace {
     /// Memory-access records per replay (for progress lines).
-    fn records(&self) -> u64 {
-        match self {
-            WorkloadTrace::InMemory(trace) => trace.len() as u64,
-            WorkloadTrace::Streamed { records, .. } => *records,
+    pub fn records(&self) -> u64 {
+        match &self.0 {
+            Acquired::InMemory(trace) => trace.len() as u64,
+            Acquired::Streamed { records, .. } => *records,
         }
     }
 
+    /// `true` when cells stream from disk instead of replaying memory.
+    pub fn is_streamed(&self) -> bool {
+        matches!(self.0, Acquired::Streamed { .. })
+    }
+
     /// Runs one grid cell over this trace.
-    fn simulate_cell(&self, config: &SimConfig, policy: PolicyKind) -> Result<SimResult, String> {
-        match self {
-            WorkloadTrace::InMemory(trace) => Ok(simulate(trace, config, policy)),
-            WorkloadTrace::Streamed { path, .. } => {
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on I/O or decode failures of streamed traces.
+    pub fn simulate_cell(
+        &self,
+        config: &SimConfig,
+        policy: PolicyKind,
+    ) -> Result<SimResult, String> {
+        match &self.0 {
+            Acquired::InMemory(trace) => Ok(simulate(trace, config, policy)),
+            Acquired::Streamed { path, .. } => {
                 let file = File::open(path)
                     .map_err(|e| format!("opening trace {}: {e}", path.display()))?;
                 let reader = TraceReader::new(BufReader::new(file))
@@ -62,6 +86,14 @@ impl WorkloadTrace {
                 simulate_stream(reader, config, policy)
                     .map_err(|e| format!("streaming trace {}: {e}", path.display()))
             }
+        }
+    }
+}
+
+impl Drop for AcquiredTrace {
+    fn drop(&mut self) {
+        if let Acquired::Streamed { path, temp: true, .. } = &self.0 {
+            let _ = std::fs::remove_file(path);
         }
     }
 }
@@ -84,7 +116,7 @@ fn acquire_trace(
     workload: &str,
     scale: SuiteScale,
     seed: u64,
-) -> Result<WorkloadTrace, String> {
+) -> Result<AcquiredTrace, String> {
     if let Some(source) = workload.strip_prefix("trace:") {
         let opts = ingest_options_for(workload);
         let (path, temp) = match cache {
@@ -108,7 +140,7 @@ fn acquire_trace(
             }
         };
         let records = cctr_record_count(&path)?;
-        return Ok(WorkloadTrace::Streamed { path, records, temp });
+        return Ok(AcquiredTrace(Acquired::Streamed { path, records, temp }));
     }
     let trace = match cache {
         Some(cache) => cache.get_or_generate(workload, scale, seed, || {
@@ -116,7 +148,7 @@ fn acquire_trace(
         })?,
         None => build_workload_seeded(workload, scale, seed)?,
     };
-    Ok(WorkloadTrace::InMemory(trace))
+    Ok(AcquiredTrace(Acquired::InMemory(trace)))
 }
 
 /// A configured, runnable campaign.
@@ -146,7 +178,24 @@ pub struct Campaign {
     threads: usize,
     cache: Option<TraceCache>,
     journal_path: Option<PathBuf>,
+    leases: std::collections::BTreeMap<String, LeaseView>,
+    extra_completed: std::collections::BTreeSet<String>,
     verbose: bool,
+}
+
+/// A cell lease as seen by [`Campaign::plan`] — who holds it and whether
+/// the hold has outlived its TTL. Produced by `ccsim-dist`'s lease
+/// scanner and overlaid on dry-run predictions via [`Campaign::leases`];
+/// the campaign crate itself never reads or writes lease files.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LeaseView {
+    /// Worker id holding the lease.
+    pub worker: String,
+    /// Lease epoch (bumped on every reclaim of the cell).
+    pub epoch: u64,
+    /// The lease outlived its TTL: the holder is presumed dead and the
+    /// cell reclaimable.
+    pub stale: bool,
 }
 
 /// The predicted fate of one grid cell, as reported by
@@ -164,6 +213,12 @@ pub enum CellStatus {
     /// A `trace:` selector whose source file does not exist — the run
     /// would fail at this workload.
     MissingSource,
+    /// Claimed by a live distributed worker (see [`PlanCell::lease`]) —
+    /// that worker is expected to complete it.
+    Leased,
+    /// Claimed, but the lease outlived its TTL — the holder is presumed
+    /// crashed and any worker may reclaim the cell.
+    StaleLease,
 }
 
 impl CellStatus {
@@ -174,6 +229,8 @@ impl CellStatus {
             CellStatus::CachedTrace => "cached-trace",
             CellStatus::NeedsTrace => "needs-trace",
             CellStatus::MissingSource => "missing-source!",
+            CellStatus::Leased => "leased",
+            CellStatus::StaleLease => "stale-lease",
         }
     }
 }
@@ -189,6 +246,9 @@ pub struct PlanCell {
     pub policy: String,
     /// What a run would do with this cell.
     pub status: CellStatus,
+    /// The live or stale lease on this cell, when a lease overlay was
+    /// provided ([`Campaign::leases`]) and the cell is not journaled.
+    pub lease: Option<LeaseView>,
 }
 
 /// The resolved grid of a campaign, with per-cell predictions — what
@@ -204,31 +264,72 @@ pub struct CampaignPlan {
 
 impl CampaignPlan {
     /// Cell count with each [`CellStatus`], in enum order:
-    /// `(journaled, cached_trace, needs_trace, missing_source)`.
-    pub fn counts(&self) -> (usize, usize, usize, usize) {
+    /// `(journaled, cached_trace, needs_trace, missing_source, leased,
+    /// stale_lease)`.
+    pub fn counts(&self) -> (usize, usize, usize, usize, usize, usize) {
         let of = |s: CellStatus| self.cells.iter().filter(|c| c.status == s).count();
         (
             of(CellStatus::Journaled),
             of(CellStatus::CachedTrace),
             of(CellStatus::NeedsTrace),
             of(CellStatus::MissingSource),
+            of(CellStatus::Leased),
+            of(CellStatus::StaleLease),
         )
     }
 
-    /// The plan as a printable table, one row per cell.
+    /// The plan as a printable table, one row per cell. Leased cells name
+    /// their holder: `leased(worker-a)` / `stale-lease(worker-a)`.
     pub fn table(&self) -> ccsim_core::experiment::Table {
         let mut t = ccsim_core::experiment::Table::new(
             ["workload", "config", "policy", "status"].iter().map(|s| (*s).to_owned()).collect(),
         );
         for c in &self.cells {
-            t.row(vec![
-                c.workload.clone(),
-                c.config.clone(),
-                c.policy.clone(),
-                c.status.name().to_owned(),
-            ]);
+            let status = match (&c.status, &c.lease) {
+                (CellStatus::Leased | CellStatus::StaleLease, Some(l)) => {
+                    format!("{}({})", c.status.name(), l.worker)
+                }
+                _ => c.status.name().to_owned(),
+            };
+            t.row(vec![c.workload.clone(), c.config.clone(), c.policy.clone(), status]);
         }
         t
+    }
+}
+
+/// One cell of a resolved campaign grid, in spec order — the unit of
+/// work a distributed worker claims, simulates and journals.
+#[derive(Debug, Clone)]
+pub struct GridCell {
+    /// Canonical workload selector.
+    pub workload: String,
+    /// Index into [`CampaignGrid::configs`].
+    pub config_index: usize,
+    /// LLC capacity multiplier of the config variant.
+    pub llc_scale: u32,
+    /// Policy of this cell.
+    pub policy: PolicyKind,
+    /// Journal/lease identity: `<workload>|<config>|<policy>`.
+    pub id: String,
+}
+
+/// The fully resolved grid of a campaign: expanded workloads, config
+/// variants and every cell in spec order (workload-major, config-middle,
+/// policy-minor) — the order reports render in.
+#[derive(Debug, Clone)]
+pub struct CampaignGrid {
+    /// Expanded workload selectors, in declaration order.
+    pub workloads: Vec<String>,
+    /// `(label, config)` variants, one per LLC scale.
+    pub configs: Vec<(String, SimConfig)>,
+    /// Every grid cell, in spec order.
+    pub cells: Vec<GridCell>,
+}
+
+impl CampaignGrid {
+    /// The cells of `workload`, in grid order.
+    pub fn cells_of<'a>(&'a self, workload: &'a str) -> impl Iterator<Item = &'a GridCell> + 'a {
+        self.cells.iter().filter(move |c| c.workload == workload)
     }
 }
 
@@ -251,7 +352,15 @@ impl Campaign {
     /// Wraps a spec with default execution settings: one worker thread,
     /// no trace cache, no journal, quiet.
     pub fn new(spec: CampaignSpec) -> Campaign {
-        Campaign { spec, threads: 1, cache: None, journal_path: None, verbose: false }
+        Campaign {
+            spec,
+            threads: 1,
+            cache: None,
+            journal_path: None,
+            leases: Default::default(),
+            extra_completed: Default::default(),
+            verbose: false,
+        }
     }
 
     /// The spec this campaign will run.
@@ -284,6 +393,26 @@ impl Campaign {
         self
     }
 
+    /// Overlays live lease state (cell id → [`LeaseView`]) onto
+    /// [`Campaign::plan`] predictions, so a dry run against a shared
+    /// distributed-campaign directory reports claimed cells as
+    /// `leased(<worker>)` / `stale-lease(<worker>)` instead of plainly
+    /// pending. Ignored by [`Campaign::run`].
+    pub fn leases(mut self, leases: std::collections::BTreeMap<String, LeaseView>) -> Campaign {
+        self.leases = leases;
+        self
+    }
+
+    /// Marks additional cell ids as already completed for
+    /// [`Campaign::plan`] — used by distributed dry runs, where the
+    /// completed set comes from merging every worker's journal segment
+    /// ([`crate::journal::merge_dir`]) rather than from one journal file.
+    /// Ignored by [`Campaign::run`] (which needs results, not just ids).
+    pub fn mark_completed(mut self, cells: impl IntoIterator<Item = String>) -> Campaign {
+        self.extra_completed.extend(cells);
+        self
+    }
+
     /// Predicts what [`Campaign::run`] would do, cell by cell, without
     /// simulating, generating or writing anything: which cells the
     /// journal already holds, which workload traces are valid cache
@@ -305,16 +434,33 @@ impl Campaign {
             for (label, _) in &configs {
                 for policy in &self.spec.policies {
                     let id = format!("{workload}|{label}|{}", policy.name());
-                    let status = if journaled.contains_key(&id) {
-                        CellStatus::Journaled
-                    } else {
-                        workload_status
-                    };
+                    let mut lease = None;
+                    let status =
+                        if journaled.contains_key(&id) || self.extra_completed.contains(&id) {
+                            CellStatus::Journaled
+                        } else if workload_status == CellStatus::MissingSource {
+                            // A lease can't fix a missing trace: source —
+                            // every (re)claim of this cell will fail at
+                            // acquisition, so the operator warning must
+                            // not be masked by claim state.
+                            lease = self.leases.get(&id).cloned();
+                            CellStatus::MissingSource
+                        } else if let Some(l) = self.leases.get(&id) {
+                            lease = Some(l.clone());
+                            if l.stale {
+                                CellStatus::StaleLease
+                            } else {
+                                CellStatus::Leased
+                            }
+                        } else {
+                            workload_status
+                        };
                     cells.push(PlanCell {
                         workload: workload.clone(),
                         config: label.clone(),
                         policy: policy.name().to_owned(),
                         status,
+                        lease,
                     });
                 }
             }
@@ -347,6 +493,87 @@ impl Campaign {
         }
     }
 
+    /// Resolves the full grid: expanded workloads, config variants, and
+    /// every cell (with its journal/lease id) in spec order.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on invalid workload selectors.
+    pub fn grid(&self) -> Result<CampaignGrid, String> {
+        let workloads = self.spec.expand_workloads()?;
+        let configs = self.spec.configs();
+        let cells = workloads
+            .iter()
+            .flat_map(|workload| {
+                configs.iter().enumerate().flat_map(move |(ci, (label, _))| {
+                    self.spec.policies.iter().map(move |&policy| GridCell {
+                        workload: workload.clone(),
+                        config_index: ci,
+                        llc_scale: self.spec.llc_scales[ci],
+                        policy,
+                        id: format!("{workload}|{label}|{}", policy.name()),
+                    })
+                })
+            })
+            .collect();
+        Ok(CampaignGrid { workloads, configs, cells })
+    }
+
+    /// Acquires the trace of one workload — the cache-aware entry point
+    /// behind [`Campaign::run`], exposed so distributed workers can
+    /// simulate any claimed subset of a workload's cells
+    /// ([`AcquiredTrace::simulate_cell`]) without running the whole grid.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on invalid selectors, generation/ingest failures
+    /// and cache I/O errors.
+    pub fn acquire(&self, workload: &str) -> Result<AcquiredTrace, String> {
+        acquire_trace(self.cache.as_ref(), workload, self.spec.scale, self.spec.seed)
+    }
+
+    /// Assembles the deterministic report from a complete cell-result
+    /// map (cell id → result), in spec order — the same construction
+    /// [`Campaign::run`] uses, so any source of results (one process, a
+    /// resumed journal, or merged distributed journal segments) yields
+    /// byte-identical reports.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming missing cells — a partial map means the
+    /// campaign has not finished and no report must be written.
+    pub fn report_from_completed(
+        &self,
+        completed: &std::collections::BTreeMap<String, SimResult>,
+    ) -> Result<CampaignReport, String> {
+        let grid = self.grid()?;
+        let missing: Vec<&str> = grid
+            .cells
+            .iter()
+            .filter(|c| !completed.contains_key(&c.id))
+            .map(|c| c.id.as_str())
+            .collect();
+        if !missing.is_empty() {
+            let shown = missing.iter().take(5).cloned().collect::<Vec<_>>().join(", ");
+            return Err(format!(
+                "{} of {} cells have no journaled result yet (e.g. {shown}) — run more workers \
+                 or wait for the campaign to finish",
+                missing.len(),
+                grid.cells.len()
+            ));
+        }
+        let raw = grid
+            .cells
+            .iter()
+            .map(|c| RawCell {
+                config: grid.configs[c.config_index].0.clone(),
+                llc_scale: c.llc_scale,
+                result: completed[&c.id].clone(),
+            })
+            .collect();
+        Ok(CampaignReport::build(&self.spec, raw))
+    }
+
     /// Runs every pending cell of the grid and assembles the report.
     ///
     /// # Errors
@@ -354,8 +581,7 @@ impl Campaign {
     /// Returns a message on invalid workload selectors, trace generation
     /// failures, or cache/journal I/O errors.
     pub fn run(self) -> Result<CampaignOutcome, String> {
-        let workloads = self.spec.expand_workloads()?;
-        let configs = self.spec.configs();
+        let grid = self.grid()?;
         let mut journal = match &self.journal_path {
             Some(path) => Some(
                 Journal::open(path, &self.spec.name, &self.spec.digest())
@@ -364,92 +590,54 @@ impl Campaign {
             None => None,
         };
 
-        let mut raw: Vec<RawCell> = Vec::new();
+        let mut completed: std::collections::BTreeMap<String, SimResult> =
+            journal.as_ref().map(|j| j.completed().clone()).unwrap_or_default();
         let mut cells_resumed = 0usize;
-        for (wi, workload) in workloads.iter().enumerate() {
-            // The workload's cells in grid order: config-major, policy-minor.
-            let cells: Vec<(usize, PolicyKind, String)> = configs
-                .iter()
-                .enumerate()
-                .flat_map(|(ci, (label, _))| {
-                    self.spec.policies.iter().map(move |&policy| {
-                        (ci, policy, format!("{workload}|{label}|{}", policy.name()))
-                    })
-                })
-                .collect();
-            let pending: Vec<&(usize, PolicyKind, String)> = cells
-                .iter()
-                .filter(|(_, _, id)| {
-                    !journal.as_ref().is_some_and(|j| j.completed().contains_key(id))
-                })
-                .collect();
+        for (wi, workload) in grid.workloads.iter().enumerate() {
+            let cells: Vec<&GridCell> = grid.cells_of(workload).collect();
+            let pending: Vec<&&GridCell> =
+                cells.iter().filter(|c| !completed.contains_key(&c.id)).collect();
             cells_resumed += cells.len() - pending.len();
 
-            let mut fresh: Vec<(String, SimResult)> = Vec::new();
             if !pending.is_empty() {
                 // Acquire the trace only when at least one cell needs it:
                 // a fully-journaled workload costs no generation at all.
-                let trace =
-                    acquire_trace(self.cache.as_ref(), workload, self.spec.scale, self.spec.seed)?;
+                let trace = self.acquire(workload)?;
                 let results = run_jobs(pending.len(), self.threads, |i| {
-                    let (ci, policy, _) = pending[i];
-                    trace.simulate_cell(&configs[*ci].1, *policy)
+                    let cell = pending[i];
+                    trace.simulate_cell(&grid.configs[cell.config_index].1, cell.policy)
                 });
                 if self.verbose {
                     eprintln!(
                         "[{}/{}] {:<16} {} records, {} cells simulated{}",
                         wi + 1,
-                        workloads.len(),
+                        grid.workloads.len(),
                         workload,
                         trace.records(),
                         pending.len(),
-                        if matches!(trace, WorkloadTrace::Streamed { .. }) {
-                            " (streamed)"
-                        } else {
-                            ""
-                        }
+                        if trace.is_streamed() { " (streamed)" } else { "" }
                     );
                 }
-                let recorded = (|| -> Result<(), String> {
-                    for ((_, _, cell_id), result) in pending.iter().zip(results) {
-                        let result = result?;
-                        if let Some(j) = journal.as_mut() {
-                            j.record(cell_id, &result)
-                                .map_err(|e| format!("writing journal: {e}"))?;
-                        }
-                        fresh.push((cell_id.clone(), result));
+                for (cell, result) in pending.iter().zip(results) {
+                    let result = result?;
+                    if let Some(j) = journal.as_mut() {
+                        j.record(&cell.id, &result).map_err(|e| format!("writing journal: {e}"))?;
                     }
-                    Ok(())
-                })();
-                if let WorkloadTrace::Streamed { path, temp: true, .. } = &trace {
-                    let _ = std::fs::remove_file(path);
+                    completed.insert(cell.id.clone(), result);
                 }
-                recorded?;
             } else if self.verbose {
-                eprintln!("[{}/{}] {:<16} resumed from journal", wi + 1, workloads.len(), workload);
-            }
-
-            for (ci, _, cell_id) in &cells {
-                let result = fresh
-                    .iter()
-                    .find(|(id, _)| id == cell_id)
-                    .map(|(_, r)| r.clone())
-                    .unwrap_or_else(|| {
-                        journal.as_ref().expect("non-fresh cells come from the journal").completed()
-                            [cell_id]
-                            .clone()
-                    });
-                raw.push(RawCell {
-                    config: configs[*ci].0.clone(),
-                    llc_scale: self.spec.llc_scales[*ci],
-                    result,
-                });
+                eprintln!(
+                    "[{}/{}] {:<16} resumed from journal",
+                    wi + 1,
+                    grid.workloads.len(),
+                    workload
+                );
             }
         }
 
-        let cells_total = workloads.len() * configs.len() * self.spec.policies.len();
+        let cells_total = grid.cells.len();
         Ok(CampaignOutcome {
-            report: CampaignReport::build(&self.spec, raw),
+            report: self.report_from_completed(&completed)?,
             cells_total,
             cells_resumed,
             cache_hits: self.cache.as_ref().map_or(0, TraceCache::hits),
@@ -522,7 +710,7 @@ mod tests {
             .plan()
             .unwrap();
         assert_eq!(fresh.cells.len(), 4);
-        assert_eq!(fresh.counts(), (0, 0, 4, 0), "nothing exists yet");
+        assert_eq!(fresh.counts(), (0, 0, 4, 0, 0, 0), "nothing exists yet");
         assert!(!journal.exists(), "planning must not create the journal");
 
         Campaign::new(tiny_spec())
@@ -535,7 +723,7 @@ mod tests {
             .journal(&journal)
             .plan()
             .unwrap();
-        assert_eq!(done.counts(), (4, 0, 0, 0), "everything journaled after a run");
+        assert_eq!(done.counts(), (4, 0, 0, 0, 0, 0), "everything journaled after a run");
 
         // Journal gone, cache intact: cells pend but the trace is cached.
         std::fs::remove_file(&journal).unwrap();
@@ -544,7 +732,7 @@ mod tests {
             .journal(&journal)
             .plan()
             .unwrap();
-        assert_eq!(cached.counts(), (0, 4, 0, 0));
+        assert_eq!(cached.counts(), (0, 4, 0, 0, 0, 0));
         let table = cached.table().to_csv();
         assert!(table.contains("xsbench.small,llc_x1,lru,cached-trace"), "{table}");
         std::fs::remove_dir_all(&dir).unwrap();
@@ -559,10 +747,80 @@ mod tests {
         )
         .unwrap();
         let plan = Campaign::new(spec.clone()).plan().unwrap();
-        assert_eq!(plan.counts(), (0, 0, 0, 1));
+        assert_eq!(plan.counts(), (0, 0, 0, 1, 0, 0));
         assert_eq!(plan.cells[0].status.name(), "missing-source!");
+
+        // A lease on the cell must not mask the missing source: every
+        // (re)claim of it would fail at acquisition anyway.
+        let mut leases = std::collections::BTreeMap::new();
+        leases.insert(
+            "trace:/nonexistent/foo.champsim|llc_x1|lru".to_owned(),
+            LeaseView { worker: "w".into(), epoch: 1, stale: false },
+        );
+        let leased_plan = Campaign::new(spec.clone()).leases(leases).plan().unwrap();
+        assert_eq!(leased_plan.counts(), (0, 0, 0, 1, 0, 0), "missing-source wins over leased");
+        assert_eq!(leased_plan.cells[0].lease.as_ref().unwrap().worker, "w");
         let err = Campaign::new(spec).run().unwrap_err();
         assert!(err.contains("/nonexistent/foo.champsim"), "{err}");
+    }
+
+    #[test]
+    fn plan_overlays_leases_and_merged_completion() {
+        use std::collections::BTreeMap;
+        let mut leases = BTreeMap::new();
+        leases.insert(
+            "xsbench.small|llc_x1|lru".to_owned(),
+            LeaseView { worker: "w-alive".into(), epoch: 1, stale: false },
+        );
+        leases.insert(
+            "xsbench.small|llc_x1|srrip".to_owned(),
+            LeaseView { worker: "w-dead".into(), epoch: 2, stale: true },
+        );
+        // A lease on an already-completed cell must not demote it.
+        leases.insert(
+            "xsbench.small|llc_x2|lru".to_owned(),
+            LeaseView { worker: "w-late".into(), epoch: 1, stale: false },
+        );
+        let plan = Campaign::new(tiny_spec())
+            .leases(leases)
+            .mark_completed(["xsbench.small|llc_x2|lru".to_owned()])
+            .plan()
+            .unwrap();
+        assert_eq!(plan.counts(), (1, 0, 1, 0, 1, 1));
+        let csv = plan.table().to_csv();
+        assert!(csv.contains("xsbench.small,llc_x1,lru,leased(w-alive)"), "{csv}");
+        assert!(csv.contains("xsbench.small,llc_x1,srrip,stale-lease(w-dead)"), "{csv}");
+        assert!(csv.contains("xsbench.small,llc_x2,lru,journaled"), "{csv}");
+    }
+
+    #[test]
+    fn grid_and_report_from_completed_match_a_full_run() {
+        let campaign = Campaign::new(tiny_spec());
+        let grid = campaign.grid().unwrap();
+        assert_eq!(grid.cells.len(), 4);
+        assert_eq!(grid.cells[0].id, "xsbench.small|llc_x1|lru");
+        assert_eq!(grid.cells[3].id, "xsbench.small|llc_x2|srrip");
+
+        // Simulate every cell through the claim-one-cell API and
+        // assemble: byte-identical to the monolithic run.
+        let mut completed = std::collections::BTreeMap::new();
+        for workload in &grid.workloads {
+            let trace = campaign.acquire(workload).unwrap();
+            for cell in grid.cells_of(workload) {
+                let result =
+                    trace.simulate_cell(&grid.configs[cell.config_index].1, cell.policy).unwrap();
+                completed.insert(cell.id.clone(), result);
+            }
+        }
+        let assembled = campaign.report_from_completed(&completed).unwrap();
+        let monolithic = Campaign::new(tiny_spec()).threads(4).run().unwrap();
+        assert_eq!(assembled.to_json_string(), monolithic.report.to_json_string());
+
+        // A partial map refuses to assemble, naming what's missing.
+        completed.remove("xsbench.small|llc_x2|srrip");
+        let err = campaign.report_from_completed(&completed).unwrap_err();
+        assert!(err.contains("1 of 4 cells"), "{err}");
+        assert!(err.contains("xsbench.small|llc_x2|srrip"), "{err}");
     }
 
     #[test]

@@ -23,12 +23,18 @@ USAGE:
     ccsim trace-gen <workload> <out.cctr> [--quick]
     ccsim trace-stats <in>
     ccsim ingest <in> <out.cctr> [--format <cctr|champsim|cvp>]
-              [--name <name>] [--lossy]
+              [--name <name>] [--lossy] [--stats]
     ccsim sim <in.cctr> [--policy <name>]... [--llc-scale <power-of-two>]
               [--threads <n>] [--json]
     ccsim campaign <spec.json> [--threads <n>] [--out <dir>]
               [--cache-dir <dir>] [--no-cache] [--fresh] [--json] [--quiet]
-              [--dry-run]
+              [--dry-run] [--shared-dir <dir>]
+    ccsim campaign worker <spec.json> --shared-dir <dir>
+              [--worker-id <id>] [--ttl-secs <n>] [--threads <n>]
+              [--backoff-ms <n>] [--max-cells <n>] [--quiet]
+    ccsim campaign assemble <spec.json> --shared-dir <dir> [--out <dir>]
+              [--json] [--quiet]
+    ccsim campaign status <spec.json> --shared-dir <dir>
     ccsim report-diff <a/report.json> <b/report.json> [--threshold <mpki>]
               [--json]
     ccsim bench [--quick] [--json] [--out <file>] [--policy <name>]...
@@ -38,9 +44,14 @@ USAGE:
 `ingest` converts an external simulator trace (ChampSim 64-byte
 instruction records or a CVP-style load/store stream; auto-detected
 unless --format is given) into the native CCTR format, streaming —
-multi-GB inputs never materialize in memory. `trace-stats` accepts the
-same foreign formats directly. Campaign specs accept external traces as
-`trace:<path>` workload selectors, converted once into the trace cache.
+multi-GB inputs never materialize in memory. `--stats` additionally
+prints the `trace-stats` summary block, computed in the same single
+pass (the source is never read twice and the output is never read
+back; note the reuse profile itself needs memory proportional to the
+record count, unlike the plain conversion). `trace-stats` accepts the
+same foreign formats directly.
+Campaign specs accept external traces as `trace:<path>` workload
+selectors, converted once into the trace cache.
 
 Multi-policy `sim` runs sweep the policies in parallel (`--threads`,
 default: available cores, max 8); `--json` emits machine-readable
@@ -52,7 +63,22 @@ checkpointed to <out>/journal.jsonl so an interrupted campaign resumes
 where it stopped (`--fresh` discards the journal), and the report is
 written to <out>/report.json and <out>/report.csv. `--dry-run` prints
 the resolved grid and each cell's predicted fate (journaled /
-cached-trace / needs-trace) without simulating anything.
+cached-trace / needs-trace) without simulating anything; with
+`--shared-dir` it reads that distributed directory instead — merged
+worker journals count as journaled, and claimed cells report as
+leased(<worker>) or stale-lease(<worker>).
+
+Distributed campaigns: N `campaign worker` processes — same host or
+many hosts over a shared filesystem — drain one grid cooperatively
+through <shared-dir>. Claims are lease files (atomic create, TTL'd,
+heartbeat-renewed; a crashed worker's leases expire and its cells are
+reclaimed), each worker journals to its own journal.<id>.jsonl
+segment, and traces convert once into the shared trace-cache/.
+`campaign assemble` merges any worker set's segments into a report
+byte-identical to a single-process run (failing loudly on incomplete
+grids or conflicting results); `campaign status` shows per-worker
+progress, live claims and stale leases. See the Distributed-campaigns
+runbook in PAPER.md.
 
 `report-diff` compares two report.json files over the same grid and
 prints per-cell LLC MPKI / miss-ratio / IPC deltas; it exits non-zero
@@ -148,9 +174,10 @@ fn load_any_trace(path: &str) -> Result<(Trace, Option<IngestReport>), String> {
     Ok((trace, Some(report)))
 }
 
-/// `ccsim ingest <in> <out.cctr> [--format F] [--name N] [--lossy]`
+/// `ccsim ingest <in> <out.cctr> [--format F] [--name N] [--lossy]
+/// [--stats]`
 pub fn ingest(args: &[String]) -> Result<(), String> {
-    let positional = positionals(args, &["--format", "--name"], &["--lossy"])?;
+    let positional = positionals(args, &["--format", "--name"], &["--lossy", "--stats"])?;
     let [input, output] = positional[..] else {
         return Err(format!("expected <in> <out.cctr>\n\n{USAGE}"));
     };
@@ -159,11 +186,60 @@ pub fn ingest(args: &[String]) -> Result<(), String> {
         name: parse_flag_value::<String>(args, "--name")?,
         lossy: args.iter().any(|a| a == "--lossy"),
     };
-    let report = ingest_file(std::path::Path::new(input), std::path::Path::new(output), &opts)
-        .map_err(|e| format!("ingesting {input}: {e}"))?;
+    let stats = args.iter().any(|a| a == "--stats");
+    if !stats {
+        let report = ingest_file(std::path::Path::new(input), std::path::Path::new(output), &opts)
+            .map_err(|e| format!("ingesting {input}: {e}"))?;
+        println!("wrote {output} [{}]", report.name);
+        println!("  {}", report.summary());
+        return Ok(());
+    }
+    // One-pass convert + characterize: the streaming stats builders ride
+    // the emit path, so the source is read once and the output is never
+    // read back — the summary block below is identical to running
+    // `trace-stats` on the converted file.
+    let mut stats_b = TraceStats::builder();
+    let mut reuse_b = ReuseProfile::builder();
+    let (report, trailing) = ccsim_ingest::ingest_file_observed(
+        std::path::Path::new(input),
+        std::path::Path::new(output),
+        &opts,
+        |r| {
+            stats_b.push(r);
+            reuse_b.push_block(r.block());
+        },
+    )
+    .map_err(|e| format!("ingesting {input}: {e}"))?;
     println!("wrote {output} [{}]", report.name);
     println!("  {}", report.summary());
+    print_stats_block(&report.name, report.records, &stats_b.finish(trailing), &reuse_b.finish());
     Ok(())
+}
+
+/// The characterization block shared by `trace-stats` and
+/// `ingest --stats` — identical rendering whether the statistics came
+/// from a materialized trace or from the streaming builders.
+fn print_stats_block(name: &str, records: u64, s: &TraceStats, p: &ReuseProfile) {
+    println!("workload            : {name}");
+    println!("memory records      : {records}");
+    println!("instructions        : {}", s.instructions);
+    println!("loads / stores      : {} / {}", s.loads, s.stores);
+    println!("mem per kinstr      : {:.1}", s.mem_per_kilo_instruction());
+    println!(
+        "footprint           : {} blocks ({:.2} MB)",
+        s.footprint_blocks,
+        s.footprint_bytes as f64 / (1 << 20) as f64
+    );
+    println!("distinct PCs        : {}", s.distinct_pcs);
+    println!("blocks per PC       : mean {:.1}, max {}", s.mean_blocks_per_pc, s.max_blocks_per_pc);
+    println!("cold accesses       : {:.1}%", 100.0 * p.cold() as f64 / p.total().max(1) as f64);
+    for (cap, label) in [(512u64, "L1D-sized"), (16_384, "L2-sized"), (22_528, "LLC-sized")] {
+        println!(
+            "reuse within {:>6} blocks ({label:>9}): {:.1}%",
+            cap,
+            100.0 * p.hit_fraction_within(cap)
+        );
+    }
 }
 
 /// `ccsim report-diff <a.json> <b.json> [--threshold <mpki>] [--json]`
@@ -293,27 +369,8 @@ pub fn trace_stats(args: &[String]) -> Result<(), String> {
         println!("ingested            : {}", report.summary());
     }
     let s = TraceStats::compute(&trace);
-    println!("workload            : {}", trace.name());
-    println!("memory records      : {}", trace.len());
-    println!("instructions        : {}", s.instructions);
-    println!("loads / stores      : {} / {}", s.loads, s.stores);
-    println!("mem per kinstr      : {:.1}", s.mem_per_kilo_instruction());
-    println!(
-        "footprint           : {} blocks ({:.2} MB)",
-        s.footprint_blocks,
-        s.footprint_bytes as f64 / (1 << 20) as f64
-    );
-    println!("distinct PCs        : {}", s.distinct_pcs);
-    println!("blocks per PC       : mean {:.1}, max {}", s.mean_blocks_per_pc, s.max_blocks_per_pc);
     let p = ReuseProfile::compute(&trace);
-    println!("cold accesses       : {:.1}%", 100.0 * p.cold() as f64 / p.total().max(1) as f64);
-    for (cap, label) in [(512u64, "L1D-sized"), (16_384, "L2-sized"), (22_528, "LLC-sized")] {
-        println!(
-            "reuse within {:>6} blocks ({label:>9}): {:.1}%",
-            cap,
-            100.0 * p.hit_fraction_within(cap)
-        );
-    }
+    print_stats_block(trace.name(), trace.len() as u64, &s, &p);
     Ok(())
 }
 
@@ -402,11 +459,19 @@ pub fn sim(args: &[String]) -> Result<(), String> {
 }
 
 /// `ccsim campaign <spec.json> [--threads N] [--out DIR] [--cache-dir DIR]
-/// [--no-cache] [--fresh] [--json] [--quiet] [--dry-run]`
+/// [--no-cache] [--fresh] [--json] [--quiet] [--dry-run]
+/// [--shared-dir DIR]` — plus the distributed subcommands
+/// `campaign worker`, `campaign assemble` and `campaign status`.
 pub fn campaign(args: &[String]) -> Result<(), String> {
+    match args.first().map(String::as_str) {
+        Some("worker") => return campaign_worker(&args[1..]),
+        Some("assemble") => return campaign_assemble(&args[1..]),
+        Some("status") => return campaign_status(&args[1..]),
+        _ => {}
+    }
     let positional = positionals(
         args,
-        &["--threads", "--out", "--cache-dir"],
+        &["--threads", "--out", "--cache-dir", "--shared-dir"],
         &["--no-cache", "--fresh", "--json", "--quiet", "--dry-run"],
     )?;
     let [spec_path] = positional[..] else {
@@ -421,34 +486,68 @@ pub fn campaign(args: &[String]) -> Result<(), String> {
         .unwrap_or_else(|| PathBuf::from("campaign-out").join(&spec.name));
     let cache_dir: PathBuf = parse_flag_value::<PathBuf>(args, "--cache-dir")?
         .unwrap_or_else(|| PathBuf::from("campaign-out").join("trace-cache"));
+    let shared_dir: Option<PathBuf> = parse_flag_value(args, "--shared-dir")?;
     let json = args.iter().any(|a| a == "--json");
     let quiet = args.iter().any(|a| a == "--quiet");
     let dry_run = args.iter().any(|a| a == "--dry-run");
     let journal_path = out_dir.join("journal.jsonl");
+    if shared_dir.is_some() && !dry_run {
+        return Err("--shared-dir only applies to --dry-run here; to execute against a shared \
+                    directory use `ccsim campaign worker`"
+            .into());
+    }
 
     if dry_run {
         // Inspect only: no output dir, no journal, no cache mutation
         // beyond creating the (possibly shared) cache directory. With
         // --fresh the real run would discard the journal first, so the
         // plan must not count its cells as journaled either.
+        let name = spec.name.clone();
+        let digest = spec.digest();
         let mut campaign = Campaign::new(spec);
-        if !args.iter().any(|a| a == "--fresh") {
-            campaign = campaign.journal(&journal_path);
+        if let Some(shared) = &shared_dir {
+            // Distributed view: completion comes from merging every
+            // worker's journal segment; claims overlay as leased /
+            // stale-lease. Strictly read-only — nothing under the shared
+            // dir is created or touched.
+            let merged = ccsim_campaign::journal::merge_dir(shared, &name, &digest)?;
+            campaign = campaign.mark_completed(merged.completed.into_keys());
+            let leases_root = ccsim_dist::leases_dir(shared);
+            if leases_root.is_dir() {
+                let leases = ccsim_dist::LeaseDir::open(leases_root)
+                    .map_err(|e| format!("opening lease dir: {e}"))?;
+                campaign = campaign.leases(leases.views());
+            }
+            let shared_cache = ccsim_dist::trace_cache_dir(shared);
+            if shared_cache.is_dir() && !args.iter().any(|a| a == "--no-cache") {
+                let cache = TraceCache::new(&shared_cache)
+                    .map_err(|e| format!("opening trace cache {}: {e}", shared_cache.display()))?;
+                campaign = campaign.cache(cache);
+            }
+        } else {
+            if !args.iter().any(|a| a == "--fresh") {
+                campaign = campaign.journal(&journal_path);
+            }
+            if !args.iter().any(|a| a == "--no-cache") {
+                let cache = TraceCache::new(&cache_dir)
+                    .map_err(|e| format!("opening trace cache {}: {e}", cache_dir.display()))?;
+                campaign = campaign.cache(cache);
+            }
         }
-        if !args.iter().any(|a| a == "--no-cache") {
-            let cache = TraceCache::new(&cache_dir)
-                .map_err(|e| format!("opening trace cache {}: {e}", cache_dir.display()))?;
-            campaign = campaign.cache(cache);
-        }
-        let name = campaign.spec().name.clone();
         let plan = campaign.plan()?;
         if !quiet {
             println!("{}", plan.table().render());
         }
-        let (journaled, cached, needs, missing) = plan.counts();
+        let (journaled, cached, needs, missing, leased, stale) = plan.counts();
+        let lease_part = if shared_dir.is_some() {
+            format!(", {leased} leased, {stale} stale-leased")
+        } else {
+            String::new()
+        };
         println!(
             "campaign {name} (dry run): {} cells — {journaled} journaled, \
-             {cached} trace-cache hits, {needs} to generate/ingest, {missing} missing sources",
+             {cached} trace-cache hits, {needs} to generate/ingest, {missing} missing \
+             sources{lease_part}",
             plan.cells.len()
         );
         if missing > 0 {
@@ -492,6 +591,115 @@ pub fn campaign(args: &[String]) -> Result<(), String> {
         outcome.cells_total, outcome.cells_resumed, outcome.cache_hits, outcome.cache_misses
     );
     println!("report: {} and {}", report_json.display(), report_csv.display());
+    Ok(())
+}
+
+/// Shared front end of the distributed subcommands: the spec positional
+/// plus the mandatory `--shared-dir`.
+fn dist_spec_and_shared_dir(
+    args: &[String],
+    value_flags: &[&str],
+    bool_flags: &[&str],
+    subcommand: &str,
+) -> Result<(CampaignSpec, PathBuf), String> {
+    let positional = positionals(args, value_flags, bool_flags)?;
+    let [spec_path] = positional[..] else {
+        return Err(format!("expected <spec.json>\n\n{USAGE}"));
+    };
+    let spec = CampaignSpec::from_file(std::path::Path::new(spec_path))?;
+    let shared: PathBuf = parse_flag_value(args, "--shared-dir")?
+        .ok_or_else(|| format!("campaign {subcommand} needs --shared-dir <dir>\n\n{USAGE}"))?;
+    Ok((spec, shared))
+}
+
+/// `ccsim campaign worker <spec.json> --shared-dir <dir> [--worker-id ID]
+/// [--ttl-secs N] [--threads N] [--backoff-ms N] [--max-cells N]
+/// [--quiet]`
+fn campaign_worker(args: &[String]) -> Result<(), String> {
+    let (spec, shared) = dist_spec_and_shared_dir(
+        args,
+        &["--shared-dir", "--worker-id", "--ttl-secs", "--threads", "--backoff-ms", "--max-cells"],
+        &["--quiet"],
+        "worker",
+    )?;
+    let mut opts = ccsim_dist::WorkerOptions::new(
+        parse_flag_value::<String>(args, "--worker-id")?
+            .unwrap_or_else(ccsim_dist::default_worker_id),
+    );
+    if let Some(ttl) = parse_flag_value::<u64>(args, "--ttl-secs")? {
+        if ttl == 0 {
+            return Err("--ttl-secs must be at least 1".into());
+        }
+        opts.ttl = std::time::Duration::from_secs(ttl);
+    }
+    opts.threads = parse_flag_value(args, "--threads")?.unwrap_or_else(default_threads);
+    if opts.threads == 0 {
+        return Err("--threads must be at least 1".into());
+    }
+    if let Some(ms) = parse_flag_value::<u64>(args, "--backoff-ms")? {
+        opts.backoff = std::time::Duration::from_millis(ms.max(1));
+    }
+    opts.max_cells = parse_flag_value(args, "--max-cells")?;
+    opts.verbose = !args.iter().any(|a| a == "--quiet");
+    let worker_id = ccsim_dist::sanitize_worker_id(&opts.worker_id);
+    let outcome = ccsim_dist::run_worker(&spec, &shared, &opts)?;
+    println!(
+        "worker {worker_id}: {} cell(s) completed ({} reclaimed from stale leases), \
+         {} backoff(s), campaign {}",
+        outcome.completed,
+        outcome.reclaimed,
+        outcome.backoffs,
+        if outcome.campaign_done { "complete" } else { "still pending (cell limit reached)" }
+    );
+    Ok(())
+}
+
+/// `ccsim campaign assemble <spec.json> --shared-dir <dir> [--out DIR]
+/// [--json] [--quiet]`
+fn campaign_assemble(args: &[String]) -> Result<(), String> {
+    let (spec, shared) = dist_spec_and_shared_dir(
+        args,
+        &["--shared-dir", "--out"],
+        &["--json", "--quiet"],
+        "assemble",
+    )?;
+    let name = spec.name.clone();
+    let outcome = ccsim_dist::assemble(&spec, &shared)?;
+    let out_dir: PathBuf = parse_flag_value::<PathBuf>(args, "--out")?
+        .unwrap_or_else(|| PathBuf::from("campaign-out").join(&name));
+    std::fs::create_dir_all(&out_dir)
+        .map_err(|e| format!("creating {}: {e}", out_dir.display()))?;
+    let report_json = out_dir.join("report.json");
+    let report_csv = out_dir.join("report.csv");
+    std::fs::write(&report_json, outcome.report.to_json_string())
+        .map_err(|e| format!("writing {}: {e}", report_json.display()))?;
+    std::fs::write(&report_csv, outcome.report.to_csv())
+        .map_err(|e| format!("writing {}: {e}", report_csv.display()))?;
+    if args.iter().any(|a| a == "--json") {
+        println!("{}", outcome.report.to_json_string().trim_end());
+        return Ok(());
+    }
+    let quiet = args.iter().any(|a| a == "--quiet");
+    if !quiet && outcome.report.cells.len() <= 64 {
+        println!("{}", outcome.report.cells_table().render());
+    }
+    println!(
+        "assembled campaign {name}: {} cells from {} segment(s), {} journal entries, \
+         {} duplicate(s)",
+        outcome.report.cells.len(),
+        outcome.segments.len(),
+        outcome.entries,
+        outcome.duplicates
+    );
+    println!("report: {} and {}", report_json.display(), report_csv.display());
+    Ok(())
+}
+
+/// `ccsim campaign status <spec.json> --shared-dir <dir>`
+fn campaign_status(args: &[String]) -> Result<(), String> {
+    let (spec, shared) = dist_spec_and_shared_dir(args, &["--shared-dir"], &[], "status")?;
+    let status = ccsim_dist::status(&spec, &shared)?;
+    println!("{}", status.render());
     Ok(())
 }
 
@@ -609,6 +817,85 @@ mod tests {
         assert!(campaign(&[]).is_err());
     }
 
+    #[test]
+    fn campaign_worker_assemble_status_drain_a_shared_dir() {
+        let dir = std::env::temp_dir().join(format!("ccsim_cli_dist_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let spec_path = dir.join("spec.json");
+        std::fs::write(
+            &spec_path,
+            r#"{"name": "cli_dist", "base_config": "tiny",
+                "workloads": ["xsbench.small"], "policies": ["lru", "srrip"]}"#,
+        )
+        .unwrap();
+        let spec_s: String = spec_path.to_str().unwrap().into();
+        let shared: String = dir.join("shared").to_str().unwrap().into();
+
+        // The distributed subcommands demand a shared dir.
+        assert!(campaign(&["worker".into(), spec_s.clone()]).is_err());
+        assert!(campaign(&["assemble".into(), spec_s.clone()]).is_err());
+        assert!(campaign(&["status".into(), spec_s.clone()]).is_err());
+        // --shared-dir on a *run* is rejected (that's what worker is for).
+        assert!(campaign(&[spec_s.clone(), "--shared-dir".into(), shared.clone()]).is_err());
+        // Assembling before any worker ran names the missing cells.
+        let err =
+            campaign(&["assemble".into(), spec_s.clone(), "--shared-dir".into(), shared.clone()])
+                .unwrap_err();
+        assert!(err.contains("2 of 2 cells"), "{err}");
+
+        // Status and lease-aware dry-run work on the empty dir too.
+        campaign(&["status".into(), spec_s.clone(), "--shared-dir".into(), shared.clone()])
+            .unwrap();
+        campaign(&[
+            spec_s.clone(),
+            "--dry-run".into(),
+            "--shared-dir".into(),
+            shared.clone(),
+            "--quiet".into(),
+        ])
+        .unwrap();
+
+        // One worker drains the whole grid; assemble matches a
+        // single-process run byte for byte.
+        campaign(&[
+            "worker".into(),
+            spec_s.clone(),
+            "--shared-dir".into(),
+            shared.clone(),
+            "--worker-id".into(),
+            "cli-w1".into(),
+            "--threads".into(),
+            "2".into(),
+            "--quiet".into(),
+        ])
+        .unwrap();
+        campaign(&[
+            "assemble".into(),
+            spec_s.clone(),
+            "--shared-dir".into(),
+            shared.clone(),
+            "--out".into(),
+            dir.join("assembled").to_str().unwrap().into(),
+            "--quiet".into(),
+        ])
+        .unwrap();
+        campaign(&[
+            spec_s.clone(),
+            "--out".into(),
+            dir.join("solo").to_str().unwrap().into(),
+            "--cache-dir".into(),
+            dir.join("cache").to_str().unwrap().into(),
+            "--quiet".into(),
+        ])
+        .unwrap();
+        let assembled = std::fs::read(dir.join("assembled/report.json")).unwrap();
+        let solo = std::fs::read(dir.join("solo/report.json")).unwrap();
+        assert_eq!(assembled, solo, "assemble must be byte-identical to a solo run");
+        campaign(&["status".into(), spec_s, "--shared-dir".into(), shared]).unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
     fn write_champsim(path: &std::path::Path, loads: u64) {
         use ccsim_ingest::champsim::{ChampSimRecord, ChampSimWriter};
         let mut w = ChampSimWriter::new(File::create(path).unwrap());
@@ -640,6 +927,16 @@ mod tests {
         trace_stats(std::slice::from_ref(&out_s)).unwrap();
         // And the converted trace simulates.
         sim(&[out_s.clone(), "--policy".into(), "lru".into()]).unwrap();
+
+        // --stats characterizes in the same pass; the converted file and
+        // the report are unchanged.
+        let out3 = dir.join("stats.cctr");
+        ingest(&[in_s.clone(), out3.to_str().unwrap().into(), "--stats".into()]).unwrap();
+        assert_eq!(
+            std::fs::read(&out3).unwrap(),
+            std::fs::read(&out).unwrap(),
+            "--stats must not change the emitted bytes"
+        );
 
         // Explicit name + format flags are honored.
         let out2 = dir.join("renamed.cctr");

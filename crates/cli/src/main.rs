@@ -6,6 +6,9 @@
 //! ccsim ingest <in> <out.cctr>            convert a ChampSim/CVP trace to CCTR
 //! ccsim sim <in.cctr> [--policy P]...     simulate a trace file
 //! ccsim campaign <spec.json>              run a declarative campaign
+//! ccsim campaign worker <spec.json>       drain a shared dir cooperatively
+//! ccsim campaign assemble <spec.json>     merge worker journals into a report
+//! ccsim campaign status <spec.json>       distributed-campaign progress
 //! ccsim report-diff <a.json> <b.json>     per-cell deltas of two reports
 //! ccsim bench [--quick] [--json]          simulator throughput benchmark
 //! ccsim workloads                         list available workload names

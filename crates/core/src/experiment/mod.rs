@@ -10,4 +10,4 @@ pub mod report;
 mod runner;
 
 pub use report::Table;
-pub use runner::{default_threads, run_jobs, run_matrix, MatrixEntry};
+pub use runner::{default_threads, run_jobs, run_jobs_ctx, run_matrix, JobCtx, MatrixEntry};

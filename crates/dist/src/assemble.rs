@@ -1,0 +1,49 @@
+//! Report assembly from any worker set's partial journals.
+//!
+//! Merging every journal segment in the shared directory and rebuilding
+//! the report through the same spec-ordered construction a single
+//! process uses ([`Campaign::report_from_completed`]) makes the output
+//! **byte-identical** to an uninterrupted `ccsim campaign` run — however
+//! many workers contributed, in whatever order, with however many crash
+//! recoveries along the way. Incomplete grids and conflicting duplicate
+//! results fail loudly instead of producing a silently-wrong report.
+
+use std::path::Path;
+
+use ccsim_campaign::journal::merge_dir;
+use ccsim_campaign::{Campaign, CampaignReport, CampaignSpec};
+
+/// A successfully assembled distributed campaign.
+#[derive(Debug)]
+pub struct AssembleOutcome {
+    /// The deterministic report, byte-identical to a single-process run.
+    pub report: CampaignReport,
+    /// Valid journal entries read across all segments.
+    pub entries: usize,
+    /// Cells simulated more than once (identical results; lease-expiry
+    /// re-runs). Zero in a healthy campaign.
+    pub duplicates: usize,
+    /// `(segment file name, cells contributed)`, sorted by name.
+    pub segments: Vec<(String, usize)>,
+}
+
+/// Assembles the report of `spec` from the journal segments under
+/// `shared_dir`.
+///
+/// # Errors
+///
+/// Returns a message when segments hold conflicting results for a cell
+/// (mixed binaries / corruption — see
+/// [`ccsim_campaign::journal::merge_dir`]) or when the grid is not yet
+/// fully journaled (the campaign is still running; the message names
+/// missing cells).
+pub fn assemble(spec: &CampaignSpec, shared_dir: &Path) -> Result<AssembleOutcome, String> {
+    let merged = merge_dir(shared_dir, &spec.name, &spec.digest())?;
+    let report = Campaign::new(spec.clone()).report_from_completed(&merged.completed)?;
+    Ok(AssembleOutcome {
+        report,
+        entries: merged.entries,
+        duplicates: merged.duplicates,
+        segments: merged.segments,
+    })
+}

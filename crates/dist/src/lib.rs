@@ -1,0 +1,83 @@
+//! # ccsim-dist
+//!
+//! Coordinator-free **distributed campaign execution**: N worker
+//! processes — on one host or many hosts sharing a filesystem — drain
+//! one campaign's pending cells cooperatively, with crash healing and
+//! byte-identical report assembly.
+//!
+//! The paper's characterization sweeps (policies × LLC configs ×
+//! workloads) are embarrassingly parallel, and big-data-scale inputs
+//! (multi-GB ingested traces, full-suite grids) exceed what one box
+//! turns around interactively. This crate shards those grids with **no
+//! coordinator, no network protocol and no new state**: everything rides
+//! on the campaign journal and a directory of lease files.
+//!
+//! * [`lease`] — atomic, TTL'd cell claims (`leases/<cell>.lease`,
+//!   hard-link creation, mtime-based staleness, epoch-bumped reclaims);
+//! * [`worker`] — the claim → simulate → journal → release loop behind
+//!   `ccsim campaign worker`, with contention backoff and a lease
+//!   heartbeat; each worker writes its own journal segment
+//!   (`journal.<worker>.jsonl`), so concurrent appends can never
+//!   interleave;
+//! * [`assemble`] — merges any worker set's partial journals into the
+//!   same byte-identical report a single-process run produces, failing
+//!   loudly on conflicts or an unfinished grid;
+//! * [`status`] — a read-only progress snapshot: per-worker
+//!   contributions, live claims, stale leases.
+//!
+//! The shared trace cache (`trace-cache/`) is content-addressed
+//! (digest-keyed filenames, tmp-file + atomic-rename writes), so workers
+//! racing to convert the same trace are benign and the directory is
+//! rsync/NFS-safe.
+//!
+//! # Shared directory layout
+//!
+//! ```text
+//! <shared>/
+//!   leases/<cell>-<hash>.lease   live claims (TTL'd, crash-healing)
+//!   journal.<worker>.jsonl       one append-only segment per worker
+//!   trace-cache/*.cctr           content-addressed shared traces
+//! ```
+//!
+//! # Example
+//!
+//! ```
+//! use ccsim_campaign::CampaignSpec;
+//! use ccsim_dist::{assemble, run_worker, WorkerOptions};
+//!
+//! let spec = CampaignSpec::from_json_str(r#"{
+//!     "name": "demo", "base_config": "tiny",
+//!     "workloads": ["xsbench.small"], "policies": ["lru", "srrip"]
+//! }"#).unwrap();
+//! let shared = std::env::temp_dir().join(format!("ccsim_dist_doc_{}", std::process::id()));
+//! # let _ = std::fs::remove_dir_all(&shared);
+//! let outcome = run_worker(&spec, &shared, &WorkerOptions::new("w1")).unwrap();
+//! assert!(outcome.campaign_done);
+//! let assembled = assemble(&spec, &shared).unwrap();
+//! assert_eq!(assembled.report.cells.len(), 2);
+//! # std::fs::remove_dir_all(&shared).unwrap();
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod assemble;
+pub mod lease;
+pub mod status;
+pub mod worker;
+
+pub use assemble::{assemble, AssembleOutcome};
+pub use lease::{Claim, Lease, LeaseDir, LeaseGuard};
+pub use status::{status, DistStatus, WorkerStatus};
+pub use worker::{default_worker_id, run_worker, sanitize_worker_id, WorkerOptions, WorkerOutcome};
+
+use std::path::{Path, PathBuf};
+
+/// The lease directory under a shared campaign directory.
+pub fn leases_dir(shared_dir: &Path) -> PathBuf {
+    shared_dir.join("leases")
+}
+
+/// The shared trace-cache directory under a shared campaign directory.
+pub fn trace_cache_dir(shared_dir: &Path) -> PathBuf {
+    shared_dir.join("trace-cache")
+}

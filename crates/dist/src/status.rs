@@ -1,0 +1,161 @@
+//! Campaign-wide progress view over a shared distributed directory.
+//!
+//! `ccsim campaign status` renders this: how much of the grid is done,
+//! which workers contributed what, who currently claims which cells, and
+//! which leases have gone stale (crashed holders awaiting reclaim).
+//! Collection is entirely read-only — journals are merged with
+//! [`merge_dir`] and leases scanned without touching any file.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+use ccsim_campaign::journal::merge_dir;
+use ccsim_campaign::{Campaign, CampaignSpec};
+use ccsim_core::experiment::Table;
+
+use crate::lease::{Lease, LeaseDir};
+use crate::leases_dir;
+
+/// One worker's contribution, from its journal segment and live claims.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerStatus {
+    /// Worker id (`(solo)` for the single-process `journal.jsonl`).
+    pub worker: String,
+    /// Cells journaled by this worker.
+    pub completed: usize,
+    /// Leases this worker currently holds, including stale ones.
+    pub claims: usize,
+}
+
+/// A read-only snapshot of a distributed campaign's progress.
+#[derive(Debug)]
+pub struct DistStatus {
+    /// Campaign name.
+    pub campaign: String,
+    /// Total grid cells.
+    pub cells_total: usize,
+    /// Cells with a journaled result.
+    pub completed: usize,
+    /// Pending cells under a live lease.
+    pub leased: usize,
+    /// Pending cells under a stale lease (holder presumed crashed).
+    pub stale: usize,
+    /// Cells with neither a result nor a lease.
+    pub unclaimed: usize,
+    /// Duplicate (identical) journal entries across segments.
+    pub duplicates: usize,
+    /// Per-worker contributions, sorted by worker id.
+    pub workers: Vec<WorkerStatus>,
+    /// Every stale lease on a still-pending cell, for operator attention
+    /// (stale leases on completed cells block nothing and are omitted).
+    pub stale_leases: Vec<Lease>,
+}
+
+/// Collects the status of `spec` under `shared_dir`.
+///
+/// # Errors
+///
+/// Returns a message on invalid specs or conflicting journal segments.
+pub fn status(spec: &CampaignSpec, shared_dir: &Path) -> Result<DistStatus, String> {
+    let grid = Campaign::new(spec.clone()).grid()?;
+    let merged = merge_dir(shared_dir, &spec.name, &spec.digest())?;
+    let leases_root = leases_dir(shared_dir);
+    let leases: Vec<Lease> = if leases_root.is_dir() {
+        LeaseDir::open(leases_root)
+            .map_err(|e| format!("opening lease dir: {e}"))?
+            .scan()
+            .into_iter()
+            // Only leases naming cells of *this* grid; an aborted older
+            // spec under the same dir must not pollute the counts.
+            .filter(|l| grid.cells.iter().any(|c| c.id == l.cell))
+            .collect()
+    } else {
+        Vec::new()
+    };
+
+    let mut workers: BTreeMap<String, WorkerStatus> = BTreeMap::new();
+    for (segment, cells) in &merged.segments {
+        let worker = segment
+            .strip_prefix("journal.")
+            .and_then(|s| s.strip_suffix(".jsonl"))
+            .filter(|s| !s.is_empty())
+            .map_or_else(|| "(solo)".to_owned(), str::to_owned);
+        let entry = workers.entry(worker.clone()).or_insert(WorkerStatus {
+            worker,
+            completed: 0,
+            claims: 0,
+        });
+        entry.completed += cells;
+    }
+    for lease in &leases {
+        let entry = workers.entry(lease.worker.clone()).or_insert(WorkerStatus {
+            worker: lease.worker.clone(),
+            completed: 0,
+            claims: 0,
+        });
+        entry.claims += 1;
+    }
+
+    let completed = grid.cells.iter().filter(|c| merged.completed.contains_key(&c.id)).count();
+    // Leases on already-completed cells (a worker crashed between
+    // journaling and releasing) don't block anything: exclude them from
+    // the counters *and* the stale listing so the two can't contradict.
+    let pending_leases: Vec<Lease> =
+        leases.into_iter().filter(|l| !merged.completed.contains_key(&l.cell)).collect();
+    let leased = pending_leases.iter().filter(|l| !l.stale).count();
+    let stale = pending_leases.iter().filter(|l| l.stale).count();
+    Ok(DistStatus {
+        campaign: spec.name.clone(),
+        cells_total: grid.cells.len(),
+        completed,
+        leased,
+        stale,
+        unclaimed: grid.cells.len() - completed - leased - stale,
+        duplicates: merged.duplicates,
+        workers: workers.into_values().collect(),
+        stale_leases: pending_leases.into_iter().filter(|l| l.stale).collect(),
+    })
+}
+
+impl DistStatus {
+    /// Per-worker table: completed cells and live claims.
+    pub fn workers_table(&self) -> Table {
+        let mut t =
+            Table::new(["worker", "completed", "claims"].iter().map(|s| (*s).to_owned()).collect());
+        for w in &self.workers {
+            t.row(vec![w.worker.clone(), w.completed.to_string(), w.claims.to_string()]);
+        }
+        t
+    }
+
+    /// The human-readable rendering `ccsim campaign status` prints.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "campaign {}: {} cells — {} completed, {} leased, {} stale-leased, {} unclaimed",
+            self.campaign,
+            self.cells_total,
+            self.completed,
+            self.leased,
+            self.stale,
+            self.unclaimed
+        );
+        if self.duplicates > 0 {
+            out.push_str(&format!(
+                "\n{} duplicate journal entr{} (lease-expiry re-runs; results identical)",
+                self.duplicates,
+                if self.duplicates == 1 { "y" } else { "ies" }
+            ));
+        }
+        if !self.workers.is_empty() {
+            out.push('\n');
+            out.push_str(&self.workers_table().render());
+        }
+        for l in &self.stale_leases {
+            out.push_str(&format!(
+                "\nstale lease: {} held by {} (epoch {}, age {}s, ttl {}s)",
+                l.cell, l.worker, l.epoch, l.age_secs, l.ttl_secs
+            ));
+        }
+        out
+    }
+}

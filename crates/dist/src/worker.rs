@@ -1,0 +1,289 @@
+//! The distributed campaign worker: claim → simulate → journal → release.
+//!
+//! N workers (processes on one host, or many hosts over a shared
+//! filesystem) each run this loop against one shared campaign directory.
+//! There is no coordinator: the pending set is re-derived every round by
+//! merging every worker's journal segment, claims are arbitrated by the
+//! lease files alone, and a worker that finds nothing claimable backs
+//! off and polls until the grid is drained (leases held by live peers
+//! either complete or expire).
+
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+use ccsim_campaign::journal::merge_dir;
+use ccsim_campaign::spec::fnv1a64;
+use ccsim_campaign::{Campaign, CampaignSpec, GridCell, Journal, TraceCache};
+use ccsim_core::experiment::run_jobs_ctx;
+
+use crate::lease::{Claim, LeaseDir, LeaseGuard};
+use crate::{leases_dir, trace_cache_dir};
+
+/// How a worker executes: identity, lease TTL, parallelism and patience.
+#[derive(Debug, Clone)]
+pub struct WorkerOptions {
+    /// Worker identity — names the journal segment and every lease this
+    /// worker takes. Must be unique per live worker
+    /// ([`default_worker_id`] derives host + pid).
+    pub worker_id: String,
+    /// Lease TTL. A heartbeat renews held leases at `ttl / 3` while a
+    /// batch simulates, so the TTL only needs to exceed worst-case
+    /// *stall* (swap, NFS hiccup, clock skew), not cell runtime.
+    pub ttl: Duration,
+    /// Worker threads for the cells of one claimed batch.
+    pub threads: usize,
+    /// Sleep between polls when every pending cell is leased by a live
+    /// peer.
+    pub backoff: Duration,
+    /// Stop after completing this many cells (testing and drain-limits);
+    /// `None` runs until the campaign is done.
+    pub max_cells: Option<usize>,
+    /// Per-batch progress lines on stderr.
+    pub verbose: bool,
+}
+
+impl WorkerOptions {
+    /// Defaults: the given identity, 300 s TTL, 1 thread, 500 ms backoff,
+    /// no cell limit, quiet.
+    pub fn new(worker_id: impl Into<String>) -> WorkerOptions {
+        WorkerOptions {
+            worker_id: worker_id.into(),
+            ttl: Duration::from_secs(300),
+            threads: 1,
+            backoff: Duration::from_millis(500),
+            max_cells: None,
+            verbose: false,
+        }
+    }
+}
+
+/// A filename- and lease-safe worker identity derived from host + pid:
+/// `<hostname>-<pid>`, sanitized to `[A-Za-z0-9_-]`.
+///
+/// The hostname comes from the kernel (`/proc/sys/kernel/hostname`)
+/// rather than the `HOSTNAME` shell variable, which is rarely exported
+/// to systemd/cron/ssh-spawned workers — two hosts silently sharing a
+/// fallback id (plus a pid collision) would share a journal segment.
+pub fn default_worker_id() -> String {
+    let host = std::fs::read_to_string("/proc/sys/kernel/hostname")
+        .ok()
+        .map(|h| h.trim().to_owned())
+        .filter(|h| !h.is_empty())
+        .or_else(|| std::env::var("HOSTNAME").ok().filter(|h| !h.is_empty()))
+        .unwrap_or_else(|| "host".to_owned());
+    sanitize_worker_id(&format!("{host}-{}", std::process::id()))
+}
+
+/// Maps `id` to the filename- and lease-safe alphabet `[A-Za-z0-9_-]`
+/// (everything else becomes `-`); empty input becomes `"worker"`.
+pub fn sanitize_worker_id(id: &str) -> String {
+    let s: String = id
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() || "_-".contains(c) { c } else { '-' })
+        .collect();
+    if s.is_empty() {
+        "worker".to_owned()
+    } else {
+        s
+    }
+}
+
+/// What one worker run did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerOutcome {
+    /// Cells this worker simulated and journaled.
+    pub completed: usize,
+    /// Of those, cells claimed by reclaiming a stale (crashed-holder)
+    /// lease.
+    pub reclaimed: usize,
+    /// Backoff sleeps while every pending cell was held by live peers.
+    pub backoffs: usize,
+    /// The whole grid was completed (by any worker set) when this worker
+    /// exited; `false` only when `max_cells` stopped it early.
+    pub campaign_done: bool,
+}
+
+/// Runs one worker against the shared campaign directory until the
+/// campaign's grid is fully journaled (or `max_cells` is reached).
+///
+/// Layout used under `shared_dir`: `leases/` for claims,
+/// `journal.<worker>.jsonl` for this worker's results, `trace-cache/`
+/// for the shared content-addressed trace cache (digest-keyed, so
+/// rsync/NFS-safe; concurrent converters race benignly via tmp-file +
+/// atomic rename).
+///
+/// # Errors
+///
+/// Returns a message on spec/selector errors, trace acquisition
+/// failures, and journal or lease I/O errors. Held leases are released
+/// on error exit (guards drop); journaled cells are never lost.
+pub fn run_worker(
+    spec: &CampaignSpec,
+    shared_dir: &Path,
+    opts: &WorkerOptions,
+) -> Result<WorkerOutcome, String> {
+    let worker = sanitize_worker_id(&opts.worker_id);
+    let digest = spec.digest();
+    std::fs::create_dir_all(shared_dir)
+        .map_err(|e| format!("creating {}: {e}", shared_dir.display()))?;
+    let campaign = Campaign::new(spec.clone()).cache(
+        TraceCache::new(trace_cache_dir(shared_dir))
+            .map_err(|e| format!("opening shared trace cache: {e}"))?,
+    );
+    let grid = campaign.grid()?;
+    let leases =
+        LeaseDir::open(leases_dir(shared_dir)).map_err(|e| format!("opening lease dir: {e}"))?;
+    let mut journal = Journal::open_segment(shared_dir, &worker, &spec.name, &digest)
+        .map_err(|e| format!("opening journal segment: {e}"))?;
+
+    let mut outcome =
+        WorkerOutcome { completed: 0, reclaimed: 0, backoffs: 0, campaign_done: false };
+    // Start each worker at a different workload so N workers spread over
+    // the grid instead of stampeding the same cells (claims stay correct
+    // regardless; this only reduces contention).
+    let offset = (fnv1a64(worker.as_bytes()) as usize) % grid.workloads.len().max(1);
+
+    loop {
+        // The authoritative pending set: everything any worker has
+        // journaled so far, merged read-only across segments.
+        let done = merge_dir(shared_dir, &spec.name, &digest)?.completed;
+        if grid.cells.iter().all(|c| done.contains_key(&c.id)) {
+            outcome.campaign_done = true;
+            return Ok(outcome);
+        }
+
+        let mut progressed = false;
+        for wi in 0..grid.workloads.len() {
+            let workload = &grid.workloads[(wi + offset) % grid.workloads.len()];
+            let budget = opts.max_cells.map(|m| m.saturating_sub(outcome.completed));
+            if budget == Some(0) {
+                // The cell limit is reached; the campaign may nonetheless
+                // be complete (this worker's last batch can have drained
+                // the grid), so report accurately.
+                let done = merge_dir(shared_dir, &spec.name, &digest)?.completed;
+                outcome.campaign_done = grid.cells.iter().all(|c| done.contains_key(&c.id));
+                return Ok(outcome);
+            }
+            // Cap each batch so peers can shard *within* a workload: a
+            // single-workload grid must not degenerate to one worker
+            // holding every cell while the rest back off. Re-acquiring
+            // the trace next batch is cheap — it comes from the shared
+            // cache.
+            let batch_cap = (opts.threads * 4).max(4);
+            let cap = budget.map_or(batch_cap, |b| b.min(batch_cap));
+            // Claim against a *fresh* merge: the round-start snapshot
+            // goes stale while earlier batches simulate.
+            let done = merge_dir(shared_dir, &spec.name, &digest)?.completed;
+            let mut claims: Vec<(&GridCell, LeaseGuard)> = Vec::new();
+            for cell in grid.cells_of(workload).filter(|c| !done.contains_key(&c.id)) {
+                if claims.len() >= cap {
+                    break;
+                }
+                match leases.claim(&cell.id, &worker, opts.ttl)? {
+                    Claim::Acquired(guard) => claims.push((cell, guard)),
+                    Claim::Held(_) => {}
+                }
+            }
+            if claims.is_empty() {
+                continue;
+            }
+            // Close the merge→claim race: a peer may have journaled a
+            // cell and released its lease between our merge and our
+            // claim. Peers journal (flushed) *before* releasing, so a
+            // re-merge after claiming sees every such cell — dropping
+            // these claims makes duplicate simulation impossible on a
+            // coherent filesystem.
+            let done = merge_dir(shared_dir, &spec.name, &digest)?.completed;
+            let stale_claims = claims.len();
+            claims.retain(|(cell, _)| !done.contains_key(&cell.id));
+            if claims.len() < stale_claims {
+                progressed = true; // the campaign advanced under us
+            }
+            if claims.is_empty() {
+                continue;
+            }
+            outcome.reclaimed += claims.iter().filter(|(_, g)| g.epoch() > 1).count();
+
+            // Acquire and simulate under a heartbeat renewing every held
+            // lease at ttl/3. Acquisition is covered too: a first-time
+            // conversion of a multi-GB `trace:` source can easily outlive
+            // the TTL, and losing the leases there would hand the same
+            // conversion to a peer.
+            let stop = std::sync::atomic::AtomicBool::new(false);
+            let batch = std::thread::scope(|scope| {
+                let (claims, stop) = (&claims, &stop);
+                scope.spawn(move || {
+                    let tick = Duration::from_millis(50);
+                    let mut since_renew = Duration::ZERO;
+                    while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                        std::thread::sleep(tick);
+                        since_renew += tick;
+                        if since_renew >= opts.ttl / 3 {
+                            since_renew = Duration::ZERO;
+                            for (_, guard) in claims {
+                                let _ = guard.renew();
+                            }
+                        }
+                    }
+                });
+                let out = campaign.acquire(workload).map(|trace| {
+                    let epoch = claims.iter().map(|(_, g)| g.epoch()).max().unwrap_or(1);
+                    let results =
+                        run_jobs_ctx(claims.len(), opts.threads, &worker, epoch, |ctx, i| {
+                            let (cell, guard) = &claims[i];
+                            if opts.verbose {
+                                // Per-cell attribution: which worker ran
+                                // it, on which thread, at which lease
+                                // epoch (>1 = reclaimed from a crash).
+                                eprintln!(
+                                    "[{} t{} e{}] {}",
+                                    ctx.worker,
+                                    ctx.thread,
+                                    guard.epoch(),
+                                    cell.id
+                                );
+                            }
+                            trace.simulate_cell(&grid.configs[cell.config_index].1, cell.policy)
+                        });
+                    if opts.verbose {
+                        eprintln!(
+                            "[{worker}] {workload}: {} cell(s) simulated ({} records{})",
+                            claims.len(),
+                            trace.records(),
+                            if trace.is_streamed() { ", streamed" } else { "" },
+                        );
+                    }
+                    results
+                });
+                stop.store(true, std::sync::atomic::Ordering::Relaxed);
+                out
+            });
+            // On acquisition failure the claims drop here and release.
+            let results = batch?;
+            for ((cell, guard), result) in claims.into_iter().zip(results) {
+                // On error the remaining guards drop and release, and
+                // everything already journaled stays journaled.
+                let result = result?;
+                journal
+                    .record(&cell.id, &result)
+                    .map_err(|e| format!("writing journal segment: {e}"))?;
+                guard.release();
+                outcome.completed += 1;
+            }
+            progressed = true;
+        }
+
+        if !progressed {
+            // Every pending cell is leased by someone else (or a claim
+            // race was lost this round): wait for peers to finish,
+            // crash-expire, or release.
+            outcome.backoffs += 1;
+            std::thread::sleep(opts.backoff);
+        }
+    }
+}
+
+/// The shared-directory path a worker journals to, for status/logs.
+pub fn segment_path_for(shared_dir: &Path, worker_id: &str) -> PathBuf {
+    Journal::segment_path(shared_dir, &sanitize_worker_id(worker_id))
+}

@@ -64,6 +64,7 @@ pub use digest::{digest_file, Fnv64};
 pub use error::IngestError;
 pub use format::{detect_file, SourceFormat};
 pub use pipeline::{
-    ingest, ingest_file, ingest_file_to_trace, ingest_to_trace, open_source, AnySource, Batch,
-    CctrSource, IngestOptions, IngestReport, MemOp, TraceSource,
+    ingest, ingest_file, ingest_file_observed, ingest_file_to_trace, ingest_observed,
+    ingest_to_trace, open_source, AnySource, Batch, CctrSource, IngestOptions, IngestReport, MemOp,
+    TraceSource,
 };

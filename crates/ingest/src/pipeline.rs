@@ -406,16 +406,39 @@ pub fn ingest<R: Read, W: Write + Seek>(
     writer: W,
     opts: &IngestOptions,
 ) -> Result<IngestReport, IngestError> {
+    ingest_observed(reader, writer, opts, |_| {}).map(|(report, _)| report)
+}
+
+/// [`ingest`] with a per-record observer: `observe` sees every emitted
+/// [`TraceRecord`], in emission order, before it is written. The second
+/// return value is the trailing non-memory epilogue
+/// ([`ccsim_trace::Trace::trailing_nonmem`] of the emitted trace).
+///
+/// This is how `ccsim ingest --stats` characterizes a conversion in the
+/// same single pass that produces the `CCTR` file — the source is never
+/// read twice and the output is never read back.
+///
+/// # Errors
+///
+/// Returns [`IngestError`] exactly as [`ingest`] does.
+pub fn ingest_observed<R: Read, W: Write + Seek>(
+    reader: R,
+    writer: W,
+    opts: &IngestOptions,
+    mut observe: impl FnMut(&TraceRecord),
+) -> Result<(IngestReport, u64), IngestError> {
     let (format, reader) = resolve_format(reader, opts, None)?;
     let mut source = open_source(reader, format, !opts.lossy)?;
     // The output name must be known before the fold starts (the CCTR
     // header precedes the records), so resolve it up front.
     let name = resolve_name(opts, &source);
     let mut out = TraceWriter::new(writer, &name)?;
-    let (report, trailing) =
-        run_fold(&mut source, &name, |rec| out.write_record(&rec).map_err(IngestError::Io))?;
+    let (report, trailing) = run_fold(&mut source, &name, |rec| {
+        observe(&rec);
+        out.write_record(&rec).map_err(IngestError::Io)
+    })?;
     out.finish(trailing)?;
-    Ok(report)
+    Ok((report, trailing))
 }
 
 /// Ingests `reader` fully into memory as a [`Trace`].
@@ -456,9 +479,26 @@ pub fn ingest_file(
     output: &Path,
     opts: &IngestOptions,
 ) -> Result<IngestReport, IngestError> {
+    ingest_file_observed(input, output, opts, |_| {}).map(|(report, _)| report)
+}
+
+/// [`ingest_file`] with a per-record observer — the file-level twin of
+/// [`ingest_observed`], sharing [`ingest_file`]'s length-aware detection,
+/// stem-derived default name and partial-output cleanup.
+///
+/// # Errors
+///
+/// Returns [`IngestError`] on I/O failure or malformed input; the
+/// partially-written output is removed on error.
+pub fn ingest_file_observed(
+    input: &Path,
+    output: &Path,
+    opts: &IngestOptions,
+    observe: impl FnMut(&TraceRecord),
+) -> Result<(IngestReport, u64), IngestError> {
     let (reader, opts) = open_input(input, opts)?;
     let out = std::fs::File::create(output)?;
-    let result = ingest(reader, std::io::BufWriter::new(out), &opts);
+    let result = ingest_observed(reader, std::io::BufWriter::new(out), &opts, observe);
     if result.is_err() {
         let _ = std::fs::remove_file(output);
     }
@@ -684,5 +724,35 @@ mod tests {
         assert_ne!(base.cache_key(), lossy.cache_key());
         assert_ne!(base.cache_key(), named.cache_key());
         assert_eq!(base.cache_key(), IngestOptions::default().cache_key());
+    }
+
+    #[test]
+    fn observer_sees_every_record_in_one_pass() {
+        // The observer must see exactly the records the CCTR file holds,
+        // in order, and the trailing epilogue must match — this is the
+        // contract `ccsim ingest --stats` characterizes through.
+        let bytes = champsim_sample();
+        let mut seen = Vec::new();
+        let mut out = std::io::Cursor::new(Vec::new());
+        let (report, trailing) =
+            ingest_observed(&bytes[..], &mut out, &IngestOptions::default(), |r| {
+                seen.push(*r);
+            })
+            .unwrap();
+        let trace = read_trace(&out.into_inner()[..]).unwrap();
+        assert_eq!(seen, trace.records());
+        assert_eq!(trailing, trace.trailing_nonmem());
+        assert_eq!(report.records, seen.len() as u64);
+
+        // Streaming characterization equals batch over the materialized
+        // trace.
+        let mut stats = ccsim_trace::stats::TraceStats::builder();
+        let mut reuse = ccsim_trace::stats::ReuseProfile::builder();
+        for r in &seen {
+            stats.push(r);
+            reuse.push_block(r.block());
+        }
+        assert_eq!(stats.finish(trailing), ccsim_trace::stats::TraceStats::compute(&trace));
+        assert_eq!(reuse.finish(), ccsim_trace::stats::ReuseProfile::compute(&trace));
     }
 }

@@ -9,11 +9,11 @@ mod fenwick;
 mod reuse;
 
 pub use fenwick::Fenwick;
-pub use reuse::{ReuseProfile, EXACT_LIMIT};
+pub use reuse::{ReuseProfile, ReuseProfileBuilder, EXACT_LIMIT};
 
 use std::collections::{HashMap, HashSet};
 
-use crate::Trace;
+use crate::{Trace, TraceRecord};
 
 /// Summary statistics of a trace.
 ///
@@ -56,38 +56,17 @@ pub struct TraceStats {
 impl TraceStats {
     /// Computes summary statistics over `trace`.
     pub fn compute(trace: &Trace) -> Self {
-        let mut blocks = HashSet::new();
-        let mut per_pc: HashMap<u64, HashSet<u64>> = HashMap::new();
-        let mut loads = 0u64;
-        let mut stores = 0u64;
+        let mut b = TraceStatsBuilder::new();
         for r in trace {
-            let b = r.block();
-            blocks.insert(b);
-            per_pc.entry(r.pc).or_default().insert(b);
-            if r.kind.is_store() {
-                stores += 1;
-            } else {
-                loads += 1;
-            }
+            b.push(r);
         }
-        let distinct_pcs = per_pc.len() as u64;
-        let (sum, max) = per_pc
-            .values()
-            .fold((0u64, 0u64), |(s, m), v| (s + v.len() as u64, m.max(v.len() as u64)));
-        TraceStats {
-            instructions: trace.instructions(),
-            loads,
-            stores,
-            footprint_blocks: blocks.len() as u64,
-            footprint_bytes: blocks.len() as u64 * crate::BLOCK_BYTES,
-            distinct_pcs,
-            mean_blocks_per_pc: if distinct_pcs == 0 {
-                0.0
-            } else {
-                sum as f64 / distinct_pcs as f64
-            },
-            max_blocks_per_pc: max,
-        }
+        b.finish(trace.trailing_nonmem())
+    }
+
+    /// An incremental builder, for characterizing a record stream in one
+    /// pass without materializing it (see `ccsim ingest --stats`).
+    pub fn builder() -> TraceStatsBuilder {
+        TraceStatsBuilder::new()
     }
 
     /// Memory operations per kilo-instruction, a density measure.
@@ -96,6 +75,83 @@ impl TraceStats {
             return 0.0;
         }
         (self.loads + self.stores) as f64 * 1000.0 / self.instructions as f64
+    }
+}
+
+/// Streaming accumulator behind [`TraceStats::compute`].
+///
+/// Feed every record of a stream through [`TraceStatsBuilder::push`] in
+/// order, then call [`TraceStatsBuilder::finish`] with the trailing
+/// non-memory epilogue; the result is identical to running
+/// [`TraceStats::compute`] over the materialized trace. Memory is bounded
+/// by the footprint (distinct blocks and PCs), not the stream length.
+///
+/// # Examples
+///
+/// ```
+/// use ccsim_trace::{stats::TraceStats, TraceBuffer};
+///
+/// let mut buf = TraceBuffer::new("t");
+/// buf.nonmem(10);
+/// buf.load(0x400, 0x0, 8);
+/// let trace = buf.finish();
+/// let mut b = TraceStats::builder();
+/// for r in &trace {
+///     b.push(r);
+/// }
+/// assert_eq!(b.finish(trace.trailing_nonmem()), TraceStats::compute(&trace));
+/// ```
+#[derive(Debug, Default)]
+pub struct TraceStatsBuilder {
+    blocks: HashSet<u64>,
+    per_pc: HashMap<u64, HashSet<u64>>,
+    loads: u64,
+    stores: u64,
+    nonmem: u64,
+}
+
+impl TraceStatsBuilder {
+    /// An empty accumulator.
+    pub fn new() -> TraceStatsBuilder {
+        TraceStatsBuilder::default()
+    }
+
+    /// Accounts one record (its memory operation plus the non-memory
+    /// instructions preceding it).
+    pub fn push(&mut self, r: &TraceRecord) {
+        let b = r.block();
+        self.blocks.insert(b);
+        self.per_pc.entry(r.pc).or_default().insert(b);
+        if r.kind.is_store() {
+            self.stores += 1;
+        } else {
+            self.loads += 1;
+        }
+        self.nonmem += r.nonmem_before as u64;
+    }
+
+    /// Finalizes the statistics; `trailing_nonmem` is the non-memory
+    /// epilogue after the last record ([`Trace::trailing_nonmem`]).
+    pub fn finish(self, trailing_nonmem: u64) -> TraceStats {
+        let distinct_pcs = self.per_pc.len() as u64;
+        let (sum, max) = self
+            .per_pc
+            .values()
+            .fold((0u64, 0u64), |(s, m), v| (s + v.len() as u64, m.max(v.len() as u64)));
+        TraceStats {
+            instructions: self.loads + self.stores + self.nonmem + trailing_nonmem,
+            loads: self.loads,
+            stores: self.stores,
+            footprint_blocks: self.blocks.len() as u64,
+            footprint_bytes: self.blocks.len() as u64 * crate::BLOCK_BYTES,
+            distinct_pcs,
+            mean_blocks_per_pc: if distinct_pcs == 0 {
+                0.0
+            } else {
+                sum as f64 / distinct_pcs as f64
+            },
+            max_blocks_per_pc: max,
+        }
     }
 }
 

@@ -37,31 +37,18 @@ impl ReuseProfile {
     /// Runs in `O(n log n)` time using the Fenwick-tree formulation of
     /// Mattson stack distances.
     pub fn compute(trace: &Trace) -> Self {
-        let n = trace.len();
-        let mut fen = Fenwick::new(n.max(1));
-        let mut last: HashMap<u64, usize> = HashMap::new();
-        let mut exact = vec![0u64; EXACT_LIMIT as usize];
-        let mut coarse = vec![0u64; 48];
-        let mut cold = 0u64;
-        for (t, rec) in trace.iter().enumerate() {
-            let block = rec.block();
-            match last.insert(block, t) {
-                None => cold += 1,
-                Some(prev) => {
-                    // Distinct blocks touched strictly between prev and t.
-                    let d = fen.range(prev + 1, t.saturating_sub(1)) as u64;
-                    if d < EXACT_LIMIT {
-                        exact[d as usize] += 1;
-                    } else {
-                        let k = (63 - d.leading_zeros() as usize).min(coarse.len() - 1);
-                        coarse[k] += 1;
-                    }
-                    fen.add(prev, -1);
-                }
-            }
-            fen.add(t, 1);
+        let mut b = ReuseProfileBuilder::new();
+        for rec in trace {
+            b.push_block(rec.block());
         }
-        ReuseProfile { exact, coarse, cold, total: n as u64 }
+        b.finish()
+    }
+
+    /// An incremental builder over a block-id stream, for profiling a
+    /// record stream in one pass without materializing it (see
+    /// `ccsim ingest --stats`).
+    pub fn builder() -> ReuseProfileBuilder {
+        ReuseProfileBuilder::new()
     }
 
     /// Total profiled accesses.
@@ -118,6 +105,98 @@ impl ReuseProfile {
     /// Conservation check: exact + coarse + cold equals total.
     pub fn mass(&self) -> u64 {
         self.cold + self.exact.iter().sum::<u64>() + self.coarse.iter().sum::<u64>()
+    }
+}
+
+/// Streaming accumulator behind [`ReuseProfile::compute`].
+///
+/// The Fenwick tree over access timestamps is grown by doubling as the
+/// stream advances, rebuilding from the live last-occurrence positions
+/// (one `1` per distinct block) — `O(log n)` amortized per access, with
+/// memory bounded by the stream length like the batch computation.
+///
+/// # Examples
+///
+/// ```
+/// use ccsim_trace::stats::ReuseProfile;
+///
+/// let mut b = ReuseProfile::builder();
+/// for blk in [1u64, 2, 1, 2] {
+///     b.push_block(blk);
+/// }
+/// let p = b.finish();
+/// assert_eq!(p.cold(), 2);
+/// assert_eq!(p.hits_within(2), 2);
+/// ```
+#[derive(Debug)]
+pub struct ReuseProfileBuilder {
+    fen: Fenwick,
+    last: HashMap<u64, usize>,
+    exact: Vec<u64>,
+    coarse: Vec<u64>,
+    cold: u64,
+    t: usize,
+}
+
+impl Default for ReuseProfileBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ReuseProfileBuilder {
+    /// An empty accumulator.
+    pub fn new() -> ReuseProfileBuilder {
+        ReuseProfileBuilder {
+            fen: Fenwick::new(1024),
+            last: HashMap::new(),
+            exact: vec![0u64; EXACT_LIMIT as usize],
+            coarse: vec![0u64; 48],
+            cold: 0,
+            t: 0,
+        }
+    }
+
+    /// Accounts one access to the 64-byte block `block`
+    /// ([`crate::TraceRecord::block`]).
+    pub fn push_block(&mut self, block: u64) {
+        let t = self.t;
+        if t >= self.fen.len() {
+            // Double the timestamp range, re-marking the single live `1`
+            // per distinct block (the last occurrence); everything else is
+            // zero by construction.
+            let mut grown = Fenwick::new(self.fen.len() * 2);
+            for &pos in self.last.values() {
+                grown.add(pos, 1);
+            }
+            self.fen = grown;
+        }
+        match self.last.insert(block, t) {
+            None => self.cold += 1,
+            Some(prev) => {
+                // Distinct blocks touched strictly between prev and t.
+                let d = self.fen.range(prev + 1, t.saturating_sub(1)) as u64;
+                if d < EXACT_LIMIT {
+                    self.exact[d as usize] += 1;
+                } else {
+                    let k = (63 - d.leading_zeros() as usize).min(self.coarse.len() - 1);
+                    self.coarse[k] += 1;
+                }
+                self.fen.add(prev, -1);
+            }
+        }
+        self.fen.add(t, 1);
+        self.t += 1;
+    }
+
+    /// Finalizes the profile.
+    pub fn finish(self) -> ReuseProfile {
+        ReuseProfile {
+            exact: self.exact,
+            coarse: self.coarse,
+            cold: self.cold,
+            total: self.t as u64,
+        }
     }
 }
 
@@ -210,6 +289,24 @@ mod tests {
         let p = ReuseProfile::compute(&t);
         assert_eq!(p.total(), 0);
         assert_eq!(p.hit_fraction_within(64), 0.0);
+    }
+
+    #[test]
+    fn streaming_builder_equals_batch_across_fenwick_growth() {
+        // 5000 accesses forces several doubling rebuilds past the 1024
+        // seed capacity; the mix has cold, short- and long-distance reuse.
+        let blocks: Vec<u64> = (0..5000u64)
+            .map(|i| if i % 7 == 0 { i % 13 } else { i.wrapping_mul(31) % 997 })
+            .collect();
+        let t = trace_of_blocks(&blocks);
+        let batch = ReuseProfile::compute(&t);
+        let mut b = ReuseProfile::builder();
+        for r in &t {
+            b.push_block(r.block());
+        }
+        let streamed = b.finish();
+        assert_eq!(streamed, batch);
+        assert_eq!(streamed.mass(), blocks.len() as u64);
     }
 
     /// Fully hand-computed 10-access stream.

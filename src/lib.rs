@@ -21,7 +21,11 @@
 //!   (ChampSim, CVP) into the native `CCTR` format;
 //! * [`campaign`] — declarative, resumable experiment campaigns with an
 //!   on-disk trace cache (synthetic and ingested), dry-run planning,
-//!   deterministic JSON/CSV reports and cross-campaign diffing.
+//!   deterministic JSON/CSV reports and cross-campaign diffing;
+//! * [`dist`] — coordinator-free distributed campaign execution:
+//!   lease-based cell claiming over a shared filesystem, per-worker
+//!   journal segments, crash healing, and byte-identical report
+//!   assembly from any worker set.
 //!
 //! # Quickstart
 //!
@@ -41,6 +45,7 @@
 
 pub use ccsim_campaign as campaign;
 pub use ccsim_core as core;
+pub use ccsim_dist as dist;
 pub use ccsim_graph as graph;
 pub use ccsim_ingest as ingest;
 pub use ccsim_policies as policies;

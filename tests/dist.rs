@@ -1,0 +1,312 @@
+//! Distributed-campaign integration tests: lease-arbitrated sharding,
+//! crash/resume healing, and byte-identical report assembly.
+//!
+//! The distribution contract extends the campaign determinism contract
+//! one level out: however many workers drain the grid, in whatever
+//! interleaving, with however many crashes and reclaims along the way,
+//! `assemble` produces the same bytes as one uninterrupted
+//! single-process run — or fails loudly rather than guess.
+
+use std::path::{Path, PathBuf};
+use std::time::{Duration, SystemTime};
+
+use ccsim::campaign::journal::merge_dir;
+use ccsim::campaign::{Campaign, CampaignSpec, Journal};
+use ccsim::dist::{
+    assemble, leases_dir, run_worker, sanitize_worker_id, status, Claim, LeaseDir, WorkerOptions,
+};
+
+/// 2 workloads x 2 policies x 2 LLC sizes on the tiny platform: enough
+/// cells to shard meaningfully, fast enough for debug builds.
+const SPEC: &str = r#"{
+    "name": "dist_itest",
+    "scale": "quick",
+    "base_config": "tiny",
+    "llc_scales": [1, 2],
+    "workloads": ["xsbench.small", "spec.stack"],
+    "policies": ["lru", "srrip"]
+}"#;
+
+fn spec() -> CampaignSpec {
+    CampaignSpec::from_json_str(SPEC).unwrap()
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ccsim_dist_itest_{}_{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// The single-process reference bytes for the grid.
+fn solo_report_json() -> String {
+    Campaign::new(spec()).threads(4).run().unwrap().report.to_json_string()
+}
+
+#[test]
+fn one_worker_drains_the_grid_and_assembles_identically() {
+    let dir = temp_dir("one");
+    let shared = dir.join("shared");
+    let outcome = run_worker(&spec(), &shared, &WorkerOptions::new("w1")).unwrap();
+    assert!(outcome.campaign_done);
+    assert_eq!(outcome.completed, 8);
+    assert_eq!(outcome.reclaimed, 0);
+
+    let assembled = assemble(&spec(), &shared).unwrap();
+    assert_eq!(assembled.report.to_json_string(), solo_report_json());
+    assert_eq!(assembled.entries, 8, "no duplicated cell simulations");
+    assert_eq!(assembled.duplicates, 0);
+    assert_eq!(assembled.segments, vec![("journal.w1.jsonl".to_owned(), 8)]);
+
+    // All leases were released on completion.
+    assert!(LeaseDir::open(leases_dir(&shared)).unwrap().scan().is_empty());
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn two_concurrent_workers_share_the_grid_without_duplicates() {
+    let dir = temp_dir("two");
+    let shared = dir.join("shared");
+    let (a, b) = std::thread::scope(|s| {
+        let shared_a = shared.clone();
+        let shared_b = shared.clone();
+        let ta = s.spawn(move || {
+            let mut opts = WorkerOptions::new("alpha");
+            opts.threads = 2;
+            opts.backoff = Duration::from_millis(20);
+            run_worker(&spec(), &shared_a, &opts).unwrap()
+        });
+        let tb = s.spawn(move || {
+            let mut opts = WorkerOptions::new("beta");
+            opts.threads = 2;
+            opts.backoff = Duration::from_millis(20);
+            run_worker(&spec(), &shared_b, &opts).unwrap()
+        });
+        (ta.join().unwrap(), tb.join().unwrap())
+    });
+    assert!(a.campaign_done && b.campaign_done);
+    assert_eq!(a.completed + b.completed, 8, "every cell done exactly once across workers");
+
+    let assembled = assemble(&spec(), &shared).unwrap();
+    assert_eq!(assembled.report.to_json_string(), solo_report_json());
+    assert_eq!(assembled.entries, 8, "zero duplicated cell simulations");
+    assert_eq!(assembled.duplicates, 0);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Kill-a-worker-mid-cell drill: a worker "crashes" holding a lease
+/// (simulated by leaking the claim and backdating the lease file past
+/// its TTL, plus a torn journal line for the append it died inside).
+/// A second worker must observe the stale lease, reclaim the cell with
+/// a bumped epoch, complete the grid, and assemble bytes identical to
+/// the single-process run.
+#[test]
+fn crashed_worker_lease_expires_and_a_second_worker_heals_the_campaign() {
+    let dir = temp_dir("crash");
+    let shared = dir.join("shared");
+    let spec = spec();
+    let digest = spec.digest();
+    std::fs::create_dir_all(&shared).unwrap();
+
+    // The victim claims one cell, journals *part* of a line (killed
+    // mid-append), and never releases.
+    let victim_cell = "xsbench.small|llc_x1|lru";
+    let leases = LeaseDir::open(leases_dir(&shared)).unwrap();
+    let guard = match leases.claim(victim_cell, "dead", Duration::from_secs(60)).unwrap() {
+        Claim::Acquired(g) => g,
+        Claim::Held(h) => panic!("fresh dir already held: {h:?}"),
+    };
+    std::mem::forget(guard); // crash: no release, no renewal
+    {
+        let j = Journal::open_segment(&shared, "dead", &spec.name, &digest).unwrap();
+        drop(j);
+        let torn = format!("{{\"cell\":\"{victim_cell}\",\"result\":{{\"workload\":\"xs");
+        let seg = Journal::segment_path(&shared, "dead");
+        let mut text = std::fs::read_to_string(&seg).unwrap();
+        text.push_str(&torn);
+        std::fs::write(&seg, text).unwrap();
+    }
+
+    // While the lease is live, a peer cannot claim the cell; status and
+    // plan both see the holder.
+    let st = status(&spec, &shared).unwrap();
+    assert_eq!((st.completed, st.leased, st.stale), (0, 1, 0));
+    assert!(matches!(
+        leases.claim(victim_cell, "other", Duration::from_secs(60)).unwrap(),
+        Claim::Held(h) if h.worker == "dead"
+    ));
+    let plan = Campaign::new(spec.clone())
+        .mark_completed(merge_dir(&shared, &spec.name, &digest).unwrap().completed.into_keys())
+        .leases(leases.views())
+        .plan()
+        .unwrap();
+    assert_eq!(plan.counts().4, 1, "dry run predicts the live lease");
+
+    // The holder dies: backdate the lease past its TTL.
+    let lease_path = leases.path_for(victim_cell);
+    std::fs::File::options()
+        .write(true)
+        .open(&lease_path)
+        .unwrap()
+        .set_modified(SystemTime::now() - Duration::from_secs(3600))
+        .unwrap();
+    let st = status(&spec, &shared).unwrap();
+    assert_eq!((st.leased, st.stale), (0, 1), "expired lease reported stale");
+    assert_eq!(st.stale_leases[0].worker, "dead");
+
+    // A healer worker reclaims and finishes everything.
+    let healer = run_worker(&spec, &shared, &WorkerOptions::new("healer")).unwrap();
+    assert!(healer.campaign_done);
+    assert_eq!(healer.completed, 8, "torn journal line was dropped, cell re-run");
+    assert_eq!(healer.reclaimed, 1, "exactly the victim's cell was reclaimed");
+
+    let assembled = assemble(&spec, &shared).unwrap();
+    assert_eq!(assembled.report.to_json_string(), solo_report_json());
+    assert_eq!(assembled.duplicates, 0);
+    // The dead worker's torn segment contributes nothing but is listed.
+    assert!(assembled.segments.contains(&("journal.dead.jsonl".to_owned(), 0)));
+    assert!(assembled.segments.contains(&("journal.healer.jsonl".to_owned(), 8)));
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn partial_grids_refuse_to_assemble_and_report_progress() {
+    let dir = temp_dir("partial");
+    let shared = dir.join("shared");
+    let mut opts = WorkerOptions::new("limited");
+    opts.max_cells = Some(3);
+    let outcome = run_worker(&spec(), &shared, &opts).unwrap();
+    assert_eq!(outcome.completed, 3);
+    assert!(!outcome.campaign_done);
+
+    let err = assemble(&spec(), &shared).unwrap_err();
+    assert!(err.contains("5 of 8 cells"), "{err}");
+
+    let st = status(&spec(), &shared).unwrap();
+    assert_eq!((st.cells_total, st.completed, st.unclaimed), (8, 3, 5));
+    assert_eq!(st.workers.len(), 1);
+    assert_eq!(st.workers[0].worker, "limited");
+    assert_eq!(st.workers[0].completed, 3);
+    let rendered = st.render();
+    assert!(rendered.contains("3 completed"), "{rendered}");
+
+    // A second worker whose limit exactly covers the remainder must
+    // still notice the campaign finished under its last batch.
+    let mut rest_opts = WorkerOptions::new("finisher");
+    rest_opts.max_cells = Some(5);
+    let rest = run_worker(&spec(), &shared, &rest_opts).unwrap();
+    assert!(rest.campaign_done, "a cell limit that drains the grid reports completion");
+    assert_eq!(rest.completed, 5);
+    let assembled = assemble(&spec(), &shared).unwrap();
+    assert_eq!(assembled.report.to_json_string(), solo_report_json());
+    assert_eq!(assembled.entries, 8);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// A single-workload grid must shard *within* the workload: batches are
+/// capped, so one worker cannot vacuum every cell in one claim pass
+/// while a peer starves. (With one thread the cap is 4 of the 8 cells.)
+#[test]
+fn batches_are_capped_so_peers_can_share_one_workload() {
+    let dir = temp_dir("cap");
+    let shared = dir.join("shared");
+    let spec = CampaignSpec::from_json_str(
+        r#"{"name": "dist_cap", "scale": "quick", "base_config": "tiny",
+            "llc_scales": [1, 2],
+            "workloads": ["xsbench.small"],
+            "policies": ["lru", "srrip", "drrip", "ship"]}"#,
+    )
+    .unwrap();
+    let mut opts = WorkerOptions::new("capped");
+    opts.max_cells = Some(4); // one full batch
+    let first = run_worker(&spec, &shared, &opts).unwrap();
+    assert_eq!(first.completed, 4);
+    // After one batch, half the grid is pending and fully unclaimed —
+    // a peer starting now has cells to take immediately.
+    let st = status(&spec, &shared).unwrap();
+    assert_eq!((st.completed, st.leased, st.unclaimed), (4, 0, 4));
+    let rest = run_worker(&spec, &shared, &WorkerOptions::new("peer")).unwrap();
+    assert!(rest.campaign_done);
+    assert_eq!(rest.completed, 4);
+    assert_eq!(
+        assemble(&spec, &shared).unwrap().report.to_json_string(),
+        Campaign::new(spec).threads(4).run().unwrap().report.to_json_string()
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// A worker that crashes *between* journaling a cell and releasing its
+/// lease leaves a stale lease on a completed cell. It blocks nothing, so
+/// status must neither count it nor list it — the summary line and the
+/// stale-lease listing can never contradict each other.
+#[test]
+fn stale_lease_on_a_completed_cell_is_not_reported() {
+    let dir = temp_dir("stale_done");
+    let shared = dir.join("shared");
+    run_worker(&spec(), &shared, &WorkerOptions::new("w")).unwrap();
+
+    let leases = LeaseDir::open(leases_dir(&shared)).unwrap();
+    let cell = "xsbench.small|llc_x1|lru";
+    let guard = match leases.claim(cell, "crashed-late", Duration::from_secs(60)).unwrap() {
+        Claim::Acquired(g) => g,
+        Claim::Held(h) => panic!("completed campaign should hold no leases: {h:?}"),
+    };
+    std::mem::forget(guard);
+    std::fs::File::options()
+        .write(true)
+        .open(leases.path_for(cell))
+        .unwrap()
+        .set_modified(SystemTime::now() - Duration::from_secs(3600))
+        .unwrap();
+
+    let st = status(&spec(), &shared).unwrap();
+    assert_eq!((st.completed, st.leased, st.stale, st.unclaimed), (8, 0, 0, 0));
+    assert!(st.stale_leases.is_empty(), "lease on a completed cell must not be listed");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn conflicting_worker_results_fail_assembly_loudly() {
+    let dir = temp_dir("conflict");
+    let shared = dir.join("shared");
+    run_worker(&spec(), &shared, &WorkerOptions::new("honest")).unwrap();
+
+    // A corrupted (or mixed-binary) segment disagrees on one cell.
+    let victim = "xsbench.small|llc_x1|lru";
+    let seg = Journal::segment_path(&shared, "honest");
+    let text = std::fs::read_to_string(&seg).unwrap();
+    let line = text.lines().find(|l| l.contains(victim)).unwrap();
+    // Prepending a digit to the cycle count keeps the JSON valid but
+    // changes the result.
+    let forged = line.replace("\"cycles\":", "\"cycles\":1");
+    std::fs::write(
+        Journal::segment_path(&shared, "liar"),
+        format!("{}\n{}\n", text.lines().next().unwrap(), forged),
+    )
+    .unwrap();
+
+    let err = assemble(&spec(), &shared).unwrap_err();
+    assert!(err.contains("conflicting results"), "{err}");
+    assert!(err.contains(victim), "{err}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn checked_in_dist_spec_parses_and_matches_the_ci_smoke() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let spec = CampaignSpec::from_file(&root.join("campaigns/dist_quick.json")).unwrap();
+    assert_eq!(spec.name, "dist_quick");
+    assert_eq!(spec.expand_workloads().unwrap().len(), 3);
+    assert_eq!(spec.policies.len(), 4);
+    assert_eq!(spec.llc_scales, vec![1, 2]);
+    // The CI dist-smoke step greps for this exact cell count.
+    let grid = Campaign::new(spec).grid().unwrap();
+    assert_eq!(grid.cells.len(), 24);
+}
+
+#[test]
+fn worker_ids_sanitize_to_lease_and_segment_safe_names() {
+    assert_eq!(sanitize_worker_id("host-1"), "host-1");
+    assert_eq!(sanitize_worker_id("a b/c:d"), "a-b-c-d");
+    assert_eq!(sanitize_worker_id(""), "worker");
+}
