@@ -1,0 +1,423 @@
+//! One-pass grid replay benchmark (`ccsim bench --grid`).
+//!
+//! Measures the campaign engine's two execution paths over the *same*
+//! on-disk `CCTR` file and the *same* policy × LLC-scale grid:
+//!
+//! * **per-cell** — the `--per-cell` escape hatch and the pre-band
+//!   status quo: every cell opens the file and replays it end to end
+//!   ([`ccsim_core::simulate_stream`]), so a `C`-cell grid decodes the
+//!   trace `C` times;
+//! * **grid** — the one-pass default: a single [`ccsim_core::GridReplay`]
+//!   pass decodes each record once and steps every cell through it in
+//!   lockstep ([`ccsim_core::simulate_grid_stream`]).
+//!
+//! Both modes are timed single-threaded over `reps` repetitions (best
+//! taken) and the metric is **records·cells/second** — grid throughput,
+//! not single-cell throughput — plus the pass count each mode needs
+//! (`cells` vs `1`). Results are checked bit-identical across modes
+//! (`identical`), which is the grid driver's core contract.
+//!
+//! The workloads sweep the cost regimes that bound the speedup. Decode
+//! costs a few ns/record; simulation costs ~15 ns (pure hit path) to
+//! hundreds of ns (eviction-heavy), so on a warm page cache the one-pass
+//! win is the decode/read share of the per-record budget — largest for
+//! `block_hot`, smallest for `llc_thrash`, where chunk-switching between
+//! many multi-MB cell states can even cost a few percent. The pass-count
+//! column is the machine-independent part: on cold storage (the
+//! multi-gigabyte ingested traces campaigns exist for) each avoided pass
+//! is an avoided full read of the file, and I/O — not simulation — is
+//! what the `cells`-fold amortization removes.
+//!
+//! Results serialize to a pinned JSON schema
+//! ([`GRID_BENCH_SCHEMA_VERSION`], fixture `tests/fixtures/bench_v2.json`)
+//! distinguished from the throughput schema by `"mode": "grid"`.
+
+use std::fs::File;
+use std::io::BufReader;
+use std::path::PathBuf;
+use std::time::Instant;
+
+use ccsim_campaign::Json;
+use ccsim_core::{simulate_grid_stream, simulate_stream, SimConfig, SimResult};
+use ccsim_policies::PolicyKind;
+use ccsim_trace::synth::{PatternGen, SequentialStream};
+use ccsim_trace::{write_trace, Trace, TraceBuffer, TraceReader};
+
+/// Version of the `ccsim bench --grid --json` output schema.
+pub const GRID_BENCH_SCHEMA_VERSION: u64 = 2;
+
+/// Options for a grid replay benchmark run.
+#[derive(Debug, Clone)]
+pub struct GridBenchOptions {
+    /// Reduced-scale traces and repetition counts (CI smoke).
+    pub quick: bool,
+    /// Grid policies; defaults to all twelve.
+    pub policies: Vec<PolicyKind>,
+    /// Grid LLC scale factors; defaults to `[1, 2, 4, 8]`.
+    pub llc_scales: Vec<u32>,
+    /// Untimed repetitions per (workload × mode) before measurement.
+    pub warmup: u32,
+    /// Timed repetitions per (workload × mode); the best is reported.
+    pub reps: u32,
+}
+
+impl GridBenchOptions {
+    /// Defaults at the given scale: the full 12-policy × 4-scale grid
+    /// (48 cells), one warmup, three timed repetitions (two when quick).
+    pub fn new(quick: bool) -> GridBenchOptions {
+        GridBenchOptions {
+            quick,
+            policies: PolicyKind::ALL.to_vec(),
+            llc_scales: vec![1, 2, 4, 8],
+            warmup: 1,
+            reps: if quick { 2 } else { 3 },
+        }
+    }
+
+    fn cells(&self) -> Vec<(SimConfig, PolicyKind)> {
+        let mut cells = Vec::new();
+        for &scale in &self.llc_scales {
+            let config = SimConfig::cascade_lake().with_llc_scale(scale);
+            for &policy in &self.policies {
+                cells.push((config, policy));
+            }
+        }
+        cells
+    }
+}
+
+/// One mode's timing over one workload.
+#[derive(Debug, Clone, Copy)]
+pub struct ModeTiming {
+    /// Full trace passes (file open + decode) this mode needs: the cell
+    /// count for per-cell replay, `1` for one-pass grid replay.
+    pub passes: usize,
+    /// Best wall-clock seconds across the timed repetitions.
+    pub best_elapsed_s: f64,
+    /// Best records·cells per second (grid throughput).
+    pub best_cell_rps: f64,
+}
+
+/// One workload's per-cell vs grid comparison.
+#[derive(Debug, Clone)]
+pub struct GridWorkloadResult {
+    /// Workload name (`block_hot`, `l1_hot`, `llc_thrash`).
+    pub workload: &'static str,
+    /// Trace records replayed per pass.
+    pub records: u64,
+    /// Grid cells simulated.
+    pub cells: usize,
+    /// Per-cell replay timing (`cells` passes).
+    pub per_cell: ModeTiming,
+    /// One-pass grid replay timing (1 pass).
+    pub grid: ModeTiming,
+    /// Grid records·cells/sec over per-cell records·cells/sec.
+    pub speedup: f64,
+    /// Whether the two modes produced bit-identical results.
+    pub identical: bool,
+}
+
+/// A full grid benchmark report.
+#[derive(Debug, Clone)]
+pub struct GridBenchReport {
+    /// Simulated platform summary (base config; scales vary per cell).
+    pub platform: String,
+    /// Whether reduced-scale inputs were used.
+    pub quick: bool,
+    /// Untimed repetitions per mode.
+    pub warmup: u32,
+    /// Timed repetitions per mode.
+    pub reps: u32,
+    /// Hot-path generation identifier ([`ccsim_core::HOT_PATH`]).
+    pub hot_path: &'static str,
+    /// Grid policies, in order.
+    pub policies: Vec<PolicyKind>,
+    /// Grid LLC scale factors, in order.
+    pub llc_scales: Vec<u32>,
+    /// Total grid cells (`policies × llc_scales`).
+    pub cells: usize,
+    /// Per-workload comparisons, in declaration order.
+    pub workloads: Vec<GridWorkloadResult>,
+}
+
+/// Builds the benchmark workloads at the requested scale: the pure-hit
+/// floor (`block_hot`), the L1-resident hit path (`l1_hot`), and the
+/// eviction-heavy sweep (`llc_thrash`, two LLC capacities sequentially).
+pub fn grid_bench_traces(quick: bool) -> Vec<(&'static str, Trace)> {
+    let count = if quick { 60_000 } else { 400_000 };
+
+    // One 64-byte block, hit on every access: the cheapest possible
+    // per-record simulation, so decode amortization shows at its best.
+    let mut block = TraceBuffer::new("block_hot");
+    SequentialStream::new(0x3000_0000, 64).laps((count / 8).max(1) as u32).emit(&mut block);
+
+    let mut hot = TraceBuffer::new("l1_hot");
+    SequentialStream::new(0x2000_0000, 16 * 1024).laps((count / 2048).max(1) as u32).emit(&mut hot);
+
+    let llc_bytes = SimConfig::cascade_lake().llc.capacity_bytes();
+    let mut thrash = TraceBuffer::new("llc_thrash");
+    SequentialStream::new(0x1000_0000, 2 * llc_bytes)
+        .stride(64)
+        .laps(if quick { 1 } else { 4 })
+        .emit(&mut thrash);
+
+    vec![("block_hot", block.finish()), ("l1_hot", hot.finish()), ("llc_thrash", thrash.finish())]
+}
+
+fn open_reader(path: &std::path::Path) -> Result<TraceReader<BufReader<File>>, String> {
+    let file = File::open(path).map_err(|e| format!("opening {}: {e}", path.display()))?;
+    TraceReader::new(BufReader::new(file)).map_err(|e| format!("decoding {}: {e}", path.display()))
+}
+
+/// Replays every cell independently — one full streamed pass per cell,
+/// exactly what `ccsim campaign --per-cell` does for a cached trace.
+fn per_cell_pass(
+    path: &std::path::Path,
+    cells: &[(SimConfig, PolicyKind)],
+) -> Result<Vec<SimResult>, String> {
+    cells
+        .iter()
+        .map(|(config, policy)| {
+            simulate_stream(open_reader(path)?, config, *policy).map_err(|e| e.to_string())
+        })
+        .collect()
+}
+
+/// Replays every cell in one lockstep pass over the file.
+fn grid_pass(
+    path: &std::path::Path,
+    cells: &[(SimConfig, PolicyKind)],
+) -> Result<Vec<SimResult>, String> {
+    simulate_grid_stream(open_reader(path)?, cells, 0).map_err(|e| e.to_string())
+}
+
+fn time_mode(
+    passes: usize,
+    records: u64,
+    cells: usize,
+    warmup: u32,
+    reps: u32,
+    mut run: impl FnMut() -> Result<Vec<SimResult>, String>,
+) -> Result<(ModeTiming, Vec<SimResult>), String> {
+    for _ in 0..warmup {
+        std::hint::black_box(run()?);
+    }
+    let mut best_elapsed = f64::INFINITY;
+    let mut results = Vec::new();
+    for _ in 0..reps.max(1) {
+        let start = Instant::now();
+        let out = std::hint::black_box(run()?);
+        let elapsed = start.elapsed().as_secs_f64().max(1e-9);
+        if elapsed < best_elapsed {
+            best_elapsed = elapsed;
+        }
+        results = out;
+    }
+    let timing = ModeTiming {
+        passes,
+        best_elapsed_s: best_elapsed,
+        best_cell_rps: records as f64 * cells as f64 / best_elapsed,
+    };
+    Ok((timing, results))
+}
+
+/// Runs the grid replay benchmark: for each workload, writes the trace
+/// to a temporary `CCTR` file, times per-cell replay against one-pass
+/// grid replay over it, and cross-checks the two result sets.
+///
+/// # Errors
+///
+/// Returns a message on temp-file I/O failures or trace decode errors.
+pub fn run_grid_bench(options: &GridBenchOptions) -> Result<GridBenchReport, String> {
+    let cells = options.cells();
+    if cells.is_empty() {
+        return Err("grid bench needs at least one policy and one LLC scale".into());
+    }
+    let mut workloads = Vec::new();
+    for (name, trace) in grid_bench_traces(options.quick) {
+        let path = temp_trace_path(name);
+        let file = File::create(&path).map_err(|e| format!("creating {}: {e}", path.display()))?;
+        write_trace(&trace, std::io::BufWriter::new(file))
+            .map_err(|e| format!("writing {}: {e}", path.display()))?;
+        let measured = (|| {
+            let (per_cell, reference) = time_mode(
+                cells.len(),
+                trace.len() as u64,
+                cells.len(),
+                options.warmup,
+                options.reps,
+                || per_cell_pass(&path, &cells),
+            )?;
+            let (grid, results) = time_mode(
+                1,
+                trace.len() as u64,
+                cells.len(),
+                options.warmup,
+                options.reps,
+                || grid_pass(&path, &cells),
+            )?;
+            Ok::<_, String>(GridWorkloadResult {
+                workload: name,
+                records: trace.len() as u64,
+                cells: cells.len(),
+                per_cell,
+                grid,
+                speedup: grid.best_cell_rps / per_cell.best_cell_rps.max(1e-9),
+                identical: results == reference,
+            })
+        })();
+        let _ = std::fs::remove_file(&path);
+        workloads.push(measured?);
+    }
+    Ok(GridBenchReport {
+        platform: SimConfig::cascade_lake().to_string(),
+        quick: options.quick,
+        warmup: options.warmup,
+        reps: options.reps,
+        hot_path: ccsim_core::HOT_PATH,
+        policies: options.policies.clone(),
+        llc_scales: options.llc_scales.clone(),
+        cells: cells.len(),
+        workloads,
+    })
+}
+
+fn temp_trace_path(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("ccsim_gridbench_{}_{name}.cctr", std::process::id()))
+}
+
+impl GridBenchReport {
+    /// The report as a JSON tree in the pinned schema
+    /// ([`GRID_BENCH_SCHEMA_VERSION`]; fixture `tests/fixtures/bench_v2.json`).
+    pub fn to_json(&self) -> Json {
+        let mode = |t: &ModeTiming| {
+            Json::obj(vec![
+                ("passes", Json::int(t.passes as u64)),
+                ("best_elapsed_s", Json::num(t.best_elapsed_s)),
+                ("cell_rps", Json::num(t.best_cell_rps)),
+            ])
+        };
+        let workloads = self
+            .workloads
+            .iter()
+            .map(|w| {
+                Json::obj(vec![
+                    ("workload", Json::str(w.workload)),
+                    ("records", Json::int(w.records)),
+                    ("cells", Json::int(w.cells as u64)),
+                    ("per_cell", mode(&w.per_cell)),
+                    ("grid", mode(&w.grid)),
+                    ("speedup", Json::num(w.speedup)),
+                    ("identical", Json::Bool(w.identical)),
+                ])
+            })
+            .collect();
+        Json::obj(vec![
+            ("ccsim_bench", Json::int(GRID_BENCH_SCHEMA_VERSION)),
+            ("mode", Json::str("grid")),
+            ("platform", Json::str(&self.platform)),
+            ("quick", Json::Bool(self.quick)),
+            ("warmup", Json::int(self.warmup as u64)),
+            ("reps", Json::int(self.reps as u64)),
+            ("hot_path", Json::str(self.hot_path)),
+            (
+                "grid",
+                Json::obj(vec![
+                    (
+                        "policies",
+                        Json::Arr(self.policies.iter().map(|p| Json::str(p.name())).collect()),
+                    ),
+                    (
+                        "llc_scales",
+                        Json::Arr(self.llc_scales.iter().map(|&s| Json::int(s as u64)).collect()),
+                    ),
+                    ("cells", Json::int(self.cells as u64)),
+                ]),
+            ),
+            ("workloads", Json::Arr(workloads)),
+        ])
+    }
+
+    /// Human-readable table: per-workload passes, throughput and speedup.
+    pub fn render(&self) -> String {
+        use ccsim_core::experiment::Table;
+        let mut t = Table::new(
+            [
+                "workload",
+                "records",
+                "cells",
+                "passes",
+                "Mrec·cells/s",
+                "grid Mrec·cells/s",
+                "speedup",
+                "identical",
+            ]
+            .iter()
+            .map(|s| (*s).to_owned())
+            .collect(),
+        );
+        for w in &self.workloads {
+            t.row(vec![
+                w.workload.to_owned(),
+                w.records.to_string(),
+                w.cells.to_string(),
+                format!("{}→{}", w.per_cell.passes, w.grid.passes),
+                format!("{:.1}", w.per_cell.best_cell_rps / 1e6),
+                format!("{:.1}", w.grid.best_cell_rps / 1e6),
+                format!("{:.2}x", w.speedup),
+                w.identical.to_string(),
+            ]);
+        }
+        format!(
+            "grid replay: {} cells ({} policies × {} LLC scales), {} pass(es) per cell-grid vs {}\n{}",
+            self.cells,
+            self.policies.len(),
+            self.llc_scales.len(),
+            self.cells,
+            1,
+            t.render()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_grid_bench_modes_agree_and_schema_leads_with_version() {
+        let options = GridBenchOptions {
+            quick: true,
+            policies: vec![PolicyKind::Lru, PolicyKind::Srrip],
+            llc_scales: vec![1, 2],
+            warmup: 0,
+            reps: 1,
+        };
+        let report = run_grid_bench(&options).unwrap();
+        assert_eq!(report.cells, 4);
+        assert_eq!(report.workloads.len(), 3);
+        for w in &report.workloads {
+            assert!(w.identical, "{}: per-cell and grid results diverged", w.workload);
+            assert_eq!(w.per_cell.passes, 4);
+            assert_eq!(w.grid.passes, 1);
+            assert!(w.per_cell.best_cell_rps > 0.0 && w.grid.best_cell_rps > 0.0);
+        }
+        let json = report.to_json().to_string();
+        assert!(json.starts_with(r#"{"ccsim_bench":2,"mode":"grid","#), "{json}");
+        let rendered = report.render();
+        assert!(rendered.contains("block_hot"), "{rendered}");
+        assert!(rendered.contains("4→1"), "{rendered}");
+    }
+
+    #[test]
+    fn grid_bench_traces_cover_the_cost_regimes() {
+        let traces = grid_bench_traces(true);
+        assert_eq!(traces.len(), 3);
+        assert_eq!(traces[0].0, "block_hot");
+        let llc_blocks = SimConfig::cascade_lake().llc.capacity_bytes() / 64;
+        let stats = ccsim_trace::stats::TraceStats::compute(&traces[2].1);
+        assert!(stats.footprint_blocks > llc_blocks, "llc_thrash must exceed the LLC");
+        let block = ccsim_trace::stats::TraceStats::compute(&traces[0].1);
+        assert_eq!(block.footprint_blocks, 1, "block_hot must stay in one block");
+    }
+}

@@ -12,6 +12,7 @@
 #![warn(missing_docs)]
 
 pub mod alloc_track;
+pub mod gridbench;
 pub mod throughput;
 
 use ccsim_core::experiment::{run_matrix, MatrixEntry};

@@ -6,7 +6,9 @@ use std::io::BufReader;
 use std::path::{Path, PathBuf};
 
 use ccsim_core::experiment::run_jobs;
-use ccsim_core::{simulate, simulate_stream, SimConfig, SimResult};
+use ccsim_core::{
+    simulate, simulate_grid, simulate_grid_stream, simulate_stream, SimConfig, SimResult,
+};
 use ccsim_ingest::{ingest_file, IngestOptions};
 use ccsim_policies::PolicyKind;
 use ccsim_trace::{read_trace_header, Trace, TraceReader};
@@ -32,10 +34,13 @@ fn ingest_options_for(selector: &str) -> IngestOptions {
 /// [`simulate_stream`], so a multi-gigabyte ingested trace never
 /// materializes no matter how many (policy × config) cells replay it.
 ///
-/// This is the claim-one-cell granularity the distributed campaign
-/// worker (`ccsim-dist`) builds on: acquire a workload once via
-/// [`Campaign::acquire`], then run any subset of its (config × policy)
-/// cells independently with [`AcquiredTrace::simulate_cell`].
+/// This is the workload-band granularity the campaign runner and the
+/// distributed worker (`ccsim-dist`) build on: acquire a workload once
+/// via [`Campaign::acquire`], then run all its pending (config × policy)
+/// cells in one pass with [`AcquiredTrace::simulate_cells`] — each cell
+/// is still journaled individually, so kill/resume and lease semantics
+/// are per cell. [`AcquiredTrace::simulate_cell`] remains as the
+/// per-cell escape hatch (`ccsim campaign --per-cell`).
 ///
 /// The internals stay private: one-shot conversions delete their file
 /// when the handle drops, a contract callers must not be able to point
@@ -87,6 +92,54 @@ impl AcquiredTrace {
                     .map_err(|e| format!("streaming trace {}: {e}", path.display()))
             }
         }
+    }
+
+    /// Runs a whole band of grid cells over this trace in one pass per
+    /// shard: the cells are split into `min(threads, cells)` contiguous
+    /// shards, and each shard replays the trace **once**, advancing all
+    /// its cells in lockstep ([`ccsim_core::GridReplay`]) — a streamed
+    /// multi-gigabyte trace is read and decoded `threads` times instead
+    /// of once per cell. Results come back in `cells` order and are
+    /// bit-identical to [`AcquiredTrace::simulate_cell`] per cell.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on I/O or decode failures of streamed traces
+    /// (the whole band fails; nothing partial is returned).
+    pub fn simulate_cells(
+        &self,
+        cells: &[(SimConfig, PolicyKind)],
+        threads: usize,
+    ) -> Result<Vec<SimResult>, String> {
+        if cells.is_empty() {
+            return Ok(Vec::new());
+        }
+        let shards = threads.clamp(1, cells.len());
+        let shard_results = run_jobs(shards, shards, |s| {
+            let shard = &cells[s * cells.len() / shards..(s + 1) * cells.len() / shards];
+            match &self.0 {
+                Acquired::InMemory(trace) => Ok(simulate_grid(trace, shard, 0)),
+                Acquired::Streamed { path, .. } => {
+                    let file = File::open(path)
+                        .map_err(|e| format!("opening trace {}: {e}", path.display()))?;
+                    let reader = TraceReader::new(BufReader::new(file))
+                        .map_err(|e| format!("decoding trace {}: {e}", path.display()))?;
+                    simulate_grid_stream(reader, shard, 0)
+                        .map_err(|e| format!("streaming trace {}: {e}", path.display()))
+                }
+            }
+        });
+        let mut results = Vec::with_capacity(cells.len());
+        for shard in shard_results {
+            results.extend(shard?);
+        }
+        Ok(results)
+    }
+
+    /// Trace passes [`AcquiredTrace::simulate_cells`] makes for a band
+    /// of `cells` at the given parallelism (for progress lines).
+    pub fn passes_for(&self, cells: usize, threads: usize) -> usize {
+        threads.clamp(1, cells.max(1))
     }
 }
 
@@ -157,8 +210,11 @@ fn acquire_trace(
 /// attached, regenerated otherwise) and dropped as soon as the workload's
 /// cells finish, so at most one trace is alive at a time — the memory
 /// profile of the old streaming figure binaries. Within a workload, all
-/// pending (policy x config) cells run in parallel on the work-stealing
-/// executor ([`run_jobs`]).
+/// pending (policy x config) cells advance in lockstep through one pass
+/// over the trace per thread shard ([`AcquiredTrace::simulate_cells`]);
+/// [`Campaign::per_cell`] falls back to one independent pass per cell on
+/// the work-stealing executor ([`run_jobs`]). The two paths produce
+/// bit-identical reports.
 ///
 /// # Examples
 ///
@@ -181,6 +237,7 @@ pub struct Campaign {
     leases: std::collections::BTreeMap<String, LeaseView>,
     extra_completed: std::collections::BTreeSet<String>,
     verbose: bool,
+    per_cell: bool,
 }
 
 /// A cell lease as seen by [`Campaign::plan`] — who holds it and whether
@@ -360,6 +417,7 @@ impl Campaign {
             leases: Default::default(),
             extra_completed: Default::default(),
             verbose: false,
+            per_cell: false,
         }
     }
 
@@ -390,6 +448,15 @@ impl Campaign {
     /// Enables per-workload progress lines on stderr.
     pub fn verbose(mut self, verbose: bool) -> Campaign {
         self.verbose = verbose;
+        self
+    }
+
+    /// Replays each pending cell with its own pass over the trace
+    /// (`ccsim campaign --per-cell`) instead of the default one-pass
+    /// lockstep grid driver. The two paths produce bit-identical
+    /// reports; this is an escape hatch for comparison and debugging.
+    pub fn per_cell(mut self, per_cell: bool) -> Campaign {
+        self.per_cell = per_cell;
         self
     }
 
@@ -521,8 +588,9 @@ impl Campaign {
 
     /// Acquires the trace of one workload — the cache-aware entry point
     /// behind [`Campaign::run`], exposed so distributed workers can
-    /// simulate any claimed subset of a workload's cells
-    /// ([`AcquiredTrace::simulate_cell`]) without running the whole grid.
+    /// simulate a claimed band of a workload's cells in one pass
+    /// ([`AcquiredTrace::simulate_cells`]) without running the whole
+    /// grid.
     ///
     /// # Errors
     ///
@@ -603,18 +671,32 @@ impl Campaign {
                 // Acquire the trace only when at least one cell needs it:
                 // a fully-journaled workload costs no generation at all.
                 let trace = self.acquire(workload)?;
-                let results = run_jobs(pending.len(), self.threads, |i| {
-                    let cell = pending[i];
-                    trace.simulate_cell(&grid.configs[cell.config_index].1, cell.policy)
-                });
+                let results: Vec<Result<SimResult, String>> = if self.per_cell {
+                    run_jobs(pending.len(), self.threads, |i| {
+                        let cell = pending[i];
+                        trace.simulate_cell(&grid.configs[cell.config_index].1, cell.policy)
+                    })
+                } else {
+                    let band: Vec<(SimConfig, PolicyKind)> = pending
+                        .iter()
+                        .map(|cell| (grid.configs[cell.config_index].1, cell.policy))
+                        .collect();
+                    trace.simulate_cells(&band, self.threads)?.into_iter().map(Ok).collect()
+                };
                 if self.verbose {
+                    let passes = if self.per_cell {
+                        pending.len()
+                    } else {
+                        trace.passes_for(pending.len(), self.threads)
+                    };
                     eprintln!(
-                        "[{}/{}] {:<16} {} records, {} cells simulated{}",
+                        "[{}/{}] {:<16} {} records, {} cells in {} pass(es){}",
                         wi + 1,
                         grid.workloads.len(),
                         workload,
                         trace.records(),
                         pending.len(),
+                        passes,
                         if trace.is_streamed() { " (streamed)" } else { "" }
                     );
                 }
@@ -689,6 +771,29 @@ mod tests {
         let serial = Campaign::new(tiny_spec()).threads(1).run().unwrap();
         let parallel = Campaign::new(tiny_spec()).threads(8).run().unwrap();
         assert_eq!(serial.report, parallel.report);
+    }
+
+    #[test]
+    fn one_pass_run_equals_per_cell_run() {
+        let one_pass = Campaign::new(tiny_spec()).threads(3).run().unwrap();
+        let per_cell = Campaign::new(tiny_spec()).threads(3).per_cell(true).run().unwrap();
+        assert_eq!(one_pass.report, per_cell.report);
+    }
+
+    #[test]
+    fn simulate_cells_matches_simulate_cell_for_any_shard_count() {
+        let campaign = Campaign::new(tiny_spec());
+        let grid = campaign.grid().unwrap();
+        let trace = campaign.acquire("xsbench.small").unwrap();
+        let band: Vec<(SimConfig, PolicyKind)> =
+            grid.cells.iter().map(|c| (grid.configs[c.config_index].1, c.policy)).collect();
+        let reference: Vec<SimResult> =
+            band.iter().map(|(cfg, policy)| trace.simulate_cell(cfg, *policy).unwrap()).collect();
+        for threads in [1, 2, 3, 16] {
+            assert_eq!(trace.simulate_cells(&band, threads).unwrap(), reference, "{threads}");
+            assert!(trace.passes_for(band.len(), threads) <= band.len());
+        }
+        assert!(trace.simulate_cells(&[], 4).unwrap().is_empty());
     }
 
     fn temp_dir(tag: &str) -> PathBuf {

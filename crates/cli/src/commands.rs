@@ -28,7 +28,7 @@ USAGE:
               [--threads <n>] [--json]
     ccsim campaign <spec.json> [--threads <n>] [--out <dir>]
               [--cache-dir <dir>] [--no-cache] [--fresh] [--json] [--quiet]
-              [--dry-run] [--shared-dir <dir>]
+              [--dry-run] [--shared-dir <dir>] [--per-cell]
     ccsim campaign worker <spec.json> --shared-dir <dir>
               [--worker-id <id>] [--ttl-secs <n>] [--threads <n>]
               [--backoff-ms <n>] [--max-cells <n>] [--quiet]
@@ -38,6 +38,7 @@ USAGE:
     ccsim report-diff <a/report.json> <b/report.json> [--threshold <mpki>]
               [--json]
     ccsim bench [--quick] [--json] [--out <file>] [--policy <name>]...
+              [--grid]
     ccsim workloads
     ccsim policies
 
@@ -61,7 +62,10 @@ results instead of the table.
 generated once into a content-addressed cache, every completed cell is
 checkpointed to <out>/journal.jsonl so an interrupted campaign resumes
 where it stopped (`--fresh` discards the journal), and the report is
-written to <out>/report.json and <out>/report.csv. `--dry-run` prints
+written to <out>/report.json and <out>/report.csv. Each workload's
+pending cells replay in one lockstep pass over its trace by default
+(one decode feeds every cell); `--per-cell` restores one independent
+pass per cell — the reports are byte-identical either way. `--dry-run` prints
 the resolved grid and each cell's predicted fate (journaled /
 cached-trace / needs-trace) without simulating anything; with
 `--shared-dir` it reads that distributed directory instead — merged
@@ -92,6 +96,11 @@ second) per (pattern x policy) cell, including the eviction-heavy
 verifies the zero-allocations-per-record hot-path contract with the
 binary's counting allocator. `--json` emits the pinned machine schema
 (tests/fixtures/bench_v1.json); `--out` also writes it to a file.
+`bench --grid` instead measures the one-pass grid replay engine:
+per-cell streamed replay vs one lockstep pass over the same on-disk
+trace and policy x LLC-scale grid, reporting passes, records*cells/sec,
+speedup and cross-mode bit-identity per workload (schema
+tests/fixtures/bench_v2.json).
 ";
 
 /// Builds the named workload's trace.
@@ -293,16 +302,16 @@ pub fn report_diff(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-/// `ccsim bench [--quick] [--json] [--out <file>] [--policy <name>]...`
+/// `ccsim bench [--quick] [--json] [--out <file>] [--policy <name>]...
+/// [--grid]`
 pub fn bench(args: &[String]) -> Result<(), String> {
-    let positional = positionals(args, &["--policy", "--out"], &["--quick", "--json"])?;
+    let positional = positionals(args, &["--policy", "--out"], &["--quick", "--json", "--grid"])?;
     if let Some(extra) = positional.first() {
         return Err(format!("unexpected argument {extra:?}\n\n{USAGE}"));
     }
     let quick = args.iter().any(|a| a == "--quick");
     let json = args.iter().any(|a| a == "--json");
     let out: Option<PathBuf> = parse_flag_value(args, "--out")?;
-    let mut options = ccsim_bench::throughput::ThroughputOptions::new(quick);
     let mut chosen: Vec<PolicyKind> = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -311,6 +320,29 @@ pub fn bench(args: &[String]) -> Result<(), String> {
             chosen.push(v.parse().map_err(|e| format!("{e}"))?);
         }
     }
+    if args.iter().any(|a| a == "--grid") {
+        let mut options = ccsim_bench::gridbench::GridBenchOptions::new(quick);
+        if !chosen.is_empty() {
+            options.policies = chosen;
+        }
+        let report = ccsim_bench::gridbench::run_grid_bench(&options)?;
+        let doc = report.to_json().to_pretty();
+        if let Some(path) = &out {
+            std::fs::write(path, format!("{}\n", doc.trim_end()))
+                .map_err(|e| format!("writing {}: {e}", path.display()))?;
+        }
+        if json {
+            println!("{}", doc.trim_end());
+            return Ok(());
+        }
+        println!("platform: {} [{}]", report.platform, report.hot_path);
+        println!("{}", report.render());
+        if let Some(path) = out {
+            println!("wrote {}", path.display());
+        }
+        return Ok(());
+    }
+    let mut options = ccsim_bench::throughput::ThroughputOptions::new(quick);
     if !chosen.is_empty() {
         options.policies = chosen;
     }
@@ -460,7 +492,7 @@ pub fn sim(args: &[String]) -> Result<(), String> {
 
 /// `ccsim campaign <spec.json> [--threads N] [--out DIR] [--cache-dir DIR]
 /// [--no-cache] [--fresh] [--json] [--quiet] [--dry-run]
-/// [--shared-dir DIR]` — plus the distributed subcommands
+/// [--shared-dir DIR] [--per-cell]` — plus the distributed subcommands
 /// `campaign worker`, `campaign assemble` and `campaign status`.
 pub fn campaign(args: &[String]) -> Result<(), String> {
     match args.first().map(String::as_str) {
@@ -472,7 +504,7 @@ pub fn campaign(args: &[String]) -> Result<(), String> {
     let positional = positionals(
         args,
         &["--threads", "--out", "--cache-dir", "--shared-dir"],
-        &["--no-cache", "--fresh", "--json", "--quiet", "--dry-run"],
+        &["--no-cache", "--fresh", "--json", "--quiet", "--dry-run", "--per-cell"],
     )?;
     let [spec_path] = positional[..] else {
         return Err(format!("expected <spec.json>\n\n{USAGE}"));
@@ -516,7 +548,11 @@ pub fn campaign(args: &[String]) -> Result<(), String> {
             if leases_root.is_dir() {
                 let leases = ccsim_dist::LeaseDir::open(leases_root)
                     .map_err(|e| format!("opening lease dir: {e}"))?;
-                campaign = campaign.leases(leases.views());
+                // Workers claim workload bands; the per-cell plan wants
+                // per-cell fates, so expand each band lease over the
+                // cells it covers.
+                let grid = campaign.grid()?;
+                campaign = campaign.leases(ccsim_dist::cell_lease_views(&grid, &leases.views()));
             }
             let shared_cache = ccsim_dist::trace_cache_dir(shared);
             if shared_cache.is_dir() && !args.iter().any(|a| a == "--no-cache") {
@@ -563,7 +599,11 @@ pub fn campaign(args: &[String]) -> Result<(), String> {
             .map_err(|e| format!("removing {}: {e}", journal_path.display()))?;
     }
 
-    let mut campaign = Campaign::new(spec).threads(threads).journal(&journal_path).verbose(!quiet);
+    let mut campaign = Campaign::new(spec)
+        .threads(threads)
+        .journal(&journal_path)
+        .verbose(!quiet)
+        .per_cell(args.iter().any(|a| a == "--per-cell"));
     if !args.iter().any(|a| a == "--no-cache") {
         let cache = TraceCache::new(&cache_dir)
             .map_err(|e| format!("opening trace cache {}: {e}", cache_dir.display()))?;

@@ -1,0 +1,291 @@
+//! One-pass grid replay: drive every (config × policy) cell of a
+//! workload from a single pass over its trace.
+//!
+//! The paper's characterization grids replay one workload under many
+//! (replacement policy × LLC size) cells. Replaying per cell reads and
+//! decodes the identical byte stream once *per cell* — a 12-policy ×
+//! 4-size grid makes 48 passes over the same records. [`GridReplay`]
+//! makes one: records are decoded into a fixed-size, reusable chunk
+//! buffer, and N independent replay engines (one [`crate::Hierarchy`] +
+//! core pair per cell) advance in lockstep through each chunk.
+//!
+//! Chunking matters twice over. It amortizes every per-record decode
+//! across all cells, and it keeps each engine's working state
+//! cache-resident while it burns through a chunk instead of alternating
+//! engines record by record. Because every engine still observes the
+//! exact record sequence in order, the per-cell results are
+//! **bit-identical** to [`crate::simulate`] / [`crate::simulate_stream`]
+//! over the same records, for any chunk size (`tests/grid_replay.rs`
+//! pins this with proptests and the ingest golden fixture).
+//!
+//! The steady state allocates nothing: the chunk buffer is reserved up
+//! front and reused, and the per-engine hot path is already
+//! allocation-free (`tests/alloc_free.rs` pins both).
+
+use std::io::Read;
+
+use ccsim_policies::PolicyKind;
+use ccsim_trace::{DecodeTraceError, Trace, TraceReader, TraceRecord};
+
+use crate::config::SimConfig;
+use crate::result::SimResult;
+use crate::simulator::Engine;
+
+/// Default records per lockstep chunk: 4096 records (80 KB of CCTR
+/// bytes) keep decode amortization high while the chunk itself stays
+/// L2-resident alongside the active engine's hot tag state.
+pub const DEFAULT_CHUNK_RECORDS: usize = 4096;
+
+/// A one-pass lockstep replay over N grid cells.
+///
+/// Build one with the `(config, policy)` of every cell, feed it records
+/// — chunked from a stream ([`GridReplay::replay_reader`]), from memory
+/// ([`GridReplay::replay_trace`]), or directly ([`GridReplay::step_records`])
+/// — then [`GridReplay::finish`] into per-cell [`SimResult`]s in cell
+/// order.
+///
+/// # Examples
+///
+/// ```
+/// use ccsim_core::experiment::grid::simulate_grid;
+/// use ccsim_core::{simulate, SimConfig};
+/// use ccsim_policies::PolicyKind;
+/// use ccsim_trace::{synth::{PatternGen, SequentialStream}, TraceBuffer};
+///
+/// let mut buf = TraceBuffer::new("stream");
+/// SequentialStream::new(0x1000_0000, 1 << 14).emit(&mut buf);
+/// let trace = buf.finish();
+///
+/// let config = SimConfig::tiny();
+/// let cells =
+///     [(config, PolicyKind::Lru), (config.with_llc_scale(2), PolicyKind::Srrip)];
+/// let results = simulate_grid(&trace, &cells, 0);
+/// assert_eq!(results[0], simulate(&trace, &cells[0].0, cells[0].1));
+/// assert_eq!(results[1], simulate(&trace, &cells[1].0, cells[1].1));
+/// ```
+pub struct GridReplay {
+    engines: Vec<Engine>,
+    policies: Vec<PolicyKind>,
+    chunk: Vec<TraceRecord>,
+    chunk_records: usize,
+}
+
+impl GridReplay {
+    /// Builds one replay engine per `(config, policy)` cell with the
+    /// given chunk size (`0` means [`DEFAULT_CHUNK_RECORDS`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an invalid [`SimConfig`], like [`crate::simulate`].
+    pub fn new(cells: &[(SimConfig, PolicyKind)], chunk_records: usize) -> GridReplay {
+        let chunk_records = if chunk_records == 0 { DEFAULT_CHUNK_RECORDS } else { chunk_records };
+        GridReplay {
+            engines: cells.iter().map(|(cfg, policy)| Engine::new(cfg, *policy, false)).collect(),
+            policies: cells.iter().map(|&(_, policy)| policy).collect(),
+            chunk: Vec::with_capacity(chunk_records),
+            chunk_records,
+        }
+    }
+
+    /// Number of grid cells driven in lockstep.
+    pub fn cells(&self) -> usize {
+        self.engines.len()
+    }
+
+    /// Records per lockstep chunk.
+    pub fn chunk_records(&self) -> usize {
+        self.chunk_records
+    }
+
+    /// Advances every cell through `records`, in order — one lockstep
+    /// chunk. Allocation-free in the steady state.
+    pub fn step_records(&mut self, records: &[TraceRecord]) {
+        for engine in &mut self.engines {
+            for rec in records {
+                engine.step(rec);
+            }
+        }
+    }
+
+    /// Replays an in-memory trace through every cell, chunked.
+    pub fn replay_trace(&mut self, trace: &Trace) {
+        // The records are already resident; chunking still bounds how
+        // much engine state is cycled between consecutive touches.
+        let chunk_records = self.chunk_records;
+        for chunk in trace.records().chunks(chunk_records) {
+            self.step_records(chunk);
+        }
+    }
+
+    /// Replays a `CCTR` stream through every cell: each chunk is decoded
+    /// once into the reusable buffer, then every engine replays it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeTraceError`] on a truncated or corrupt record;
+    /// the partial replay state is unusable and should be dropped.
+    pub fn replay_reader<R: Read>(
+        &mut self,
+        reader: &mut TraceReader<R>,
+    ) -> Result<(), DecodeTraceError> {
+        loop {
+            self.chunk.clear();
+            while self.chunk.len() < self.chunk_records {
+                match reader.next_record()? {
+                    Some(rec) => self.chunk.push(rec),
+                    None => break,
+                }
+            }
+            if self.chunk.is_empty() {
+                return Ok(());
+            }
+            // Split the borrow: the chunk buffer is read-only while the
+            // engines advance.
+            let (chunk, engines) = (&self.chunk, &mut self.engines);
+            for engine in engines {
+                for rec in chunk {
+                    engine.step(rec);
+                }
+            }
+            if self.chunk.len() < self.chunk_records {
+                return Ok(()); // short chunk: the stream is exhausted
+            }
+        }
+    }
+
+    /// Finishes every cell into its [`SimResult`], in cell order.
+    pub fn finish(self, workload: &str, trailing_nonmem: u64) -> Vec<SimResult> {
+        self.engines
+            .into_iter()
+            .zip(self.policies)
+            .map(|(engine, policy)| engine.finish(workload, trailing_nonmem, policy).0)
+            .collect()
+    }
+}
+
+impl std::fmt::Debug for GridReplay {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GridReplay")
+            .field("cells", &self.engines.len())
+            .field("chunk_records", &self.chunk_records)
+            .finish()
+    }
+}
+
+/// One-pass replay of an in-memory trace over every `(config, policy)`
+/// cell; results in cell order, bit-identical to [`crate::simulate`]
+/// per cell. `chunk_records = 0` means [`DEFAULT_CHUNK_RECORDS`].
+pub fn simulate_grid(
+    trace: &Trace,
+    cells: &[(SimConfig, PolicyKind)],
+    chunk_records: usize,
+) -> Vec<SimResult> {
+    let mut grid = GridReplay::new(cells, chunk_records);
+    grid.replay_trace(trace);
+    grid.finish(trace.name(), trace.trailing_nonmem())
+}
+
+/// One-pass replay of a `CCTR` stream over every `(config, policy)`
+/// cell; results in cell order, bit-identical to
+/// [`crate::simulate_stream`] per cell (workload name and trailing
+/// non-memory count come from the stream header). `chunk_records = 0`
+/// means [`DEFAULT_CHUNK_RECORDS`].
+///
+/// # Errors
+///
+/// Returns [`DecodeTraceError`] on a truncated or corrupt record; the
+/// partial simulation is discarded.
+pub fn simulate_grid_stream<R: Read>(
+    mut reader: TraceReader<R>,
+    cells: &[(SimConfig, PolicyKind)],
+    chunk_records: usize,
+) -> Result<Vec<SimResult>, DecodeTraceError> {
+    let mut grid = GridReplay::new(cells, chunk_records);
+    grid.replay_reader(&mut reader)?;
+    let header = reader.header();
+    Ok(grid.finish(&header.name, header.trailing_nonmem))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simulate;
+    use ccsim_trace::synth::{PatternGen, RandomAccess};
+    use ccsim_trace::{write_trace, TraceBuffer};
+
+    fn mixed_trace() -> Trace {
+        let mut buf = TraceBuffer::new("grid");
+        RandomAccess::new(0x1000_0000, 1 << 12, 64, 6_000)
+            .store_fraction(0.2)
+            .seed(7)
+            .emit(&mut buf);
+        buf.finish()
+    }
+
+    fn paper_cells() -> Vec<(SimConfig, PolicyKind)> {
+        let mut cells = Vec::new();
+        for scale in [1u32, 2, 4] {
+            let config = SimConfig::tiny().with_llc_scale(scale);
+            for policy in [PolicyKind::Lru, PolicyKind::Ship, PolicyKind::Hawkeye] {
+                cells.push((config, policy));
+            }
+        }
+        cells
+    }
+
+    #[test]
+    fn grid_replay_matches_per_cell_simulate_for_any_chunk_size() {
+        let trace = mixed_trace();
+        let cells = paper_cells();
+        let reference: Vec<SimResult> =
+            cells.iter().map(|(cfg, p)| simulate(&trace, cfg, *p)).collect();
+        for chunk in [1, 7, 512, 1 << 20] {
+            assert_eq!(simulate_grid(&trace, &cells, chunk), reference, "chunk={chunk}");
+        }
+    }
+
+    #[test]
+    fn streamed_grid_replay_matches_in_memory_grid_replay() {
+        let trace = mixed_trace();
+        let cells = paper_cells();
+        let mut bytes = Vec::new();
+        write_trace(&trace, &mut bytes).unwrap();
+        let streamed =
+            simulate_grid_stream(TraceReader::new(&bytes[..]).unwrap(), &cells, 100).unwrap();
+        assert_eq!(streamed, simulate_grid(&trace, &cells, 100));
+        // A chunk size exactly dividing the record count exercises the
+        // empty-final-chunk path.
+        let exact =
+            simulate_grid_stream(TraceReader::new(&bytes[..]).unwrap(), &cells, trace.len())
+                .unwrap();
+        assert_eq!(exact, streamed);
+    }
+
+    #[test]
+    fn grid_replay_surfaces_decode_errors() {
+        let trace = mixed_trace();
+        let mut bytes = Vec::new();
+        write_trace(&trace, &mut bytes).unwrap();
+        bytes.truncate(bytes.len() - 5);
+        let cells = [(SimConfig::tiny(), PolicyKind::Lru)];
+        let err = simulate_grid_stream(TraceReader::new(&bytes[..]).unwrap(), &cells, 64);
+        assert!(err.is_err(), "truncated stream must not produce results");
+    }
+
+    #[test]
+    fn empty_grid_and_empty_trace_are_fine() {
+        let trace = mixed_trace();
+        assert!(simulate_grid(&trace, &[], 0).is_empty());
+        let empty = Trace::from_parts("empty", Vec::new(), 3);
+        let results = simulate_grid(&empty, &[(SimConfig::tiny(), PolicyKind::Lru)], 0);
+        assert_eq!(results[0], simulate(&empty, &SimConfig::tiny(), PolicyKind::Lru));
+    }
+
+    #[test]
+    fn default_chunk_is_applied() {
+        let grid = GridReplay::new(&[(SimConfig::tiny(), PolicyKind::Lru)], 0);
+        assert_eq!(grid.chunk_records(), DEFAULT_CHUNK_RECORDS);
+        assert_eq!(grid.cells(), 1);
+        assert!(format!("{grid:?}").contains("cells: 1"));
+    }
+}

@@ -4,10 +4,14 @@
 //! module to regenerate the paper's figures: [`run_jobs`] executes
 //! independent jobs with work-stealing and lock-free per-slot result
 //! collection, [`run_matrix`] specializes it to (trace x policy) sweeps,
-//! and [`report`] renders aligned ASCII tables and CSV for the results.
+//! [`grid`] replays every cell of a (config × policy) grid from one pass
+//! over the trace, and [`report`] renders aligned ASCII tables and CSV
+//! for the results.
 
+pub mod grid;
 pub mod report;
 mod runner;
 
+pub use grid::{simulate_grid, simulate_grid_stream, GridReplay};
 pub use report::Table;
 pub use runner::{default_threads, run_jobs, run_jobs_ctx, run_matrix, JobCtx, MatrixEntry};

@@ -49,6 +49,7 @@ pub use cache::{Cache, CacheStats, FillOutcome};
 pub use config::{CacheConfig, CoreConfig, DramConfig, SimConfig};
 pub use cpu::Core;
 pub use dram::{Dram, DramStats};
+pub use experiment::grid::{simulate_grid, simulate_grid_stream, GridReplay};
 pub use hierarchy::{Hierarchy, Level};
 pub use result::{geomean, geomean_speedup_percent, SimResult};
 pub use simulator::{simulate, simulate_stream, simulate_with_llc_log};

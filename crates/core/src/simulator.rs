@@ -22,14 +22,16 @@ use crate::hierarchy::{Hierarchy, Level};
 use crate::result::SimResult;
 
 /// The replay engine: one core driving one hierarchy, record by record.
-/// Both simulation entry points are thin loops over [`Engine::step`].
-struct Engine {
+/// Both simulation entry points are thin loops over [`Engine::step`], and
+/// the one-pass grid driver (`experiment::grid`) advances many engines in
+/// lockstep through shared record chunks.
+pub(crate) struct Engine {
     hierarchy: Hierarchy,
     core: Core,
 }
 
 impl Engine {
-    fn new(config: &SimConfig, llc_policy: PolicyKind, log_llc: bool) -> Engine {
+    pub(crate) fn new(config: &SimConfig, llc_policy: PolicyKind, log_llc: bool) -> Engine {
         config.validate().expect("invalid simulator config");
         let mut hierarchy =
             Hierarchy::new(config, llc_policy.build_dispatch(config.llc.sets, config.llc.ways));
@@ -40,7 +42,7 @@ impl Engine {
     }
 
     #[inline]
-    fn step(&mut self, rec: &TraceRecord) {
+    pub(crate) fn step(&mut self, rec: &TraceRecord) {
         if rec.nonmem_before > 0 {
             self.core.dispatch_nonmem(rec.nonmem_before as u64);
         }
@@ -59,7 +61,7 @@ impl Engine {
         });
     }
 
-    fn finish(
+    pub(crate) fn finish(
         mut self,
         workload: &str,
         trailing_nonmem: u64,

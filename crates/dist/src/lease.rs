@@ -1,12 +1,15 @@
-//! Lease files: coordinator-free, crash-healing cell claims.
+//! Lease files: coordinator-free, crash-healing claims.
 //!
-//! Every pending grid cell can be claimed by at most one worker at a
-//! time. A claim is a **lease file** — `leases/<cell>.lease` under the
-//! shared campaign directory — created atomically, carrying the claiming
-//! worker's identity, an epoch, and a TTL:
+//! Every claimable unit of work — a **workload band**
+//! ([`band_lease_id`], the worker default: all pending cells sharing a
+//! trace, replayed in one pass) or a single grid cell — can be claimed
+//! by at most one worker at a time. A claim is a **lease file** —
+//! `leases/<id>.lease` under the shared campaign directory — created
+//! atomically, carrying the claiming worker's identity, an epoch, and a
+//! TTL:
 //!
 //! ```text
-//! {"ccsim_lease":1,"cell":"bfs.kron|llc_x1|lru","worker":"host-42",
+//! {"ccsim_lease":1,"cell":"band:bfs.kron","worker":"host-42",
 //!  "epoch":1,"ttl_secs":300}
 //! ```
 //!
@@ -38,22 +41,65 @@
 //!
 //! Because simulation results are a deterministic function of the spec,
 //! the one harmful race left — a live-but-slow holder losing its lease
-//! and the cell running twice — produces *identical* results, which the
-//! journal merge accepts (and counts) rather than corrupt anything.
+//! and its claimed cells running twice — produces *identical* results,
+//! which the journal merge accepts (and counts) rather than corrupt
+//! anything.
 
 use std::path::{Path, PathBuf};
 use std::time::{Duration, SystemTime};
 
 use ccsim_campaign::spec::fnv1a64;
-use ccsim_campaign::{Json, LeaseView};
+use ccsim_campaign::{CampaignGrid, Json, LeaseView};
 
 /// Lease file format version.
 const LEASE_VERSION: u64 = 1;
 
+/// The lease id of a **workload band** — all pending cells of one
+/// workload, claimed together so the holder can replay the trace once
+/// for the whole band ([`ccsim_campaign::AcquiredTrace::simulate_cells`]).
+///
+/// Band ids live in the same lease namespace as per-cell ids but can
+/// never collide with them: cell ids embed `|` separators and workload
+/// selectors (suite names or `trace:<path>`) never start with `band:`.
+pub fn band_lease_id(workload: &str) -> String {
+    format!("band:{workload}")
+}
+
+/// The workload a band lease id claims, or `None` for per-cell ids.
+pub fn band_workload(id: &str) -> Option<&str> {
+    id.strip_prefix("band:")
+}
+
+/// Expands a scanned lease map — which may contain band claims — into
+/// the per-cell overlay [`ccsim_campaign::Campaign::leases`] expects:
+/// a band lease covers every cell of its workload, and a cell-specific
+/// lease (from an older per-cell worker or an operator tool) wins over
+/// a band expansion for its cell.
+pub fn cell_lease_views(
+    grid: &CampaignGrid,
+    views: &std::collections::BTreeMap<String, LeaseView>,
+) -> std::collections::BTreeMap<String, LeaseView> {
+    let mut out = std::collections::BTreeMap::new();
+    for (id, view) in views {
+        if let Some(workload) = band_workload(id) {
+            for cell in grid.cells_of(workload) {
+                out.insert(cell.id.clone(), view.clone());
+            }
+        }
+    }
+    for (id, view) in views {
+        if band_workload(id).is_none() {
+            out.insert(id.clone(), view.clone());
+        }
+    }
+    out
+}
+
 /// A parsed lease file, plus the derived age/staleness at scan time.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Lease {
-    /// The claimed cell id (`<workload>|<config>|<policy>`).
+    /// The claimed lease id: a workload band (`band:<workload>`, the
+    /// worker default) or a single cell (`<workload>|<config>|<policy>`).
     pub cell: String,
     /// Claiming worker id.
     pub worker: String,
@@ -203,9 +249,11 @@ impl LeaseDir {
         leases
     }
 
-    /// The scan as a cell-id → [`LeaseView`] map, the overlay
-    /// `ccsim campaign --dry-run` feeds to
-    /// [`ccsim_campaign::Campaign::leases`].
+    /// The scan as a lease-id → [`LeaseView`] map. Band claims keep
+    /// their `band:<workload>` ids here; expand with
+    /// [`cell_lease_views`] before feeding the map to
+    /// [`ccsim_campaign::Campaign::leases`] (as `ccsim campaign
+    /// --dry-run` does).
     pub fn views(&self) -> std::collections::BTreeMap<String, LeaseView> {
         self.scan().into_iter().map(|l| (l.cell.clone(), l.view())).collect()
     }
@@ -471,6 +519,42 @@ mod tests {
         assert_eq!(views[selector].worker, "alpha");
         assert!(!views[selector].stale, "sanitized path still maps back to the full cell id");
         std::fs::remove_dir_all(dir.root()).unwrap();
+    }
+
+    #[test]
+    fn band_ids_round_trip_and_expand_to_per_cell_views() {
+        assert_eq!(band_lease_id("xsbench.small"), "band:xsbench.small");
+        assert_eq!(band_workload("band:xsbench.small"), Some("xsbench.small"));
+        assert_eq!(band_workload("xsbench.small|llc_x1|lru"), None);
+
+        let spec = ccsim_campaign::CampaignSpec::from_json_str(
+            r#"{"name": "b", "base_config": "tiny",
+                "workloads": ["xsbench.small", "spec.stack"],
+                "policies": ["lru", "srrip"]}"#,
+        )
+        .unwrap();
+        let grid = ccsim_campaign::Campaign::new(spec).grid().unwrap();
+        let mut views = std::collections::BTreeMap::new();
+        views.insert(
+            band_lease_id("xsbench.small"),
+            LeaseView { worker: "w1".into(), epoch: 2, stale: false },
+        );
+        views.insert(
+            "spec.stack|llc_x1|lru".to_owned(),
+            LeaseView { worker: "w2".into(), epoch: 1, stale: true },
+        );
+        // A cell-specific lease inside a banded workload wins its cell.
+        views.insert(
+            "xsbench.small|llc_x1|srrip".to_owned(),
+            LeaseView { worker: "w3".into(), epoch: 1, stale: false },
+        );
+        let cells = cell_lease_views(&grid, &views);
+        assert_eq!(cells.len(), 3, "band covers 2 cells, plus the foreign cell lease");
+        assert_eq!(cells["xsbench.small|llc_x1|lru"].worker, "w1");
+        assert_eq!(cells["xsbench.small|llc_x1|lru"].epoch, 2);
+        assert_eq!(cells["xsbench.small|llc_x1|srrip"].worker, "w3");
+        assert_eq!(cells["spec.stack|llc_x1|lru"].worker, "w2");
+        assert!(cells["spec.stack|llc_x1|lru"].stale);
     }
 
     #[test]

@@ -12,13 +12,18 @@
 //! coordinator, no network protocol and no new state**: everything rides
 //! on the campaign journal and a directory of lease files.
 //!
-//! * [`lease`] — atomic, TTL'd cell claims (`leases/<cell>.lease`,
-//!   hard-link creation, mtime-based staleness, epoch-bumped reclaims);
-//! * [`worker`] — the claim → simulate → journal → release loop behind
-//!   `ccsim campaign worker`, with contention backoff and a lease
-//!   heartbeat; each worker writes its own journal segment
-//!   (`journal.<worker>.jsonl`), so concurrent appends can never
-//!   interleave;
+//! * [`lease`] — atomic, TTL'd claims (`leases/<id>.lease`, hard-link
+//!   creation, mtime-based staleness, epoch-bumped reclaims). Workers
+//!   claim **workload bands** (`band:<workload>` — every pending cell
+//!   sharing a trace) so each claim is one one-pass replay; per-cell
+//!   ids share the same machinery;
+//! * [`worker`] — the claim-band → simulate-in-one-pass → journal →
+//!   release loop behind `ccsim campaign worker`, with contention
+//!   backoff and a lease heartbeat; each worker writes its own journal
+//!   segment (`journal.<worker>.jsonl`), so concurrent appends can
+//!   never interleave, and each band cell is journaled individually, so
+//!   a reclaimed band resumes from the dead holder's last journaled
+//!   cell;
 //! * [`assemble`] — merges any worker set's partial journals into the
 //!   same byte-identical report a single-process run produces, failing
 //!   loudly on conflicts or an unfinished grid;
@@ -34,7 +39,8 @@
 //!
 //! ```text
 //! <shared>/
-//!   leases/<cell>-<hash>.lease   live claims (TTL'd, crash-healing)
+//!   leases/<id>-<hash>.lease     live claims, band or per-cell
+//!                                (TTL'd, crash-healing)
 //!   journal.<worker>.jsonl       one append-only segment per worker
 //!   trace-cache/*.cctr           content-addressed shared traces
 //! ```
@@ -66,7 +72,9 @@ pub mod status;
 pub mod worker;
 
 pub use assemble::{assemble, AssembleOutcome};
-pub use lease::{Claim, Lease, LeaseDir, LeaseGuard};
+pub use lease::{
+    band_lease_id, band_workload, cell_lease_views, Claim, Lease, LeaseDir, LeaseGuard,
+};
 pub use status::{status, DistStatus, WorkerStatus};
 pub use worker::{default_worker_id, run_worker, sanitize_worker_id, WorkerOptions, WorkerOutcome};
 

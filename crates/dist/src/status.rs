@@ -13,7 +13,7 @@ use ccsim_campaign::journal::merge_dir;
 use ccsim_campaign::{Campaign, CampaignSpec};
 use ccsim_core::experiment::Table;
 
-use crate::lease::{Lease, LeaseDir};
+use crate::lease::{band_workload, Lease, LeaseDir};
 use crate::leases_dir;
 
 /// One worker's contribution, from its journal segment and live claims.
@@ -23,7 +23,8 @@ pub struct WorkerStatus {
     pub worker: String,
     /// Cells journaled by this worker.
     pub completed: usize,
-    /// Leases this worker currently holds, including stale ones.
+    /// Lease files this worker currently holds — band or per-cell,
+    /// including stale ones.
     pub claims: usize,
 }
 
@@ -36,7 +37,8 @@ pub struct DistStatus {
     pub cells_total: usize,
     /// Cells with a journaled result.
     pub completed: usize,
-    /// Pending cells under a live lease.
+    /// Pending cells under a live lease — a band lease counts every
+    /// pending cell of its workload.
     pub leased: usize,
     /// Pending cells under a stale lease (holder presumed crashed).
     pub stale: usize,
@@ -46,8 +48,9 @@ pub struct DistStatus {
     pub duplicates: usize,
     /// Per-worker contributions, sorted by worker id.
     pub workers: Vec<WorkerStatus>,
-    /// Every stale lease on a still-pending cell, for operator attention
-    /// (stale leases on completed cells block nothing and are omitted).
+    /// Every stale lease still covering at least one pending cell, for
+    /// operator attention (stale leases covering only completed cells
+    /// block nothing and are omitted).
     pub stale_leases: Vec<Lease>,
 }
 
@@ -65,9 +68,13 @@ pub fn status(spec: &CampaignSpec, shared_dir: &Path) -> Result<DistStatus, Stri
             .map_err(|e| format!("opening lease dir: {e}"))?
             .scan()
             .into_iter()
-            // Only leases naming cells of *this* grid; an aborted older
-            // spec under the same dir must not pollute the counts.
-            .filter(|l| grid.cells.iter().any(|c| c.id == l.cell))
+            // Only leases naming cells or workload bands of *this* grid;
+            // an aborted older spec under the same dir must not pollute
+            // the counts.
+            .filter(|l| match band_workload(&l.cell) {
+                Some(workload) => grid.workloads.iter().any(|w| w == workload),
+                None => grid.cells.iter().any(|c| c.id == l.cell),
+            })
             .collect()
     } else {
         Vec::new()
@@ -97,13 +104,32 @@ pub fn status(spec: &CampaignSpec, shared_dir: &Path) -> Result<DistStatus, Stri
     }
 
     let completed = grid.cells.iter().filter(|c| merged.completed.contains_key(&c.id)).count();
-    // Leases on already-completed cells (a worker crashed between
-    // journaling and releasing) don't block anything: exclude them from
-    // the counters *and* the stale listing so the two can't contradict.
-    let pending_leases: Vec<Lease> =
-        leases.into_iter().filter(|l| !merged.completed.contains_key(&l.cell)).collect();
-    let leased = pending_leases.iter().filter(|l| !l.stale).count();
-    let stale = pending_leases.iter().filter(|l| l.stale).count();
+    // Expand leases to the *pending cells* they cover: a band lease
+    // covers every pending cell of its workload, a cell-specific lease
+    // (older tooling) wins its own cell. Leases covering only completed
+    // cells (a worker crashed between journaling and releasing) block
+    // nothing: they drop out of the counters *and* the stale listing so
+    // the two can't contradict.
+    let mut covered: BTreeMap<&str, &Lease> = BTreeMap::new();
+    for lease in &leases {
+        if let Some(workload) = band_workload(&lease.cell) {
+            for cell in grid.cells_of(workload) {
+                if !merged.completed.contains_key(&cell.id) {
+                    covered.insert(cell.id.as_str(), lease);
+                }
+            }
+        }
+    }
+    for lease in &leases {
+        if band_workload(&lease.cell).is_none() && !merged.completed.contains_key(&lease.cell) {
+            covered.insert(lease.cell.as_str(), lease);
+        }
+    }
+    let leased = covered.values().filter(|l| !l.stale).count();
+    let stale = covered.values().filter(|l| l.stale).count();
+    let stale_ids: std::collections::BTreeSet<&str> =
+        covered.values().filter(|l| l.stale).map(|l| l.cell.as_str()).collect();
+    let stale_leases = leases.iter().filter(|l| stale_ids.contains(l.cell.as_str())).cloned();
     Ok(DistStatus {
         campaign: spec.name.clone(),
         cells_total: grid.cells.len(),
@@ -113,7 +139,7 @@ pub fn status(spec: &CampaignSpec, shared_dir: &Path) -> Result<DistStatus, Stri
         unclaimed: grid.cells.len() - completed - leased - stale,
         duplicates: merged.duplicates,
         workers: workers.into_values().collect(),
-        stale_leases: pending_leases.into_iter().filter(|l| l.stale).collect(),
+        stale_leases: stale_leases.collect(),
     })
 }
 

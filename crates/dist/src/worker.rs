@@ -1,4 +1,5 @@
-//! The distributed campaign worker: claim → simulate → journal → release.
+//! The distributed campaign worker: claim a band → simulate it in one
+//! pass → journal each cell → release.
 //!
 //! N workers (processes on one host, or many hosts over a shared
 //! filesystem) each run this loop against one shared campaign directory.
@@ -7,6 +8,17 @@
 //! lease files alone, and a worker that finds nothing claimable backs
 //! off and polls until the grid is drained (leases held by live peers
 //! either complete or expire).
+//!
+//! Claims are **workload bands** ([`crate::lease::band_lease_id`]): one
+//! lease covers every pending cell sharing a trace, and the holder
+//! replays that trace once for all of them
+//! ([`ccsim_campaign::AcquiredTrace::simulate_cells`]) instead of once
+//! per cell. Each cell is still journaled individually, so a worker that
+//! dies mid-band loses only its unjournaled cells — the reclaiming peer
+//! re-derives the band's pending remainder from the merged journals and
+//! resumes there. Sharding granularity is therefore the workload: peers
+//! parallelize across workloads (and across shards *within* a band via
+//! [`WorkerOptions::threads`]), not across cells of one workload.
 
 use std::path::{Path, PathBuf};
 use std::time::Duration;
@@ -14,9 +26,10 @@ use std::time::Duration;
 use ccsim_campaign::journal::merge_dir;
 use ccsim_campaign::spec::fnv1a64;
 use ccsim_campaign::{Campaign, CampaignSpec, GridCell, Journal, TraceCache};
-use ccsim_core::experiment::run_jobs_ctx;
+use ccsim_core::SimConfig;
+use ccsim_policies::PolicyKind;
 
-use crate::lease::{Claim, LeaseDir, LeaseGuard};
+use crate::lease::{band_lease_id, Claim, LeaseDir};
 use crate::{leases_dir, trace_cache_dir};
 
 /// How a worker executes: identity, lease TTL, parallelism and patience.
@@ -26,19 +39,22 @@ pub struct WorkerOptions {
     /// worker takes. Must be unique per live worker
     /// ([`default_worker_id`] derives host + pid).
     pub worker_id: String,
-    /// Lease TTL. A heartbeat renews held leases at `ttl / 3` while a
-    /// batch simulates, so the TTL only needs to exceed worst-case
-    /// *stall* (swap, NFS hiccup, clock skew), not cell runtime.
+    /// Lease TTL. A heartbeat renews the held band lease at `ttl / 3`
+    /// while the band simulates, so the TTL only needs to exceed
+    /// worst-case *stall* (swap, NFS hiccup, clock skew), not band
+    /// runtime.
     pub ttl: Duration,
-    /// Worker threads for the cells of one claimed batch.
+    /// Worker threads: the cells of one claimed band shard into this
+    /// many lockstep one-pass replays.
     pub threads: usize,
-    /// Sleep between polls when every pending cell is leased by a live
+    /// Sleep between polls when every pending band is leased by a live
     /// peer.
     pub backoff: Duration,
     /// Stop after completing this many cells (testing and drain-limits);
-    /// `None` runs until the campaign is done.
+    /// `None` runs until the campaign is done. A limit smaller than a
+    /// band truncates the band — the rest stays pending for any worker.
     pub max_cells: Option<usize>,
-    /// Per-batch progress lines on stderr.
+    /// Per-band progress lines on stderr.
     pub verbose: bool,
 }
 
@@ -93,10 +109,11 @@ pub fn sanitize_worker_id(id: &str) -> String {
 pub struct WorkerOutcome {
     /// Cells this worker simulated and journaled.
     pub completed: usize,
-    /// Of those, cells claimed by reclaiming a stale (crashed-holder)
-    /// lease.
+    /// Workload bands claimed by reclaiming a stale (crashed-holder)
+    /// lease; the band resumes from whatever cells the dead worker had
+    /// journaled.
     pub reclaimed: usize,
-    /// Backoff sleeps while every pending cell was held by live peers.
+    /// Backoff sleeps while every pending band was held by live peers.
     pub backoffs: usize,
     /// The whole grid was completed (by any worker set) when this worker
     /// exited; `false` only when `max_cells` stopped it early.
@@ -164,54 +181,53 @@ pub fn run_worker(
                 outcome.campaign_done = grid.cells.iter().all(|c| done.contains_key(&c.id));
                 return Ok(outcome);
             }
-            // Cap each batch so peers can shard *within* a workload: a
-            // single-workload grid must not degenerate to one worker
-            // holding every cell while the rest back off. Re-acquiring
-            // the trace next batch is cheap — it comes from the shared
-            // cache.
-            let batch_cap = (opts.threads * 4).max(4);
-            let cap = budget.map_or(batch_cap, |b| b.min(batch_cap));
-            // Claim against a *fresh* merge: the round-start snapshot
-            // goes stale while earlier batches simulate.
+            // Derive the band — every still-pending cell of the workload
+            // — from a *fresh* merge: the round-start snapshot goes
+            // stale while earlier bands simulate.
             let done = merge_dir(shared_dir, &spec.name, &digest)?.completed;
-            let mut claims: Vec<(&GridCell, LeaseGuard)> = Vec::new();
-            for cell in grid.cells_of(workload).filter(|c| !done.contains_key(&c.id)) {
-                if claims.len() >= cap {
-                    break;
-                }
-                match leases.claim(&cell.id, &worker, opts.ttl)? {
-                    Claim::Acquired(guard) => claims.push((cell, guard)),
-                    Claim::Held(_) => {}
-                }
-            }
-            if claims.is_empty() {
+            let mut pending: Vec<&GridCell> =
+                grid.cells_of(workload).filter(|c| !done.contains_key(&c.id)).collect();
+            if pending.is_empty() {
                 continue;
             }
-            // Close the merge→claim race: a peer may have journaled a
-            // cell and released its lease between our merge and our
+            // One lease claims the whole band: all pending cells sharing
+            // this workload's trace, to be replayed in one pass.
+            let guard = match leases.claim(&band_lease_id(workload), &worker, opts.ttl)? {
+                Claim::Acquired(guard) => guard,
+                Claim::Held(_) => continue,
+            };
+            // Close the merge→claim race: a peer may have journaled band
+            // cells and released its lease between our merge and our
             // claim. Peers journal (flushed) *before* releasing, so a
             // re-merge after claiming sees every such cell — dropping
-            // these claims makes duplicate simulation impossible on a
-            // coherent filesystem.
+            // them makes duplicate simulation impossible on a coherent
+            // filesystem. This is also how a reclaimed band resumes
+            // mid-band: the dead holder's journaled cells drop out here.
             let done = merge_dir(shared_dir, &spec.name, &digest)?.completed;
-            let stale_claims = claims.len();
-            claims.retain(|(cell, _)| !done.contains_key(&cell.id));
-            if claims.len() < stale_claims {
+            let band_size = pending.len();
+            pending.retain(|c| !done.contains_key(&c.id));
+            if pending.len() < band_size {
                 progressed = true; // the campaign advanced under us
             }
-            if claims.is_empty() {
+            if pending.is_empty() {
+                guard.release();
                 continue;
             }
-            outcome.reclaimed += claims.iter().filter(|(_, g)| g.epoch() > 1).count();
+            if guard.epoch() > 1 {
+                outcome.reclaimed += 1;
+            }
+            if let Some(budget) = budget {
+                pending.truncate(budget);
+            }
 
-            // Acquire and simulate under a heartbeat renewing every held
+            // Acquire and simulate under a heartbeat renewing the band
             // lease at ttl/3. Acquisition is covered too: a first-time
             // conversion of a multi-GB `trace:` source can easily outlive
-            // the TTL, and losing the leases there would hand the same
+            // the TTL, and losing the lease there would hand the same
             // conversion to a peer.
             let stop = std::sync::atomic::AtomicBool::new(false);
-            let batch = std::thread::scope(|scope| {
-                let (claims, stop) = (&claims, &stop);
+            let band = std::thread::scope(|scope| {
+                let (guard, stop) = (&guard, &stop);
                 scope.spawn(move || {
                     let tick = Duration::from_millis(50);
                     let mut since_renew = Duration::ZERO;
@@ -220,61 +236,49 @@ pub fn run_worker(
                         since_renew += tick;
                         if since_renew >= opts.ttl / 3 {
                             since_renew = Duration::ZERO;
-                            for (_, guard) in claims {
-                                let _ = guard.renew();
-                            }
+                            let _ = guard.renew();
                         }
                     }
                 });
-                let out = campaign.acquire(workload).map(|trace| {
-                    let epoch = claims.iter().map(|(_, g)| g.epoch()).max().unwrap_or(1);
-                    let results =
-                        run_jobs_ctx(claims.len(), opts.threads, &worker, epoch, |ctx, i| {
-                            let (cell, guard) = &claims[i];
-                            if opts.verbose {
-                                // Per-cell attribution: which worker ran
-                                // it, on which thread, at which lease
-                                // epoch (>1 = reclaimed from a crash).
-                                eprintln!(
-                                    "[{} t{} e{}] {}",
-                                    ctx.worker,
-                                    ctx.thread,
-                                    guard.epoch(),
-                                    cell.id
-                                );
-                            }
-                            trace.simulate_cell(&grid.configs[cell.config_index].1, cell.policy)
-                        });
+                let out = campaign.acquire(workload).and_then(|trace| {
+                    let cells: Vec<(SimConfig, PolicyKind)> = pending
+                        .iter()
+                        .map(|cell| (grid.configs[cell.config_index].1, cell.policy))
+                        .collect();
                     if opts.verbose {
+                        // Band attribution: which worker runs it, at
+                        // which lease epoch (>1 = reclaimed from a
+                        // crash, resuming mid-band).
                         eprintln!(
-                            "[{worker}] {workload}: {} cell(s) simulated ({} records{})",
-                            claims.len(),
+                            "[{} e{}] {workload}: {} cell(s) in one pass ({} records{})",
+                            worker,
+                            guard.epoch(),
+                            cells.len(),
                             trace.records(),
                             if trace.is_streamed() { ", streamed" } else { "" },
                         );
                     }
-                    results
+                    trace.simulate_cells(&cells, opts.threads)
                 });
                 stop.store(true, std::sync::atomic::Ordering::Relaxed);
                 out
             });
-            // On acquisition failure the claims drop here and release.
-            let results = batch?;
-            for ((cell, guard), result) in claims.into_iter().zip(results) {
-                // On error the remaining guards drop and release, and
-                // everything already journaled stays journaled.
-                let result = result?;
+            // On acquisition/simulation failure the guard drops below and
+            // releases the band; everything already journaled stays
+            // journaled.
+            let results = band?;
+            for (cell, result) in pending.iter().zip(results) {
                 journal
                     .record(&cell.id, &result)
                     .map_err(|e| format!("writing journal segment: {e}"))?;
-                guard.release();
                 outcome.completed += 1;
             }
+            guard.release();
             progressed = true;
         }
 
         if !progressed {
-            // Every pending cell is leased by someone else (or a claim
+            // Every pending band is leased by someone else (or a claim
             // race was lost this round): wait for peers to finish,
             // crash-expire, or release.
             outcome.backoffs += 1;

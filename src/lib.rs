@@ -23,9 +23,10 @@
 //!   on-disk trace cache (synthetic and ingested), dry-run planning,
 //!   deterministic JSON/CSV reports and cross-campaign diffing;
 //! * [`dist`] — coordinator-free distributed campaign execution:
-//!   lease-based cell claiming over a shared filesystem, per-worker
-//!   journal segments, crash healing, and byte-identical report
-//!   assembly from any worker set.
+//!   lease-based workload-band claiming over a shared filesystem (each
+//!   claim is one one-pass grid replay), per-worker journal segments,
+//!   crash healing, and byte-identical report assembly from any worker
+//!   set.
 //!
 //! # Quickstart
 //!
@@ -56,8 +57,8 @@ pub use ccsim_workloads as workloads;
 pub mod prelude {
     pub use ccsim_campaign::{Campaign, CampaignReport, CampaignSpec, TraceCache};
     pub use ccsim_core::{
-        geomean, geomean_speedup_percent, simulate, simulate_stream, simulate_with_llc_log,
-        SimConfig, SimResult,
+        geomean, geomean_speedup_percent, simulate, simulate_grid, simulate_grid_stream,
+        simulate_stream, simulate_with_llc_log, GridReplay, SimConfig, SimResult,
     };
     pub use ccsim_graph::Graph;
     pub use ccsim_ingest::{IngestOptions, SourceFormat};

@@ -4,7 +4,9 @@
 //! The binary installs a counting global allocator and drives a warmed
 //! `Hierarchy` + `Core` pair — the exact record loop `simulate` runs —
 //! across a second full pass of an eviction-heavy trace, asserting the
-//! allocation counter does not move at all. A second check exercises the
+//! allocation counter does not move at all. The same is then asserted
+//! for the one-pass lockstep grid driver (`GridReplay`), including its
+//! streamed chunk-decode loop, and a final check exercises the
 //! production differencing probe (`ccsim bench`'s alloc check) end to
 //! end.
 //!
@@ -83,6 +85,43 @@ fn steady_state_replay_allocates_nothing() {
             thrash.len() + mix.len(),
         );
     }
+
+    // The one-pass grid driver inherits the contract: advancing N warmed
+    // lockstep engines through further records — including the streamed
+    // chunk-decode loop, whose chunk buffer is reserved up front and
+    // reused — must not allocate either.
+    let mut bytes = Vec::new();
+    ccsim::trace::write_trace(&thrash, &mut bytes).unwrap();
+    let cells = [
+        (config, PolicyKind::Lru),
+        (config, PolicyKind::Ship),
+        (config.with_llc_scale(2), PolicyKind::Hawkeye),
+        (config.with_llc_scale(4), PolicyKind::Mpppb),
+    ];
+    let mut grid = GridReplay::new(&cells, 0);
+    // Warm pass: every engine fills its sets and samplers, and the chunk
+    // buffer reaches its full capacity.
+    let mut reader = ccsim::trace::TraceReader::new(&bytes[..]).unwrap();
+    grid.replay_reader(&mut reader).unwrap();
+    grid.replay_trace(&mix);
+
+    // Readers are constructed outside the measured region (the CCTR
+    // header carries an owned workload name).
+    let mut reader = ccsim::trace::TraceReader::new(&bytes[..]).unwrap();
+    let before = allocations();
+    grid.replay_reader(&mut reader).unwrap();
+    grid.replay_trace(&mix);
+    let during = allocations() - before;
+    assert_eq!(
+        during,
+        0,
+        "grid driver: {during} heap allocations across {} steady-state records x {} cells",
+        thrash.len() + mix.len(),
+        cells.len(),
+    );
+    let results = grid.finish(thrash.name(), thrash.trailing_nonmem());
+    assert_eq!(results.len(), cells.len());
+    assert!(results.iter().all(|r| r.instructions > 0));
 
     // The production probe (what `ccsim bench` reports and CI greps on)
     // must agree now that a counting allocator is present.

@@ -1,17 +1,20 @@
 //! Pins the `ccsim bench --json` output schema (v1) against
-//! `tests/fixtures/bench_v1.json`.
+//! `tests/fixtures/bench_v1.json`, and the `ccsim bench --grid --json`
+//! schema (v2) against `tests/fixtures/bench_v2.json`.
 //!
 //! Throughput *values* are machine-dependent, so unlike the campaign
-//! report fixture this one is compared **structurally**: same keys, same
-//! order, same value kinds. The fixture itself was recorded from a real
-//! run; regenerate with `CCSIM_BLESS=1 cargo test --test bench` after an
+//! report fixture these are compared **structurally**: same keys, same
+//! order, same value kinds. Each fixture was recorded from a real run;
+//! regenerate with `CCSIM_BLESS=1 cargo test --test bench` after an
 //! intentional schema change (and bump
-//! [`ccsim_bench::throughput::BENCH_SCHEMA_VERSION`]).
+//! [`ccsim_bench::throughput::BENCH_SCHEMA_VERSION`] or
+//! [`ccsim_bench::gridbench::GRID_BENCH_SCHEMA_VERSION`]).
 
 use std::path::Path;
 
 use ccsim::campaign::Json;
 use ccsim::policies::PolicyKind;
+use ccsim_bench::gridbench::{run_grid_bench, GridBenchOptions, GRID_BENCH_SCHEMA_VERSION};
 use ccsim_bench::throughput::{run_throughput, ThroughputOptions, BENCH_SCHEMA_VERSION};
 
 /// Canonical structural signature of a JSON value: object keys in order,
@@ -86,4 +89,58 @@ fn bench_json_schema_matches_pinned_fixture() {
                 == Some(ccsim_bench::throughput::EVICTION_HEAVY_PATTERN)),
         "seed baseline must cover the eviction-heavy microbench"
     );
+}
+
+#[test]
+fn grid_bench_json_schema_matches_pinned_fixture_and_reports_pass_counts() {
+    let options = GridBenchOptions {
+        quick: true,
+        policies: vec![PolicyKind::Lru, PolicyKind::Srrip],
+        llc_scales: vec![1, 2],
+        warmup: 0,
+        reps: 1,
+    };
+    let report = run_grid_bench(&options).unwrap();
+    assert_eq!(report.cells, 4, "2 policies x 2 LLC scales");
+    assert_eq!(report.workloads.len(), 3);
+    // Grid mode's headline accounting: per-cell replay makes one full
+    // trace pass per cell, the one-pass driver exactly one — and both
+    // modes must agree bit for bit on every cell result.
+    for w in &report.workloads {
+        assert_eq!(w.per_cell.passes, report.cells, "{}: per-cell pass count", w.workload);
+        assert_eq!(w.grid.passes, 1, "{}: grid pass count", w.workload);
+        assert!(w.identical, "{}: modes diverged", w.workload);
+        assert!(w.speedup > 0.0);
+    }
+
+    let json = report.to_json();
+    // Summary fields CI greps on.
+    assert_eq!(json.get("ccsim_bench").and_then(Json::as_u64), Some(GRID_BENCH_SCHEMA_VERSION));
+    assert_eq!(json.get("mode").and_then(Json::as_str), Some("grid"));
+    assert_eq!(json.get("hot_path").and_then(Json::as_str), Some(ccsim::core::HOT_PATH));
+    let grid = json.get("grid").unwrap();
+    assert_eq!(grid.get("cells").and_then(Json::as_u64), Some(4));
+
+    let fixture_path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/bench_v2.json");
+    if std::env::var_os("CCSIM_BLESS").is_some() {
+        std::fs::write(&fixture_path, format!("{}\n", json.to_pretty().trim_end())).unwrap();
+    }
+    let fixture = std::fs::read_to_string(&fixture_path)
+        .expect("fixture missing; run with CCSIM_BLESS=1 to create it");
+    let pinned = Json::parse(&fixture).unwrap();
+    assert_eq!(
+        shape(&json),
+        shape(&pinned),
+        "the bench --grid --json schema changed; bump GRID_BENCH_SCHEMA_VERSION and rebless \
+         the fixture"
+    );
+    // The pinned fixture was recorded from a real run and must carry the
+    // same accounting the live report just asserted.
+    for w in pinned.get("workloads").unwrap().as_array().unwrap() {
+        let cells = w.get("cells").and_then(Json::as_u64).unwrap();
+        let per_cell_passes =
+            w.get("per_cell").unwrap().get("passes").and_then(Json::as_u64).unwrap();
+        assert_eq!(per_cell_passes, cells);
+        assert_eq!(w.get("grid").unwrap().get("passes").and_then(Json::as_u64), Some(1));
+    }
 }

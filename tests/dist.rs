@@ -1,11 +1,14 @@
-//! Distributed-campaign integration tests: lease-arbitrated sharding,
-//! crash/resume healing, and byte-identical report assembly.
+//! Distributed-campaign integration tests: band-lease-arbitrated
+//! sharding, mid-band crash/resume healing, and byte-identical report
+//! assembly.
 //!
-//! The distribution contract extends the campaign determinism contract
-//! one level out: however many workers drain the grid, in whatever
-//! interleaving, with however many crashes and reclaims along the way,
-//! `assemble` produces the same bytes as one uninterrupted
-//! single-process run — or fails loudly rather than guess.
+//! Workers claim **workload bands** (`band:<workload>` — every pending
+//! cell sharing a trace, simulated in one lockstep pass) rather than
+//! individual cells, but the distribution contract is unchanged:
+//! however many workers drain the grid, in whatever interleaving, with
+//! however many crashes and reclaims along the way, `assemble` produces
+//! the same bytes as one uninterrupted single-process run — or fails
+//! loudly rather than guess.
 
 use std::path::{Path, PathBuf};
 use std::time::{Duration, SystemTime};
@@ -13,7 +16,8 @@ use std::time::{Duration, SystemTime};
 use ccsim::campaign::journal::merge_dir;
 use ccsim::campaign::{Campaign, CampaignSpec, Journal};
 use ccsim::dist::{
-    assemble, leases_dir, run_worker, sanitize_worker_id, status, Claim, LeaseDir, WorkerOptions,
+    assemble, band_lease_id, cell_lease_views, leases_dir, run_worker, sanitize_worker_id, status,
+    Claim, LeaseDir, WorkerOptions,
 };
 
 /// 2 workloads x 2 policies x 2 LLC sizes on the tiny platform: enough
@@ -63,6 +67,9 @@ fn one_worker_drains_the_grid_and_assembles_identically() {
     std::fs::remove_dir_all(&dir).unwrap();
 }
 
+/// Two live workers racing over band-granularity leases: each band is
+/// simulated by exactly one of them, so the union covers the grid with
+/// zero duplicated cells.
 #[test]
 fn two_concurrent_workers_share_the_grid_without_duplicates() {
     let dir = temp_dir("two");
@@ -94,56 +101,68 @@ fn two_concurrent_workers_share_the_grid_without_duplicates() {
     std::fs::remove_dir_all(&dir).unwrap();
 }
 
-/// Kill-a-worker-mid-cell drill: a worker "crashes" holding a lease
-/// (simulated by leaking the claim and backdating the lease file past
-/// its TTL, plus a torn journal line for the append it died inside).
-/// A second worker must observe the stale lease, reclaim the cell with
-/// a bumped epoch, complete the grid, and assemble bytes identical to
-/// the single-process run.
+/// Kill-a-worker-mid-band drill: a worker claims a workload band,
+/// journals one of its four cells (a real result), dies mid-append on
+/// the next (torn journal line) and never releases. While the band
+/// lease is live every pending cell it covers reports leased; once it
+/// expires they report stale; and a healer must reclaim the band with a
+/// bumped epoch, **resume mid-band from the journaled cells** (re-running
+/// only the seven missing ones), and assemble bytes identical to the
+/// single-process run.
 #[test]
-fn crashed_worker_lease_expires_and_a_second_worker_heals_the_campaign() {
+fn crashed_worker_band_lease_expires_and_a_second_worker_resumes_mid_band() {
     let dir = temp_dir("crash");
     let shared = dir.join("shared");
     let spec = spec();
     let digest = spec.digest();
     std::fs::create_dir_all(&shared).unwrap();
 
-    // The victim claims one cell, journals *part* of a line (killed
-    // mid-append), and never releases.
-    let victim_cell = "xsbench.small|llc_x1|lru";
+    // The victim claims the whole xsbench.small band (4 cells), journals
+    // its first cell's real result, then "crashes" mid-append on the
+    // second — leaked claim, torn tail, no release.
+    let campaign = Campaign::new(spec.clone());
+    let grid = campaign.grid().unwrap();
+    let victim_cell = grid.cells_of("xsbench.small").next().unwrap();
     let leases = LeaseDir::open(leases_dir(&shared)).unwrap();
-    let guard = match leases.claim(victim_cell, "dead", Duration::from_secs(60)).unwrap() {
+    let band = band_lease_id("xsbench.small");
+    let guard = match leases.claim(&band, "dead", Duration::from_secs(60)).unwrap() {
         Claim::Acquired(g) => g,
         Claim::Held(h) => panic!("fresh dir already held: {h:?}"),
     };
     std::mem::forget(guard); // crash: no release, no renewal
     {
-        let j = Journal::open_segment(&shared, "dead", &spec.name, &digest).unwrap();
+        let trace = campaign.acquire("xsbench.small").unwrap();
+        let result = trace
+            .simulate_cell(&grid.configs[victim_cell.config_index].1, victim_cell.policy)
+            .unwrap();
+        let mut j = Journal::open_segment(&shared, "dead", &spec.name, &digest).unwrap();
+        j.record(&victim_cell.id, &result).unwrap();
         drop(j);
-        let torn = format!("{{\"cell\":\"{victim_cell}\",\"result\":{{\"workload\":\"xs");
+        let torn = "{\"cell\":\"xsbench.small|llc_x2|lru\",\"result\":{\"workload\":\"xs";
         let seg = Journal::segment_path(&shared, "dead");
         let mut text = std::fs::read_to_string(&seg).unwrap();
-        text.push_str(&torn);
+        text.push_str(torn);
         std::fs::write(&seg, text).unwrap();
     }
 
-    // While the lease is live, a peer cannot claim the cell; status and
-    // plan both see the holder.
+    // While the band lease is live, a peer cannot claim the band, and
+    // status/plan count every *pending* cell it covers as leased (3 of
+    // the band's 4 — the journaled one is completed, not leased).
     let st = status(&spec, &shared).unwrap();
-    assert_eq!((st.completed, st.leased, st.stale), (0, 1, 0));
+    assert_eq!((st.completed, st.leased, st.stale), (1, 3, 0));
     assert!(matches!(
-        leases.claim(victim_cell, "other", Duration::from_secs(60)).unwrap(),
+        leases.claim(&band, "other", Duration::from_secs(60)).unwrap(),
         Claim::Held(h) if h.worker == "dead"
     ));
     let plan = Campaign::new(spec.clone())
         .mark_completed(merge_dir(&shared, &spec.name, &digest).unwrap().completed.into_keys())
-        .leases(leases.views())
+        .leases(cell_lease_views(&grid, &leases.views()))
         .plan()
         .unwrap();
-    assert_eq!(plan.counts().4, 1, "dry run predicts the live lease");
+    assert_eq!(plan.counts().4, 3, "dry run predicts the live band lease per pending cell");
 
-    // The holder dies: backdate the lease past its TTL.
-    let lease_path = leases.path_for(victim_cell);
+    // The holder dies: backdate the band lease past its TTL.
+    let lease_path = leases.path_for(&band);
     std::fs::File::options()
         .write(true)
         .open(&lease_path)
@@ -151,21 +170,25 @@ fn crashed_worker_lease_expires_and_a_second_worker_heals_the_campaign() {
         .set_modified(SystemTime::now() - Duration::from_secs(3600))
         .unwrap();
     let st = status(&spec, &shared).unwrap();
-    assert_eq!((st.leased, st.stale), (0, 1), "expired lease reported stale");
+    assert_eq!((st.leased, st.stale), (0, 3), "expired band lease reported stale per cell");
+    assert_eq!(st.stale_leases.len(), 1, "one stale lease file covers the three cells");
     assert_eq!(st.stale_leases[0].worker, "dead");
+    assert_eq!(st.stale_leases[0].cell, band);
 
-    // A healer worker reclaims and finishes everything.
+    // A healer worker reclaims the band and finishes everything — but
+    // does NOT redo the victim's journaled cell.
     let healer = run_worker(&spec, &shared, &WorkerOptions::new("healer")).unwrap();
     assert!(healer.campaign_done);
-    assert_eq!(healer.completed, 8, "torn journal line was dropped, cell re-run");
-    assert_eq!(healer.reclaimed, 1, "exactly the victim's cell was reclaimed");
+    assert_eq!(healer.completed, 7, "mid-band resume: the journaled cell is not re-run");
+    assert_eq!(healer.reclaimed, 1, "exactly the victim's band was reclaimed");
 
     let assembled = assemble(&spec, &shared).unwrap();
     assert_eq!(assembled.report.to_json_string(), solo_report_json());
     assert_eq!(assembled.duplicates, 0);
-    // The dead worker's torn segment contributes nothing but is listed.
-    assert!(assembled.segments.contains(&("journal.dead.jsonl".to_owned(), 0)));
-    assert!(assembled.segments.contains(&("journal.healer.jsonl".to_owned(), 8)));
+    // The dead worker's segment contributes its one journaled cell; the
+    // torn tail is dropped.
+    assert!(assembled.segments.contains(&("journal.dead.jsonl".to_owned(), 1)));
+    assert!(assembled.segments.contains(&("journal.healer.jsonl".to_owned(), 7)));
     std::fs::remove_dir_all(&dir).unwrap();
 }
 
@@ -203,11 +226,12 @@ fn partial_grids_refuse_to_assemble_and_report_progress() {
     std::fs::remove_dir_all(&dir).unwrap();
 }
 
-/// A single-workload grid must shard *within* the workload: batches are
-/// capped, so one worker cannot vacuum every cell in one claim pass
-/// while a peer starves. (With one thread the cap is 4 of the 8 cells.)
+/// `max_cells` smaller than a band truncates the band: the worker
+/// claims the whole workload's lease but simulates and journals only
+/// its budget, releasing the rest for any peer. (An 8-cell single-
+/// workload grid with a budget of 4 leaves half pending and unclaimed.)
 #[test]
-fn batches_are_capped_so_peers_can_share_one_workload() {
+fn a_cell_budget_truncates_a_band_leaving_the_rest_pending() {
     let dir = temp_dir("cap");
     let shared = dir.join("shared");
     let spec = CampaignSpec::from_json_str(
@@ -218,11 +242,11 @@ fn batches_are_capped_so_peers_can_share_one_workload() {
     )
     .unwrap();
     let mut opts = WorkerOptions::new("capped");
-    opts.max_cells = Some(4); // one full batch
+    opts.max_cells = Some(4); // half the single 8-cell band
     let first = run_worker(&spec, &shared, &opts).unwrap();
     assert_eq!(first.completed, 4);
-    // After one batch, half the grid is pending and fully unclaimed —
-    // a peer starting now has cells to take immediately.
+    // After the truncated band, half the grid is pending and fully
+    // unclaimed — a peer starting now has cells to take immediately.
     let st = status(&spec, &shared).unwrap();
     assert_eq!((st.completed, st.leased, st.unclaimed), (4, 0, 4));
     let rest = run_worker(&spec, &shared, &WorkerOptions::new("peer")).unwrap();
@@ -235,33 +259,36 @@ fn batches_are_capped_so_peers_can_share_one_workload() {
     std::fs::remove_dir_all(&dir).unwrap();
 }
 
-/// A worker that crashes *between* journaling a cell and releasing its
-/// lease leaves a stale lease on a completed cell. It blocks nothing, so
-/// status must neither count it nor list it — the summary line and the
-/// stale-lease listing can never contradict each other.
+/// A worker that crashes *between* journaling its band and releasing
+/// the lease leaves a stale lease covering only completed cells. It
+/// blocks nothing, so status must neither count it nor list it — the
+/// summary line and the stale-lease listing can never contradict each
+/// other. The same holds for a stale per-cell lease (older tooling) on
+/// a completed cell.
 #[test]
-fn stale_lease_on_a_completed_cell_is_not_reported() {
+fn stale_leases_covering_only_completed_cells_are_not_reported() {
     let dir = temp_dir("stale_done");
     let shared = dir.join("shared");
     run_worker(&spec(), &shared, &WorkerOptions::new("w")).unwrap();
 
     let leases = LeaseDir::open(leases_dir(&shared)).unwrap();
-    let cell = "xsbench.small|llc_x1|lru";
-    let guard = match leases.claim(cell, "crashed-late", Duration::from_secs(60)).unwrap() {
-        Claim::Acquired(g) => g,
-        Claim::Held(h) => panic!("completed campaign should hold no leases: {h:?}"),
-    };
-    std::mem::forget(guard);
-    std::fs::File::options()
-        .write(true)
-        .open(leases.path_for(cell))
-        .unwrap()
-        .set_modified(SystemTime::now() - Duration::from_secs(3600))
-        .unwrap();
+    for id in [band_lease_id("xsbench.small"), "spec.stack|llc_x1|lru".to_owned()] {
+        let guard = match leases.claim(&id, "crashed-late", Duration::from_secs(60)).unwrap() {
+            Claim::Acquired(g) => g,
+            Claim::Held(h) => panic!("completed campaign should hold no leases: {h:?}"),
+        };
+        std::mem::forget(guard);
+        std::fs::File::options()
+            .write(true)
+            .open(leases.path_for(&id))
+            .unwrap()
+            .set_modified(SystemTime::now() - Duration::from_secs(3600))
+            .unwrap();
+    }
 
     let st = status(&spec(), &shared).unwrap();
     assert_eq!((st.completed, st.leased, st.stale, st.unclaimed), (8, 0, 0, 0));
-    assert!(st.stale_leases.is_empty(), "lease on a completed cell must not be listed");
+    assert!(st.stale_leases.is_empty(), "leases on completed cells must not be listed");
     std::fs::remove_dir_all(&dir).unwrap();
 }
 

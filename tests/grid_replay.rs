@@ -1,0 +1,155 @@
+//! One-pass grid replay equivalence: `simulate_grid` /
+//! `simulate_grid_stream` must produce, for every cell of the grid, a
+//! `SimResult` indistinguishable from an independent per-cell replay —
+//! for arbitrary traces, any mix of policies and LLC scales, and *any*
+//! chunk size. Chunking is pure mechanics: cell results must not know
+//! how the stream was batched.
+
+use std::io::BufReader;
+use std::path::Path;
+
+use ccsim::prelude::*;
+use ccsim::trace::{write_trace, AccessKind, TraceReader, TraceRecord};
+use proptest::prelude::*;
+
+fn arb_record() -> impl Strategy<Value = TraceRecord> {
+    (0u64..1 << 40, 0u64..1 << 44, 1u8..=8, any::<bool>(), 0u16..2000).prop_map(
+        |(pc, vaddr, size, store, nonmem)| TraceRecord {
+            pc,
+            vaddr,
+            size,
+            kind: if store { AccessKind::Store } else { AccessKind::Load },
+            nonmem_before: nonmem,
+        },
+    )
+}
+
+fn arb_trace(max_len: usize) -> impl Strategy<Value = Trace> {
+    (proptest::collection::vec(arb_record(), 0..max_len), 0u64..1000)
+        .prop_map(|(records, trailing)| Trace::from_parts("prop", records, trailing))
+}
+
+/// A grid cell drawn from the full policy set and LLC scales 1/2/4.
+fn arb_cell() -> impl Strategy<Value = (SimConfig, PolicyKind)> {
+    (0usize..PolicyKind::ALL.len(), 0u32..3).prop_map(|(policy_idx, scale_log2)| {
+        (SimConfig::tiny().with_llc_scale(1 << scale_log2), PolicyKind::ALL[policy_idx])
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The lockstep driver equals per-cell replay cell for cell —
+    /// arbitrary traces, grids of 1..6 mixed cells, and chunk sizes from
+    /// 1 record up to far beyond the trace length (0 = default).
+    #[test]
+    fn grid_replay_equals_per_cell_replay(
+        trace in arb_trace(300),
+        cells in proptest::collection::vec(arb_cell(), 1..6),
+        chunk_sel in 0usize..64,
+    ) {
+        // 0 = the default chunk, 1 = record-at-a-time, 2 = far beyond
+        // the trace length; everything else is a small explicit chunk.
+        let chunk_records = match chunk_sel { 0 => 0, 1 => 1, 2 => 1 << 20, n => n };
+        let grid = simulate_grid(&trace, &cells, chunk_records);
+        prop_assert_eq!(grid.len(), cells.len());
+        for ((config, policy), result) in cells.iter().zip(&grid) {
+            let reference = simulate(&trace, config, *policy);
+            prop_assert_eq!(result, &reference);
+        }
+    }
+
+    /// The streaming front end (`TraceReader` → chunks) equals the
+    /// in-memory driver, so the campaign's file-backed one-pass path
+    /// inherits the equivalence.
+    #[test]
+    fn grid_stream_equals_grid_in_memory(
+        trace in arb_trace(200),
+        cells in proptest::collection::vec(arb_cell(), 1..5),
+        chunk_records in 0usize..48,
+    ) {
+        let mut bytes = Vec::new();
+        write_trace(&trace, &mut bytes).unwrap();
+        let reader = TraceReader::new(&bytes[..]).unwrap();
+        let streamed = simulate_grid_stream(reader, &cells, chunk_records).unwrap();
+        let in_memory = simulate_grid(&trace, &cells, chunk_records);
+        prop_assert_eq!(streamed, in_memory);
+    }
+
+    /// Duplicate cells in one grid stay independent: each copy's engine
+    /// must evolve exactly as if it ran alone.
+    #[test]
+    fn duplicated_cells_do_not_interfere(
+        trace in arb_trace(200),
+        cell in arb_cell(),
+    ) {
+        let cells = vec![cell, cell, cell];
+        let grid = simulate_grid(&trace, &cells, 7);
+        let reference = simulate(&trace, &cell.0, cell.1);
+        for result in &grid {
+            prop_assert_eq!(result, &reference);
+        }
+    }
+}
+
+/// Regression: one-pass grid replay of the pinned ingest golden fixture
+/// (a real converted ChampSim trace) on the full platform model matches
+/// per-cell replay bit for bit — across a policies × LLC-scales grid and
+/// three chunkings, streamed straight from the fixture file like a
+/// campaign cell would be.
+#[test]
+fn golden_ingest_fixture_grid_replays_identically() {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/ingest_golden_v1.cctr");
+    let bytes = std::fs::read(&path).unwrap();
+    let trace = ccsim::trace::read_trace(&bytes[..]).unwrap();
+    assert!(!trace.is_empty(), "golden fixture must carry records");
+
+    let mut cells: Vec<(SimConfig, PolicyKind)> = Vec::new();
+    for scale in [1u32, 4] {
+        let config = SimConfig::cascade_lake().with_llc_scale(scale);
+        for policy in [PolicyKind::Lru, PolicyKind::Ship, PolicyKind::Hawkeye, PolicyKind::Mpppb] {
+            cells.push((config, policy));
+        }
+    }
+    let reference: Vec<SimResult> =
+        cells.iter().map(|(config, policy)| simulate(&trace, config, *policy)).collect();
+
+    for chunk_records in [0usize, 1, 1000] {
+        let grid = simulate_grid(&trace, &cells, chunk_records);
+        assert_eq!(grid, reference, "in-memory grid diverged at chunk {chunk_records}");
+        let reader = TraceReader::new(BufReader::new(std::fs::File::open(&path).unwrap())).unwrap();
+        let streamed = simulate_grid_stream(reader, &cells, chunk_records).unwrap();
+        assert_eq!(streamed, reference, "streamed grid diverged at chunk {chunk_records}");
+    }
+
+    // The replay is real work, not a stub: the golden trace must reach
+    // the LLC. (The fixture is small enough that it never *evicts*, so
+    // scales and policies agree on it — the proptests above cover
+    // divergent grids.)
+    assert!(reference[0].llc.demand_misses > 0, "golden fixture never reached the LLC");
+}
+
+/// The `GridReplay` driver itself is reusable across explicit chunk
+/// feeding: stepping record slices by hand then finishing must equal the
+/// one-shot helpers (this is the API `ccsim-campaign` builds on).
+#[test]
+fn manual_chunk_feeding_matches_one_shot_helpers() {
+    let mut buf = TraceBuffer::new("manual");
+    for i in 0..5000u64 {
+        if i % 3 == 0 {
+            buf.store(0x400 + i % 13, 0x1000 + 64 * (i % 700), 8);
+        } else {
+            buf.load(0x400 + i % 13, 0x2000 + 64 * (i % 211), 8);
+        }
+    }
+    let trace = buf.finish();
+    let cells = vec![(SimConfig::tiny(), PolicyKind::Lru), (SimConfig::tiny(), PolicyKind::Drrip)];
+
+    let mut driver = GridReplay::new(&cells, 0);
+    assert_eq!(driver.cells(), 2);
+    for chunk in trace.records().chunks(333) {
+        driver.step_records(chunk);
+    }
+    let manual = driver.finish(trace.name(), trace.trailing_nonmem());
+    assert_eq!(manual, simulate_grid(&trace, &cells, 333));
+}
