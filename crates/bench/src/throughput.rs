@@ -34,7 +34,15 @@ use ccsim_trace::{Trace, TraceBuffer};
 use crate::alloc_track;
 
 /// Version of the `ccsim bench --json` output schema.
-pub const BENCH_SCHEMA_VERSION: u64 = 1;
+///
+/// v2 added `wall_clock_breakdown` (decode vs simulate vs report wall
+/// time from the `bench_*_ns` span timers) and `obs_overhead` (the
+/// telemetry hot-path overhead gate).
+pub const BENCH_SCHEMA_VERSION: u64 = 2;
+
+/// Maximum tolerated telemetry hot-path overhead, in percent, for the
+/// `obs_overhead` gate CI asserts on.
+pub const OBS_OVERHEAD_LIMIT_PCT: f64 = 3.0;
 
 /// Pattern name of the eviction-heavy microbench that perf gates track.
 pub const EVICTION_HEAVY_PATTERN: &str = "llc_thrash";
@@ -115,6 +123,43 @@ impl AllocCheck {
     }
 }
 
+/// Wall-clock split of one [`run_throughput`] invocation, measured by
+/// the `bench_decode_ns` / `bench_simulate_ns` / `bench_report_ns`
+/// span timers in the telemetry catalog.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WallClockBreakdown {
+    /// Synthesizing/decoding the benchmark traces.
+    pub decode_ns: u64,
+    /// The measured simulation matrix (warmup + timed repetitions).
+    pub simulate_ns: u64,
+    /// Allocation check and report assembly.
+    pub report_ns: u64,
+}
+
+/// The telemetry hot-path overhead gate: the eviction-heavy cell
+/// re-measured with the metric catalog disabled, then enabled.
+///
+/// Instrumentation is accounted at chunk/band granularity — never per
+/// record — so the two runs should be within noise of each other;
+/// [`OBS_OVERHEAD_LIMIT_PCT`] is the tolerated budget.
+#[derive(Debug, Clone, Copy)]
+pub struct ObsOverhead {
+    /// Best records/sec with telemetry disabled.
+    pub baseline_rps: f64,
+    /// Best records/sec with telemetry enabled.
+    pub enabled_rps: f64,
+    /// Throughput lost to telemetry, in percent (negative = noise in
+    /// the enabled run's favor).
+    pub overhead_pct: f64,
+}
+
+impl ObsOverhead {
+    /// Whether the overhead is within [`OBS_OVERHEAD_LIMIT_PCT`].
+    pub fn pass(&self) -> bool {
+        self.overhead_pct <= OBS_OVERHEAD_LIMIT_PCT
+    }
+}
+
 /// A full throughput report.
 #[derive(Debug, Clone)]
 pub struct BenchReport {
@@ -130,6 +175,10 @@ pub struct BenchReport {
     pub hot_path: &'static str,
     /// Steady-state allocation check outcome.
     pub alloc_check: AllocCheck,
+    /// Where the run's wall clock went.
+    pub wall_clock_breakdown: WallClockBreakdown,
+    /// Telemetry hot-path overhead gate.
+    pub obs_overhead: ObsOverhead,
     /// Measured cells, pattern-major in declaration order, policy-minor in
     /// option order.
     pub cells: Vec<BenchCell>,
@@ -230,25 +279,68 @@ pub fn steady_state_alloc_check() -> AllocCheck {
     }
 }
 
+/// Measures the telemetry overhead gate on the eviction-heavy pattern,
+/// previous enablement restored afterwards. Disabled/enabled reps are
+/// **interleaved** (off, on, off, on, …) so clock drift, thermal
+/// throttling and neighborly noise hit both states equally — two
+/// back-to-back blocks can disagree by several percent on a busy
+/// machine even with telemetry compiled out entirely. Best-of-reps per
+/// state then compares the least-perturbed run of each.
+fn measure_obs_overhead(trace: &Trace, config: &SimConfig, reps: u32) -> ObsOverhead {
+    let was_enabled = ccsim_obs::enabled();
+    let time_one = |enabled: bool| {
+        ccsim_obs::set_enabled(enabled);
+        let start = Instant::now();
+        std::hint::black_box(simulate(trace, config, PolicyKind::Lru));
+        trace.len() as f64 / start.elapsed().as_secs_f64().max(1e-9)
+    };
+    // One warmup pass per state.
+    time_one(false);
+    time_one(true);
+    let mut baseline_rps = 0.0f64;
+    let mut enabled_rps = 0.0f64;
+    for _ in 0..reps.max(5) {
+        baseline_rps = baseline_rps.max(time_one(false));
+        enabled_rps = enabled_rps.max(time_one(true));
+    }
+    ccsim_obs::set_enabled(was_enabled);
+    ObsOverhead {
+        baseline_rps,
+        enabled_rps,
+        overhead_pct: 100.0 * (1.0 - enabled_rps / baseline_rps.max(1e-9)),
+    }
+}
+
 /// Runs the full throughput matrix.
 pub fn run_throughput(options: &ThroughputOptions) -> BenchReport {
     let config = SimConfig::cascade_lake();
+    let m = ccsim_obs::metrics();
+    let decode_span = m.bench_decode_ns.span();
     let traces = bench_traces(options.quick);
+    let decode_ns = decode_span.stop();
+    let simulate_span = m.bench_simulate_ns.span();
     let mut cells = Vec::new();
     for (pattern, trace) in &traces {
         for &policy in &options.policies {
             cells.push(measure_cell(pattern, trace, policy, &config, options.warmup, options.reps));
         }
     }
-    BenchReport {
+    let obs_overhead = measure_obs_overhead(&traces[0].1, &config, options.reps);
+    let simulate_ns = simulate_span.stop();
+    let report_span = m.bench_report_ns.span();
+    let mut report = BenchReport {
         platform: config.to_string(),
         quick: options.quick,
         warmup: options.warmup,
         reps: options.reps,
         hot_path: ccsim_core::HOT_PATH,
         alloc_check: steady_state_alloc_check(),
+        wall_clock_breakdown: WallClockBreakdown { decode_ns, simulate_ns, report_ns: 0 },
+        obs_overhead,
         cells,
-    }
+    };
+    report.wall_clock_breakdown.report_ns = report_span.stop();
+    report
 }
 
 impl BenchReport {
@@ -282,6 +374,18 @@ impl BenchReport {
                 ])
             })
             .collect();
+        let wall = Json::obj(vec![
+            ("decode_ns", Json::int(self.wall_clock_breakdown.decode_ns)),
+            ("simulate_ns", Json::int(self.wall_clock_breakdown.simulate_ns)),
+            ("report_ns", Json::int(self.wall_clock_breakdown.report_ns)),
+        ]);
+        let obs = Json::obj(vec![
+            ("baseline_rps", Json::num(self.obs_overhead.baseline_rps)),
+            ("enabled_rps", Json::num(self.obs_overhead.enabled_rps)),
+            ("overhead_pct", Json::num(self.obs_overhead.overhead_pct)),
+            ("limit_pct", Json::num(OBS_OVERHEAD_LIMIT_PCT)),
+            ("status", Json::str(if self.obs_overhead.pass() { "pass" } else { "fail" })),
+        ]);
         Json::obj(vec![
             ("ccsim_bench", Json::int(BENCH_SCHEMA_VERSION)),
             ("platform", Json::str(&self.platform)),
@@ -290,6 +394,8 @@ impl BenchReport {
             ("reps", Json::int(self.reps as u64)),
             ("hot_path", Json::str(self.hot_path)),
             ("alloc_check", alloc),
+            ("wall_clock_breakdown", wall),
+            ("obs_overhead", obs),
             ("cells", Json::Arr(cells)),
         ])
     }
@@ -343,6 +449,12 @@ mod tests {
             reps: 3,
             hot_path: ccsim_core::HOT_PATH,
             alloc_check: AllocCheck::Pass,
+            wall_clock_breakdown: WallClockBreakdown {
+                decode_ns: 100,
+                simulate_ns: 900,
+                report_ns: 50,
+            },
+            obs_overhead: ObsOverhead { baseline_rps: 100.0, enabled_rps: 99.0, overhead_pct: 1.0 },
             cells: vec![BenchCell {
                 pattern: "llc_thrash",
                 policy: PolicyKind::Lru,
@@ -353,8 +465,21 @@ mod tests {
             }],
         };
         let json = report.to_json().to_string();
-        assert!(json.starts_with(r#"{"ccsim_bench":1,"#), "{json}");
+        assert!(json.starts_with(r#"{"ccsim_bench":2,"#), "{json}");
         assert!(json.contains(r#""alloc_check":{"status":"pass","allocs_per_record":0}"#));
+        assert!(json.contains(r#""wall_clock_breakdown":{"decode_ns":100,"#), "{json}");
+        assert!(json.contains(r#""overhead_pct":1,"limit_pct":3,"status":"pass""#), "{json}");
         assert!(json.contains(r#""pattern":"llc_thrash""#));
+    }
+
+    #[test]
+    fn obs_overhead_gate_passes_and_fails_on_the_limit() {
+        let ok = ObsOverhead { baseline_rps: 100.0, enabled_rps: 98.0, overhead_pct: 2.0 };
+        assert!(ok.pass());
+        let bad = ObsOverhead { baseline_rps: 100.0, enabled_rps: 90.0, overhead_pct: 10.0 };
+        assert!(!bad.pass());
+        // Noise in the enabled run's favor is a pass, not an error.
+        let lucky = ObsOverhead { baseline_rps: 100.0, enabled_rps: 101.0, overhead_pct: -1.0 };
+        assert!(lucky.pass());
     }
 }

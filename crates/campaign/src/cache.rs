@@ -90,11 +90,13 @@ impl TraceCache {
         seed: u64,
         generate: impl FnOnce() -> Result<Trace, String>,
     ) -> Result<Trace, String> {
+        let _span = ccsim_obs::metrics().cache_ensure_ns.span();
         let path = self.path_for(workload, scale, seed);
         if let Ok(file) = File::open(&path) {
             match read_trace(BufReader::new(file)) {
                 Ok(trace) if trace.name() == workload => {
                     self.hits.fetch_add(1, Ordering::Relaxed);
+                    ccsim_obs::metrics().cache_hits.inc();
                     return Ok(trace);
                 }
                 _ => {
@@ -103,6 +105,7 @@ impl TraceCache {
             }
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
+        ccsim_obs::metrics().cache_misses.inc();
         let trace = generate()?;
         let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
         let write = || -> std::io::Result<()> {
@@ -157,6 +160,7 @@ impl TraceCache {
     /// Returns a message on unreadable sources, undetectable formats,
     /// corrupt source records (strict mode) and cache I/O failures.
     pub fn ensure_ingested(&self, source: &Path, opts: &IngestOptions) -> Result<PathBuf, String> {
+        let _span = ccsim_obs::metrics().cache_ensure_ns.span();
         let path = self.path_for_ingested(source, opts)?;
         let entry_matches = || -> bool {
             let Some(header) = valid_entry_header(&path) else {
@@ -184,9 +188,11 @@ impl TraceCache {
         };
         if entry_matches() {
             self.hits.fetch_add(1, Ordering::Relaxed);
+            ccsim_obs::metrics().cache_hits.inc();
             return Ok(path);
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
+        ccsim_obs::metrics().cache_misses.inc();
         let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
         let convert = || -> Result<(), String> {
             ingest_file(source, &tmp, opts)

@@ -204,6 +204,22 @@ fn acquire_trace(
     Ok(AcquiredTrace(Acquired::InMemory(trace)))
 }
 
+/// Accounts one simulated workload band in the global metric catalog:
+/// band/cell/record counters, the band wall-clock histogram, and the
+/// per-cell wall estimate (band ÷ cells). Shared by [`Campaign::run`]
+/// and the distributed worker loop so solo and dist runs manifest the
+/// same metrics.
+pub fn record_band_metrics(cells: u64, records_simulated: u64, band_ns: u64) {
+    let m = ccsim_obs::metrics();
+    m.campaign_bands.inc();
+    m.campaign_cells.add(cells);
+    m.campaign_records.add(records_simulated);
+    m.campaign_band_sim_ns.record(band_ns);
+    if let Some(per_cell) = band_ns.checked_div(cells) {
+        m.campaign_cell_sim_ns.record(per_cell);
+    }
+}
+
 /// A configured, runnable campaign.
 ///
 /// Traces are acquired per workload (via the [`TraceCache`] when one is
@@ -234,6 +250,7 @@ pub struct Campaign {
     threads: usize,
     cache: Option<TraceCache>,
     journal_path: Option<PathBuf>,
+    obs_dir: Option<PathBuf>,
     leases: std::collections::BTreeMap<String, LeaseView>,
     extra_completed: std::collections::BTreeSet<String>,
     verbose: bool,
@@ -414,6 +431,7 @@ impl Campaign {
             threads: 1,
             cache: None,
             journal_path: None,
+            obs_dir: None,
             leases: Default::default(),
             extra_completed: Default::default(),
             verbose: false,
@@ -442,6 +460,15 @@ impl Campaign {
     /// the same spec is resumed.
     pub fn journal(mut self, path: impl Into<PathBuf>) -> Campaign {
         self.journal_path = Some(path.into());
+        self
+    }
+
+    /// Writes run telemetry into `dir`: a `run.obs.jsonl` event log and
+    /// an end-of-run `manifest.json` (schema
+    /// [`ccsim_obs::OBS_SCHEMA_VERSION`]), the same documents
+    /// distributed workers publish per worker into the shared dir.
+    pub fn obs_dir(mut self, dir: impl Into<PathBuf>) -> Campaign {
+        self.obs_dir = Some(dir.into());
         self
     }
 
@@ -657,6 +684,29 @@ impl Campaign {
             ),
             None => None,
         };
+        let mut obs = match &self.obs_dir {
+            Some(dir) => {
+                let meta = ccsim_obs::RunMeta {
+                    campaign: self.spec.name.clone(),
+                    spec_digest: self.spec.digest(),
+                    worker: ccsim_obs::SOLO_WORKER.to_owned(),
+                };
+                Some(
+                    ccsim_obs::RunObs::begin(dir, meta, "run.obs.jsonl", "manifest.json")
+                        .map_err(|e| format!("opening obs sink in {}: {e}", dir.display()))?,
+                )
+            }
+            None => None,
+        };
+        if let Some(o) = obs.as_mut() {
+            o.event(
+                "run_start",
+                &[
+                    ("cells_total", ccsim_obs::Field::U64(grid.cells.len() as u64)),
+                    ("workloads", ccsim_obs::Field::U64(grid.workloads.len() as u64)),
+                ],
+            );
+        }
 
         let mut completed: std::collections::BTreeMap<String, SimResult> =
             journal.as_ref().map(|j| j.completed().clone()).unwrap_or_default();
@@ -668,9 +718,19 @@ impl Campaign {
             cells_resumed += cells.len() - pending.len();
 
             if !pending.is_empty() {
+                if let Some(o) = obs.as_mut() {
+                    o.event(
+                        "band_start",
+                        &[
+                            ("workload", ccsim_obs::Field::Str(workload)),
+                            ("cells", ccsim_obs::Field::U64(pending.len() as u64)),
+                        ],
+                    );
+                }
                 // Acquire the trace only when at least one cell needs it:
                 // a fully-journaled workload costs no generation at all.
                 let trace = self.acquire(workload)?;
+                let band_start = std::time::Instant::now();
                 let results: Vec<Result<SimResult, String>> = if self.per_cell {
                     run_jobs(pending.len(), self.threads, |i| {
                         let cell = pending[i];
@@ -683,6 +743,23 @@ impl Campaign {
                         .collect();
                     trace.simulate_cells(&band, self.threads)?.into_iter().map(Ok).collect()
                 };
+                let band_ns = band_start.elapsed().as_nanos() as u64;
+                let records_simulated = trace.records() * pending.len() as u64;
+                record_band_metrics(pending.len() as u64, records_simulated, band_ns);
+                if let Some(o) = obs.as_mut() {
+                    o.add_band(pending.len() as u64, records_simulated, band_ns);
+                    o.event(
+                        "band_done",
+                        &[
+                            ("workload", ccsim_obs::Field::Str(workload)),
+                            ("cells", ccsim_obs::Field::U64(pending.len() as u64)),
+                            ("trace_records", ccsim_obs::Field::U64(trace.records())),
+                            ("sim_ns", ccsim_obs::Field::U64(band_ns)),
+                            ("streamed", ccsim_obs::Field::Bool(trace.is_streamed())),
+                        ],
+                    );
+                    let _ = o.write_manifest();
+                }
                 if self.verbose {
                     let passes = if self.per_cell {
                         pending.len()
@@ -707,16 +784,33 @@ impl Campaign {
                     }
                     completed.insert(cell.id.clone(), result);
                 }
-            } else if self.verbose {
-                eprintln!(
-                    "[{}/{}] {:<16} resumed from journal",
-                    wi + 1,
-                    grid.workloads.len(),
-                    workload
-                );
+            } else {
+                if let Some(o) = obs.as_mut() {
+                    o.event(
+                        "band_resumed",
+                        &[
+                            ("workload", ccsim_obs::Field::Str(workload)),
+                            ("cells", ccsim_obs::Field::U64(cells.len() as u64)),
+                        ],
+                    );
+                }
+                if self.verbose {
+                    eprintln!(
+                        "[{}/{}] {:<16} resumed from journal",
+                        wi + 1,
+                        grid.workloads.len(),
+                        workload
+                    );
+                }
             }
         }
 
+        ccsim_obs::metrics().campaign_runs.inc();
+        if let Some(o) = obs.take() {
+            // Best-effort: a failed manifest write must not fail the
+            // campaign the telemetry merely observes.
+            let _ = o.finish();
+        }
         let cells_total = grid.cells.len();
         Ok(CampaignOutcome {
             report: self.report_from_completed(&completed)?,

@@ -29,12 +29,16 @@ USAGE:
     ccsim campaign <spec.json> [--threads <n>] [--out <dir>]
               [--cache-dir <dir>] [--no-cache] [--fresh] [--json] [--quiet]
               [--dry-run] [--shared-dir <dir>] [--per-cell]
+              [--metrics-out <file>]
     ccsim campaign worker <spec.json> --shared-dir <dir>
               [--worker-id <id>] [--ttl-secs <n>] [--threads <n>]
               [--backoff-ms <n>] [--max-cells <n>] [--quiet]
+              [--metrics-out <file>]
     ccsim campaign assemble <spec.json> --shared-dir <dir> [--out <dir>]
               [--json] [--quiet]
     ccsim campaign status <spec.json> --shared-dir <dir>
+    ccsim campaign watch <spec.json> --shared-dir <dir>
+              [--interval-ms <n>] [--once] [--json]
     ccsim report-diff <a/report.json> <b/report.json> [--threshold <mpki>]
               [--json]
     ccsim bench [--quick] [--json] [--out <file>] [--policy <name>]...
@@ -83,6 +87,20 @@ byte-identical to a single-process run (failing loudly on incomplete
 grids or conflicting results); `campaign status` shows per-worker
 progress, live claims and stale leases. See the Distributed-campaigns
 runbook in PAPER.md.
+
+Observability: every campaign run and worker writes a JSONL telemetry
+event log plus an atomically-rewritten manifest (run.obs.jsonl /
+manifest.json in the output dir, obs.<id>.jsonl / manifest.<id>.json
+in the shared dir) with a pinned schema (\"ccsim_obs\": 1);
+`--metrics-out <file>` additionally dumps the process-wide metric
+catalog as Prometheus-style text exposition on exit. `campaign watch`
+polls a shared dir and renders a live dashboard — completed / leased /
+stale cells per worker, records/sec, mean cell time and ETA from the
+manifests' completed-cell timings; `--once` prints one frame and
+exits, `--json` emits a machine document (byte-identical across polls
+of an unchanged directory). Watch polling is incremental: completed
+journal segments are never re-read. See the Observability runbook in
+PAPER.md.
 
 `report-diff` compares two report.json files over the same grid and
 prints per-cell LLC MPKI / miss-ratio / IPC deltas; it exits non-zero
@@ -499,11 +517,12 @@ pub fn campaign(args: &[String]) -> Result<(), String> {
         Some("worker") => return campaign_worker(&args[1..]),
         Some("assemble") => return campaign_assemble(&args[1..]),
         Some("status") => return campaign_status(&args[1..]),
+        Some("watch") => return campaign_watch(&args[1..]),
         _ => {}
     }
     let positional = positionals(
         args,
-        &["--threads", "--out", "--cache-dir", "--shared-dir"],
+        &["--threads", "--out", "--cache-dir", "--shared-dir", "--metrics-out"],
         &["--no-cache", "--fresh", "--json", "--quiet", "--dry-run", "--per-cell"],
     )?;
     let [spec_path] = positional[..] else {
@@ -603,6 +622,7 @@ pub fn campaign(args: &[String]) -> Result<(), String> {
         .threads(threads)
         .journal(&journal_path)
         .verbose(!quiet)
+        .obs_dir(&out_dir)
         .per_cell(args.iter().any(|a| a == "--per-cell"));
     if !args.iter().any(|a| a == "--no-cache") {
         let cache = TraceCache::new(&cache_dir)
@@ -611,6 +631,7 @@ pub fn campaign(args: &[String]) -> Result<(), String> {
     }
     let name = campaign.spec().name.clone();
     let outcome = campaign.run()?;
+    write_metrics_out(args)?;
 
     let report_json = out_dir.join("report.json");
     let report_csv = out_dir.join("report.csv");
@@ -631,6 +652,17 @@ pub fn campaign(args: &[String]) -> Result<(), String> {
         outcome.cells_total, outcome.cells_resumed, outcome.cache_hits, outcome.cache_misses
     );
     println!("report: {} and {}", report_json.display(), report_csv.display());
+    Ok(())
+}
+
+/// Honors `--metrics-out <file>`: dumps the process-wide metric catalog
+/// as Prometheus-style text exposition. Run *after* the instrumented
+/// work so the dump reflects it.
+fn write_metrics_out(args: &[String]) -> Result<(), String> {
+    if let Some(path) = parse_flag_value::<PathBuf>(args, "--metrics-out")? {
+        ccsim_obs::write_exposition(&path)
+            .map_err(|e| format!("writing {}: {e}", path.display()))?;
+    }
     Ok(())
 }
 
@@ -658,7 +690,15 @@ fn dist_spec_and_shared_dir(
 fn campaign_worker(args: &[String]) -> Result<(), String> {
     let (spec, shared) = dist_spec_and_shared_dir(
         args,
-        &["--shared-dir", "--worker-id", "--ttl-secs", "--threads", "--backoff-ms", "--max-cells"],
+        &[
+            "--shared-dir",
+            "--worker-id",
+            "--ttl-secs",
+            "--threads",
+            "--backoff-ms",
+            "--max-cells",
+            "--metrics-out",
+        ],
         &["--quiet"],
         "worker",
     )?;
@@ -683,6 +723,7 @@ fn campaign_worker(args: &[String]) -> Result<(), String> {
     opts.verbose = !args.iter().any(|a| a == "--quiet");
     let worker_id = ccsim_dist::sanitize_worker_id(&opts.worker_id);
     let outcome = ccsim_dist::run_worker(&spec, &shared, &opts)?;
+    write_metrics_out(args)?;
     println!(
         "worker {worker_id}: {} cell(s) completed ({} reclaimed from stale leases), \
          {} backoff(s), campaign {}",
@@ -741,6 +782,41 @@ fn campaign_status(args: &[String]) -> Result<(), String> {
     let status = ccsim_dist::status(&spec, &shared)?;
     println!("{}", status.render());
     Ok(())
+}
+
+/// `ccsim campaign watch <spec.json> --shared-dir <dir>
+/// [--interval-ms N] [--once] [--json]`
+fn campaign_watch(args: &[String]) -> Result<(), String> {
+    let (spec, shared) = dist_spec_and_shared_dir(
+        args,
+        &["--shared-dir", "--interval-ms"],
+        &["--once", "--json"],
+        "watch",
+    )?;
+    let interval = std::time::Duration::from_millis(
+        parse_flag_value::<u64>(args, "--interval-ms")?.unwrap_or(1000).max(50),
+    );
+    let once = args.iter().any(|a| a == "--once");
+    let json = args.iter().any(|a| a == "--json");
+    // One watcher for the whole loop: its merge cursor makes each poll
+    // read only journal bytes appended since the previous poll.
+    let mut watcher = ccsim_dist::Watcher::new();
+    loop {
+        let view = watcher.poll(&spec, &shared)?;
+        if json {
+            print!("{}", view.to_json());
+        } else {
+            println!("{}", view.render());
+        }
+        if once {
+            return Ok(());
+        }
+        if view.done() {
+            println!("campaign complete");
+            return Ok(());
+        }
+        std::thread::sleep(interval);
+    }
 }
 
 /// `ccsim workloads`

@@ -98,13 +98,17 @@ impl GridReplay {
     }
 
     /// Advances every cell through `records`, in order — one lockstep
-    /// chunk. Allocation-free in the steady state.
+    /// chunk. Allocation-free in the steady state (the chunk counters
+    /// are pre-registered sharded atomics).
     pub fn step_records(&mut self, records: &[TraceRecord]) {
         for engine in &mut self.engines {
             for rec in records {
                 engine.step(rec);
             }
         }
+        let m = ccsim_obs::metrics();
+        m.grid_chunks.inc();
+        m.grid_records.add((records.len() * self.engines.len()) as u64);
     }
 
     /// Replays an in-memory trace through every cell, chunked.
@@ -147,6 +151,9 @@ impl GridReplay {
                     engine.step(rec);
                 }
             }
+            let m = ccsim_obs::metrics();
+            m.grid_chunks.inc();
+            m.grid_records.add((self.chunk.len() * self.engines.len()) as u64);
             if self.chunk.len() < self.chunk_records {
                 return Ok(()); // short chunk: the stream is exhausted
             }
@@ -155,6 +162,7 @@ impl GridReplay {
 
     /// Finishes every cell into its [`SimResult`], in cell order.
     pub fn finish(self, workload: &str, trailing_nonmem: u64) -> Vec<SimResult> {
+        ccsim_obs::metrics().grid_cells.add(self.engines.len() as u64);
         self.engines
             .into_iter()
             .zip(self.policies)

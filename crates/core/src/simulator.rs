@@ -157,12 +157,20 @@ pub fn simulate_stream<R: Read>(
     config: &SimConfig,
     llc_policy: PolicyKind,
 ) -> Result<SimResult, DecodeTraceError> {
+    let span = ccsim_obs::metrics().sim_wall_ns.span();
     let mut engine = Engine::new(config, llc_policy, false);
+    let mut records = 0u64;
     while let Some(rec) = reader.next_record()? {
         engine.step(&rec);
+        records += 1;
     }
     let header = reader.header();
-    Ok(engine.finish(&header.name, header.trailing_nonmem, llc_policy).0)
+    let result = engine.finish(&header.name, header.trailing_nonmem, llc_policy).0;
+    let m = ccsim_obs::metrics();
+    m.sim_runs.inc();
+    m.sim_records.add(records);
+    span.stop();
+    Ok(result)
 }
 
 fn run(
@@ -171,11 +179,17 @@ fn run(
     llc_policy: PolicyKind,
     log_llc: bool,
 ) -> (SimResult, Option<Vec<(u32, u64)>>) {
+    let span = ccsim_obs::metrics().sim_wall_ns.span();
     let mut engine = Engine::new(config, llc_policy, log_llc);
     for rec in trace {
         engine.step(rec);
     }
-    engine.finish(trace.name(), trace.trailing_nonmem(), llc_policy)
+    let out = engine.finish(trace.name(), trace.trailing_nonmem(), llc_policy);
+    let m = ccsim_obs::metrics();
+    m.sim_runs.inc();
+    m.sim_records.add(trace.len() as u64);
+    span.stop();
+    out
 }
 
 #[cfg(test)]

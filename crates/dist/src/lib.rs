@@ -28,7 +28,12 @@
 //!   same byte-identical report a single-process run produces, failing
 //!   loudly on conflicts or an unfinished grid;
 //! * [`status`] — a read-only progress snapshot: per-worker
-//!   contributions, live claims, stale leases.
+//!   contributions, live claims, stale leases;
+//! * [`watch`] — the polling dashboard behind `ccsim campaign watch`:
+//!   [`status`] joined with every worker's telemetry manifest
+//!   (throughput, cell timings, ETA), incremental via a journal
+//!   [`ccsim_campaign::MergeCursor`] so polls never re-read completed
+//!   segments.
 //!
 //! The shared trace cache (`trace-cache/`) is content-addressed
 //! (digest-keyed filenames, tmp-file + atomic-rename writes), so workers
@@ -42,6 +47,9 @@
 //!   leases/<id>-<hash>.lease     live claims, band or per-cell
 //!                                (TTL'd, crash-healing)
 //!   journal.<worker>.jsonl       one append-only segment per worker
+//!   obs.<worker>.jsonl           per-worker telemetry event log
+//!   manifest.<worker>.json       per-worker telemetry manifest
+//!                                (rewritten atomically after each band)
 //!   trace-cache/*.cctr           content-addressed shared traces
 //! ```
 //!
@@ -69,13 +77,15 @@
 pub mod assemble;
 pub mod lease;
 pub mod status;
+pub mod watch;
 pub mod worker;
 
 pub use assemble::{assemble, AssembleOutcome};
 pub use lease::{
     band_lease_id, band_workload, cell_lease_views, Claim, Lease, LeaseDir, LeaseGuard,
 };
-pub use status::{status, DistStatus, WorkerStatus};
+pub use status::{status, status_with_cursor, DistStatus, WorkerStatus};
+pub use watch::{WatchView, WatchWorker, Watcher, WorkerManifest};
 pub use worker::{default_worker_id, run_worker, sanitize_worker_id, WorkerOptions, WorkerOutcome};
 
 use std::path::{Path, PathBuf};

@@ -1,0 +1,318 @@
+//! Live campaign dashboard: merge [`DistStatus`] with every worker's
+//! telemetry manifest.
+//!
+//! `ccsim campaign watch` polls this. Each poll is read-only and cheap:
+//! journals are merged through a persistent [`MergeCursor`] (completed
+//! segments are never re-read), lease files are `stat`ed, and the
+//! per-worker `manifest.<worker>.json` documents written by
+//! [`crate::run_worker`] (or `manifest.json` for a single-process run)
+//! are parsed for throughput and timing.
+//!
+//! Determinism contract: a [`WatchView`] — including its
+//! [`WatchView::to_json`] document — is a pure function of the shared
+//! directory's contents. No wall-clock reading enters the view;
+//! throughput and ETA derive solely from the manifests'
+//! `records_simulated` / `sim_wall_ns` accounting. Polling an unchanged
+//! directory therefore yields byte-identical JSON, which is what
+//! `tests/obs.rs` pins and what makes `watch --once --json` usable in
+//! scripts.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+use ccsim_campaign::{CampaignSpec, Json, MergeCursor};
+use ccsim_core::experiment::Table;
+use ccsim_obs::json::JsonObj;
+use ccsim_obs::OBS_SCHEMA_VERSION;
+
+use crate::status::{status_with_cursor, DistStatus};
+
+/// Throughput and timing a worker reported in its telemetry manifest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WorkerManifest {
+    /// Cells the worker simulated this run.
+    pub cells_done: u64,
+    /// Workload bands the worker completed this run.
+    pub bands_done: u64,
+    /// Engine-records advanced (trace records × cells per band).
+    pub records_simulated: u64,
+    /// Simulation wall-clock the worker spent, in nanoseconds.
+    pub sim_wall_ns: u64,
+}
+
+/// One worker row of the dashboard: journal + lease facts from
+/// [`DistStatus`] joined with the worker's own manifest (when present).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WatchWorker {
+    /// Worker id (`(solo)` for a single-process run).
+    pub worker: String,
+    /// Cells journaled by this worker (authoritative, from the merge).
+    pub completed: usize,
+    /// Lease files this worker currently holds.
+    pub claims: usize,
+    /// The worker's telemetry manifest; `None` when it has not written
+    /// one (pre-telemetry runs, or a crash before the first band).
+    pub manifest: Option<WorkerManifest>,
+}
+
+impl WatchWorker {
+    /// Records per second over this worker's own simulation wall-clock
+    /// (0 when no manifest or no time accrued yet).
+    pub fn records_per_sec(&self) -> u64 {
+        let m = self.manifest.unwrap_or_default();
+        per_sec(m.records_simulated, m.sim_wall_ns)
+    }
+}
+
+/// One poll of the dashboard: campaign progress plus per-worker and
+/// aggregate throughput.
+#[derive(Debug)]
+pub struct WatchView {
+    /// Grid progress and lease occupancy.
+    pub status: DistStatus,
+    /// Per-worker rows, sorted by worker id.
+    pub workers: Vec<WatchWorker>,
+}
+
+/// Polls a shared campaign directory, carrying a journal merge cursor
+/// between polls so each [`Watcher::poll`] reads only what changed.
+#[derive(Debug, Default)]
+pub struct Watcher {
+    cursor: MergeCursor,
+}
+
+fn per_sec(records: u64, ns: u64) -> u64 {
+    if ns == 0 {
+        0
+    } else {
+        ((records as u128 * 1_000_000_000) / ns as u128) as u64
+    }
+}
+
+impl Watcher {
+    /// A fresh watcher with a cold merge cursor.
+    pub fn new() -> Watcher {
+        Watcher::default()
+    }
+
+    /// Collects one view of `spec` under `shared_dir`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on invalid specs or conflicting journal
+    /// segments. Unparsable or foreign manifest files are skipped, not
+    /// errors — a watcher must tolerate mid-write and mixed-version
+    /// directories.
+    pub fn poll(&mut self, spec: &CampaignSpec, shared_dir: &Path) -> Result<WatchView, String> {
+        let status = status_with_cursor(spec, shared_dir, &mut self.cursor)?;
+        let manifests = read_manifests(shared_dir, &spec.name, &spec.digest());
+
+        // Join on worker id: status rows first (journal + leases are the
+        // authority on progress), then any manifest-only workers (e.g. a
+        // worker that died before journaling its first cell).
+        let mut workers: BTreeMap<String, WatchWorker> = BTreeMap::new();
+        for w in &status.workers {
+            workers.insert(
+                w.worker.clone(),
+                WatchWorker {
+                    worker: w.worker.clone(),
+                    completed: w.completed,
+                    claims: w.claims,
+                    manifest: manifests.get(&w.worker).copied(),
+                },
+            );
+        }
+        for (worker, manifest) in &manifests {
+            workers.entry(worker.clone()).or_insert(WatchWorker {
+                worker: worker.clone(),
+                completed: 0,
+                claims: 0,
+                manifest: Some(*manifest),
+            });
+        }
+        Ok(WatchView { status, workers: workers.into_values().collect() })
+    }
+}
+
+/// Parses every `manifest.json` / `manifest.<worker>.json` under `dir`
+/// that matches this campaign and spec digest, keyed by worker id.
+fn read_manifests(
+    dir: &Path,
+    campaign: &str,
+    spec_digest: &str,
+) -> BTreeMap<String, WorkerManifest> {
+    let mut out = BTreeMap::new();
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return out;
+    };
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if !(name == "manifest.json" || (name.starts_with("manifest.") && name.ends_with(".json")))
+        {
+            continue;
+        }
+        let Ok(text) = std::fs::read_to_string(entry.path()) else { continue };
+        let Ok(doc) = Json::parse(&text) else { continue };
+        let matches = doc.get("ccsim_obs").and_then(Json::as_u64) == Some(OBS_SCHEMA_VERSION)
+            && doc.get("kind").and_then(Json::as_str) == Some("manifest")
+            && doc.get("campaign").and_then(Json::as_str) == Some(campaign)
+            && doc.get("spec").and_then(Json::as_str) == Some(spec_digest);
+        if !matches {
+            continue;
+        }
+        let Some(worker) = doc.get("worker").and_then(Json::as_str) else { continue };
+        let field = |k: &str| doc.get(k).and_then(Json::as_u64).unwrap_or(0);
+        out.insert(
+            worker.to_owned(),
+            WorkerManifest {
+                cells_done: field("cells_done"),
+                bands_done: field("bands_done"),
+                records_simulated: field("records_simulated"),
+                sim_wall_ns: field("sim_wall_ns"),
+            },
+        );
+    }
+    out
+}
+
+impl WatchView {
+    /// Whether the whole grid is journaled — the watch loop's exit
+    /// condition.
+    pub fn done(&self) -> bool {
+        self.status.completed >= self.status.cells_total
+    }
+
+    /// Engine-records simulated across all worker manifests.
+    pub fn records_simulated(&self) -> u64 {
+        self.workers.iter().map(|w| w.manifest.unwrap_or_default().records_simulated).sum()
+    }
+
+    /// Simulation wall-clock summed across all worker manifests, in
+    /// nanoseconds.
+    pub fn sim_wall_ns(&self) -> u64 {
+        self.workers.iter().map(|w| w.manifest.unwrap_or_default().sim_wall_ns).sum()
+    }
+
+    /// Aggregate records per second over the summed simulation
+    /// wall-clock of all workers.
+    pub fn records_per_sec(&self) -> u64 {
+        per_sec(self.records_simulated(), self.sim_wall_ns())
+    }
+
+    /// Mean simulation wall-clock per completed cell, in nanoseconds
+    /// (from the manifests' completed-cell timings; 0 until a band
+    /// lands).
+    pub fn mean_cell_sim_ns(&self) -> u64 {
+        let cells: u64 =
+            self.workers.iter().map(|w| w.manifest.unwrap_or_default().cells_done).sum();
+        self.sim_wall_ns().checked_div(cells).unwrap_or(0)
+    }
+
+    /// Estimated seconds of simulation left: pending cells × mean cell
+    /// time, assuming one simulation stream (divide by your worker count
+    /// for fleet ETA). Rounded **up**, so a nonzero backlog with a known
+    /// cell timing never reads as "0 s"; 0 until a completed cell
+    /// provides a timing (and once the grid is drained).
+    pub fn eta_seconds(&self) -> u64 {
+        let remaining = (self.status.cells_total - self.status.completed) as u64;
+        (remaining as u128 * self.mean_cell_sim_ns() as u128).div_ceil(1_000_000_000) as u64
+    }
+
+    /// The machine-readable dashboard document (`watch --once --json`):
+    /// byte-identical across polls of an unchanged directory.
+    pub fn to_json(&self) -> String {
+        let s = &self.status;
+        let mut cells = JsonObj::new();
+        cells
+            .u64("total", s.cells_total as u64)
+            .u64("completed", s.completed as u64)
+            .u64("leased", s.leased as u64)
+            .u64("stale", s.stale as u64)
+            .u64("unclaimed", s.unclaimed as u64)
+            .u64("duplicates", s.duplicates as u64);
+        let mut workers = String::from("[");
+        for (i, w) in self.workers.iter().enumerate() {
+            if i > 0 {
+                workers.push_str(", ");
+            }
+            let m = w.manifest.unwrap_or_default();
+            let mut row = JsonObj::new();
+            row.str("worker", &w.worker)
+                .u64("completed", w.completed as u64)
+                .u64("claims", w.claims as u64)
+                .bool("manifest", w.manifest.is_some())
+                .u64("cells_done", m.cells_done)
+                .u64("bands_done", m.bands_done)
+                .u64("records_simulated", m.records_simulated)
+                .u64("sim_wall_ns", m.sim_wall_ns)
+                .u64("records_per_sec", w.records_per_sec());
+            workers.push_str(&row.finish());
+        }
+        workers.push(']');
+        let mut aggregate = JsonObj::new();
+        aggregate
+            .u64("records_simulated", self.records_simulated())
+            .u64("sim_wall_ns", self.sim_wall_ns())
+            .u64("records_per_sec", self.records_per_sec())
+            .u64("mean_cell_sim_ns", self.mean_cell_sim_ns())
+            .u64("eta_seconds", self.eta_seconds());
+        let mut doc = JsonObj::new();
+        doc.u64("ccsim_obs", OBS_SCHEMA_VERSION)
+            .str("kind", "watch")
+            .str("campaign", &s.campaign)
+            .bool("done", self.done())
+            .raw("cells", &cells.finish())
+            .raw("workers", &workers)
+            .raw("aggregate", &aggregate.finish());
+        let mut out = doc.finish();
+        out.push('\n');
+        out
+    }
+
+    /// The human-readable dashboard frame the polling loop prints.
+    pub fn render(&self) -> String {
+        let s = &self.status;
+        let mut out = format!(
+            "campaign {}: {}/{} cells — {} leased, {} stale, {} unclaimed",
+            s.campaign, s.completed, s.cells_total, s.leased, s.stale, s.unclaimed
+        );
+        if s.duplicates > 0 {
+            out.push_str(&format!(" ({} duplicates)", s.duplicates));
+        }
+        let mut t = Table::new(
+            ["worker", "completed", "claims", "cells_done", "records", "rec/s"]
+                .iter()
+                .map(|h| (*h).to_owned())
+                .collect(),
+        );
+        for w in &self.workers {
+            let m = w.manifest.unwrap_or_default();
+            t.row(vec![
+                w.worker.clone(),
+                w.completed.to_string(),
+                w.claims.to_string(),
+                m.cells_done.to_string(),
+                m.records_simulated.to_string(),
+                w.records_per_sec().to_string(),
+            ]);
+        }
+        if !self.workers.is_empty() {
+            out.push('\n');
+            out.push_str(&t.render());
+        }
+        out.push_str(&format!(
+            "\naggregate: {} records/s, mean cell {} ms, eta {} s",
+            self.records_per_sec(),
+            self.mean_cell_sim_ns() / 1_000_000,
+            self.eta_seconds()
+        ));
+        for l in &s.stale_leases {
+            out.push_str(&format!(
+                "\nstale lease: {} held by {} (epoch {}, age {}s)",
+                l.cell, l.worker, l.epoch, l.age_secs
+            ));
+        }
+        out
+    }
+}

@@ -21,12 +21,15 @@
 //! [`WorkerOptions::threads`]), not across cells of one workload.
 
 use std::path::{Path, PathBuf};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-use ccsim_campaign::journal::merge_dir;
+use ccsim_campaign::journal::merge_dir_cached;
 use ccsim_campaign::spec::fnv1a64;
-use ccsim_campaign::{Campaign, CampaignSpec, GridCell, Journal, TraceCache};
+use ccsim_campaign::{
+    record_band_metrics, Campaign, CampaignSpec, GridCell, Journal, MergeCursor, TraceCache,
+};
 use ccsim_core::SimConfig;
+use ccsim_obs::{Field, RunMeta, RunObs};
 use ccsim_policies::PolicyKind;
 
 use crate::lease::{band_lease_id, Claim, LeaseDir};
@@ -152,9 +155,37 @@ pub fn run_worker(
         LeaseDir::open(leases_dir(shared_dir)).map_err(|e| format!("opening lease dir: {e}"))?;
     let mut journal = Journal::open_segment(shared_dir, &worker, &spec.name, &digest)
         .map_err(|e| format!("opening journal segment: {e}"))?;
+    // Per-worker telemetry: `obs.<worker>.jsonl` events plus a
+    // `manifest.<worker>.json` rewritten after every band, which is what
+    // `ccsim campaign watch` merges across workers. Best-effort — a
+    // read-only or full shared dir must not stop the worker.
+    let mut obs = RunObs::begin(
+        shared_dir,
+        RunMeta {
+            campaign: spec.name.clone(),
+            spec_digest: digest.clone(),
+            worker: worker.clone(),
+        },
+        &format!("obs.{worker}.jsonl"),
+        &format!("manifest.{worker}.json"),
+    )
+    .ok();
 
     let mut outcome =
         WorkerOutcome { completed: 0, reclaimed: 0, backoffs: 0, campaign_done: false };
+    if let Some(o) = &mut obs {
+        o.event(
+            "run_start",
+            &[
+                ("cells_total", Field::U64(grid.cells.len() as u64)),
+                ("workloads", Field::U64(grid.workloads.len() as u64)),
+            ],
+        );
+    }
+    // One merge cursor for the whole worker loop: each of the frequent
+    // pending-set merges below re-reads only journal bytes appended since
+    // the previous merge instead of rescanning every segment.
+    let mut cursor = MergeCursor::new();
     // Start each worker at a different workload so N workers spread over
     // the grid instead of stampeding the same cells (claims stay correct
     // regardless; this only reduces contention).
@@ -163,9 +194,12 @@ pub fn run_worker(
     loop {
         // The authoritative pending set: everything any worker has
         // journaled so far, merged read-only across segments.
-        let done = merge_dir(shared_dir, &spec.name, &digest)?.completed;
+        let done = merge_dir_cached(shared_dir, &spec.name, &digest, &mut cursor)?.completed;
         if grid.cells.iter().all(|c| done.contains_key(&c.id)) {
             outcome.campaign_done = true;
+            if let Some(o) = obs.take() {
+                let _ = o.finish();
+            }
             return Ok(outcome);
         }
 
@@ -177,14 +211,18 @@ pub fn run_worker(
                 // The cell limit is reached; the campaign may nonetheless
                 // be complete (this worker's last batch can have drained
                 // the grid), so report accurately.
-                let done = merge_dir(shared_dir, &spec.name, &digest)?.completed;
+                let done =
+                    merge_dir_cached(shared_dir, &spec.name, &digest, &mut cursor)?.completed;
                 outcome.campaign_done = grid.cells.iter().all(|c| done.contains_key(&c.id));
+                if let Some(o) = obs.take() {
+                    let _ = o.finish();
+                }
                 return Ok(outcome);
             }
             // Derive the band — every still-pending cell of the workload
             // — from a *fresh* merge: the round-start snapshot goes
             // stale while earlier bands simulate.
-            let done = merge_dir(shared_dir, &spec.name, &digest)?.completed;
+            let done = merge_dir_cached(shared_dir, &spec.name, &digest, &mut cursor)?.completed;
             let mut pending: Vec<&GridCell> =
                 grid.cells_of(workload).filter(|c| !done.contains_key(&c.id)).collect();
             if pending.is_empty() {
@@ -194,8 +232,14 @@ pub fn run_worker(
             // this workload's trace, to be replayed in one pass.
             let guard = match leases.claim(&band_lease_id(workload), &worker, opts.ttl)? {
                 Claim::Acquired(guard) => guard,
-                Claim::Held(_) => continue,
+                Claim::Held(_) => {
+                    ccsim_obs::metrics().dist_lease_contention.inc();
+                    continue;
+                }
             };
+            let m = ccsim_obs::metrics();
+            m.dist_lease_claims.inc();
+            m.dist_held_leases.inc();
             // Close the merge→claim race: a peer may have journaled band
             // cells and released its lease between our merge and our
             // claim. Peers journal (flushed) *before* releasing, so a
@@ -203,21 +247,33 @@ pub fn run_worker(
             // them makes duplicate simulation impossible on a coherent
             // filesystem. This is also how a reclaimed band resumes
             // mid-band: the dead holder's journaled cells drop out here.
-            let done = merge_dir(shared_dir, &spec.name, &digest)?.completed;
+            let done = merge_dir_cached(shared_dir, &spec.name, &digest, &mut cursor)?.completed;
             let band_size = pending.len();
             pending.retain(|c| !done.contains_key(&c.id));
             if pending.len() < band_size {
                 progressed = true; // the campaign advanced under us
             }
             if pending.is_empty() {
+                m.dist_held_leases.dec();
                 guard.release();
                 continue;
             }
             if guard.epoch() > 1 {
                 outcome.reclaimed += 1;
+                m.dist_stale_reclaims.inc();
             }
             if let Some(budget) = budget {
                 pending.truncate(budget);
+            }
+            if let Some(o) = &mut obs {
+                o.event(
+                    "claim",
+                    &[
+                        ("workload", Field::Str(workload)),
+                        ("cells", Field::U64(pending.len() as u64)),
+                        ("epoch", Field::U64(guard.epoch())),
+                    ],
+                );
             }
 
             // Acquire and simulate under a heartbeat renewing the band
@@ -236,6 +292,7 @@ pub fn run_worker(
                         since_renew += tick;
                         if since_renew >= opts.ttl / 3 {
                             since_renew = Duration::ZERO;
+                            ccsim_obs::metrics().dist_heartbeats.inc();
                             let _ = guard.renew();
                         }
                     }
@@ -258,15 +315,19 @@ pub fn run_worker(
                             if trace.is_streamed() { ", streamed" } else { "" },
                         );
                     }
-                    trace.simulate_cells(&cells, opts.threads)
+                    let sim_started = Instant::now();
+                    trace.simulate_cells(&cells, opts.threads).map(|results| {
+                        (results, trace.records(), sim_started.elapsed().as_nanos() as u64)
+                    })
                 });
                 stop.store(true, std::sync::atomic::Ordering::Relaxed);
                 out
             });
+            m.dist_held_leases.dec();
             // On acquisition/simulation failure the guard drops below and
             // releases the band; everything already journaled stays
             // journaled.
-            let results = band?;
+            let (results, trace_records, band_ns) = band?;
             for (cell, result) in pending.iter().zip(results) {
                 journal
                     .record(&cell.id, &result)
@@ -274,6 +335,21 @@ pub fn run_worker(
                 outcome.completed += 1;
             }
             guard.release();
+            let records_simulated = trace_records * pending.len() as u64;
+            record_band_metrics(pending.len() as u64, records_simulated, band_ns);
+            if let Some(o) = &mut obs {
+                o.add_band(pending.len() as u64, records_simulated, band_ns);
+                o.event(
+                    "band_done",
+                    &[
+                        ("workload", Field::Str(workload)),
+                        ("cells", Field::U64(pending.len() as u64)),
+                        ("trace_records", Field::U64(trace_records)),
+                        ("sim_ns", Field::U64(band_ns)),
+                    ],
+                );
+                let _ = o.write_manifest();
+            }
             progressed = true;
         }
 
@@ -282,6 +358,10 @@ pub fn run_worker(
             // race was lost this round): wait for peers to finish,
             // crash-expire, or release.
             outcome.backoffs += 1;
+            ccsim_obs::metrics().dist_backoffs.inc();
+            if let Some(o) = &mut obs {
+                o.event("backoff", &[("round", Field::U64(outcome.backoffs as u64))]);
+            }
             std::thread::sleep(opts.backoff);
         }
     }

@@ -368,6 +368,9 @@ fn run_fold<S: TraceSource>(
     name: &str,
     mut emit: impl FnMut(TraceRecord) -> Result<(), IngestError>,
 ) -> Result<(IngestReport, u64), IngestError> {
+    // Telemetry is totals-only, accounted once after the fold — the
+    // per-record path stays untouched.
+    let span = ccsim_obs::metrics().ingest_wall_ns.span();
     let mut fold = Fold::default();
     let mut batch = Batch::default();
     while source.read_batch(&mut batch)? {
@@ -377,7 +380,13 @@ fn run_fold<S: TraceSource>(
         }
     }
     let trailing = fold.pending_nonmem;
-    Ok((fold.report(source.format(), name, source.skipped()), trailing))
+    let report = fold.report(source.format(), name, source.skipped());
+    let m = ccsim_obs::metrics();
+    m.ingest_runs.inc();
+    m.ingest_records.add(report.records);
+    m.ingest_skipped.add(report.skipped);
+    span.stop();
+    Ok((report, trailing))
 }
 
 /// The output trace name: the explicit option, the `CCTR` source's

@@ -1,0 +1,102 @@
+//! A minimal deterministic JSON **emitter** — just enough for the obs
+//! sinks (string/u64/bool fields, pre-rendered nesting), mirroring the
+//! campaign JSON layer's discipline: insertion-ordered keys and exact
+//! integer formatting, so identical inputs always render identical
+//! bytes. (Parsing lives in `ccsim-campaign`; this crate sits below it
+//! and only writes.)
+
+/// Appends `s` as a JSON string literal (quotes and escapes included).
+pub fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// An insertion-ordered JSON object builder.
+#[derive(Default)]
+pub struct JsonObj {
+    buf: String,
+    any: bool,
+}
+
+impl JsonObj {
+    /// An empty object.
+    pub fn new() -> JsonObj {
+        JsonObj { buf: String::from("{"), any: false }
+    }
+
+    fn key(&mut self, k: &str) {
+        if self.any {
+            self.buf.push_str(", ");
+        }
+        self.any = true;
+        push_json_str(&mut self.buf, k);
+        self.buf.push_str(": ");
+    }
+
+    /// Adds a string field.
+    pub fn str(&mut self, k: &str, v: &str) -> &mut JsonObj {
+        self.key(k);
+        push_json_str(&mut self.buf, v);
+        self
+    }
+
+    /// Adds an unsigned integer field (exact digits, no float drift).
+    pub fn u64(&mut self, k: &str, v: u64) -> &mut JsonObj {
+        self.key(k);
+        self.buf.push_str(&v.to_string());
+        self
+    }
+
+    /// Adds a boolean field.
+    pub fn bool(&mut self, k: &str, v: bool) -> &mut JsonObj {
+        self.key(k);
+        self.buf.push_str(if v { "true" } else { "false" });
+        self
+    }
+
+    /// Adds a field whose value is already-rendered JSON (nested
+    /// objects and arrays).
+    pub fn raw(&mut self, k: &str, v: &str) -> &mut JsonObj {
+        self.key(k);
+        self.buf.push_str(v);
+        self
+    }
+
+    /// Renders the object.
+    pub fn finish(self) -> String {
+        let mut buf = self.buf;
+        buf.push('}');
+        buf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_ordered_escaped_objects() {
+        let mut o = JsonObj::new();
+        o.str("name", "a\"b\\c\nd").u64("n", u64::MAX).bool("ok", true);
+        o.raw("nested", "[1, 2]");
+        assert_eq!(
+            o.finish(),
+            r#"{"name": "a\"b\\c\nd", "n": 18446744073709551615, "ok": true, "nested": [1, 2]}"#
+        );
+        assert_eq!(JsonObj::new().finish(), "{}");
+        let mut ctl = String::new();
+        push_json_str(&mut ctl, "\u{1}");
+        assert_eq!(ctl, "\"\\u0001\"");
+    }
+}

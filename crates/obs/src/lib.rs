@@ -1,0 +1,71 @@
+//! # ccsim-obs
+//!
+//! Zero-allocation telemetry for the whole workspace: a process-wide
+//! catalog of sharded atomic [`Counter`]s, [`Gauge`]s, and log₂-bucketed
+//! [`Histogram`]s with drop-guard [`Span`] timers, plus two pinned-schema
+//! sinks — a per-run JSONL event log + end-of-run manifest
+//! ([`RunObs`], [`OBS_SCHEMA_VERSION`]) and Prometheus-style text
+//! exposition ([`Snapshot::exposition`], `--metrics-out`).
+//!
+//! Design constraints, in priority order:
+//!
+//! 1. **Zero steady-state allocations on instrumented hot paths.** The
+//!    catalog is a `const`-constructed `static` (no lazy init, no
+//!    registration), counter shards are picked through a
+//!    `const`-initialized thread-local, and recording is a handful of
+//!    relaxed atomics. `tests/alloc_free.rs` pins replay at 0
+//!    allocations per record *with telemetry enabled*.
+//! 2. **No dependencies.** This crate sits below every other workspace
+//!    crate (core, ingest, campaign, dist, bench, cli all instrument
+//!    through it), so it depends on nothing but `std` and carries its
+//!    own minimal deterministic JSON emitter ([`json`]).
+//! 3. **Run-scoped accuracy.** Process totals are global; a [`RunObs`]
+//!    snapshots the catalog at run start and manifests the delta, so
+//!    concurrent or consecutive runs in one process stay separable.
+//!
+//! # Example
+//!
+//! ```
+//! use ccsim_obs::{metrics, Snapshot};
+//!
+//! let before = Snapshot::take();
+//! metrics().sim_runs.inc();
+//! metrics().sim_wall_ns.record(1_250);
+//! let delta = Snapshot::take().delta(&before);
+//! assert_eq!(delta.counter("sim_runs"), 1);
+//! assert!(delta.exposition().contains("ccsim_sim_runs_total"));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod json;
+pub mod metrics;
+pub mod sink;
+pub mod snapshot;
+
+pub use metrics::{
+    enabled, metrics, set_enabled, Counter, Gauge, Histogram, Metrics, Span, COUNTER_SHARDS,
+    HISTOGRAM_BUCKETS,
+};
+pub use sink::{Field, RunMeta, RunObs};
+pub use snapshot::{write_exposition, HistogramSnapshot, Snapshot};
+
+/// Schema version stamped into every obs document: the event-log
+/// header, the run manifest, and the `campaign watch --json` view.
+pub const OBS_SCHEMA_VERSION: u64 = 1;
+
+/// Worker id used by single-process (non-dist) runs in obs documents.
+pub const SOLO_WORKER: &str = "(solo)";
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    use std::sync::{Mutex, MutexGuard};
+
+    /// Serializes unit tests that read or toggle the global enabled
+    /// flag — they would otherwise race `disabled_metrics_freeze`.
+    static ENABLED_LOCK: Mutex<()> = Mutex::new(());
+
+    pub(crate) fn enabled_lock() -> MutexGuard<'static, ()> {
+        ENABLED_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}

@@ -1,0 +1,246 @@
+//! Run-scoped sinks: the per-run JSONL event log and the end-of-run
+//! manifest (`OBS_SCHEMA_VERSION` 1).
+//!
+//! A [`RunObs`] captures a catalog [`Snapshot`] when the run begins and
+//! manifests the **delta**, so process-wide totals stay correctly
+//! scoped even when several runs share one process. Event writes are
+//! best-effort (telemetry must never fail a run) and line-buffered;
+//! manifests go through a temp file and an atomic rename so `campaign
+//! watch` can poll them while a worker is mid-run.
+
+use std::fs::{self, File};
+use std::io::{self, BufWriter, Write};
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+use crate::json::JsonObj;
+use crate::snapshot::Snapshot;
+use crate::OBS_SCHEMA_VERSION;
+
+/// Identity of one run, stamped into the event-log header and the
+/// manifest.
+#[derive(Clone, Debug)]
+pub struct RunMeta {
+    /// Campaign name from the spec.
+    pub campaign: String,
+    /// Campaign spec digest (grid identity).
+    pub spec_digest: String,
+    /// Worker id, or `"(solo)"` for single-process runs.
+    pub worker: String,
+}
+
+/// One event field value.
+#[derive(Clone, Copy, Debug)]
+pub enum Field<'a> {
+    /// An unsigned integer.
+    U64(u64),
+    /// A string.
+    Str(&'a str),
+    /// A boolean.
+    Bool(bool),
+}
+
+/// A live run: event log plus manifest accounting.
+pub struct RunObs {
+    dir: PathBuf,
+    manifest_file: String,
+    meta: RunMeta,
+    events: Option<BufWriter<File>>,
+    started: Instant,
+    baseline: Snapshot,
+    cells_done: u64,
+    bands_done: u64,
+    records_simulated: u64,
+    sim_wall_ns: u64,
+}
+
+impl RunObs {
+    /// Starts a run: creates `dir` if needed, truncates and headers the
+    /// event log, and snapshots the catalog as the manifest baseline.
+    pub fn begin(
+        dir: &Path,
+        meta: RunMeta,
+        event_file: &str,
+        manifest_file: &str,
+    ) -> io::Result<RunObs> {
+        fs::create_dir_all(dir)?;
+        let mut events = BufWriter::new(File::create(dir.join(event_file))?);
+        let mut header = JsonObj::new();
+        header
+            .u64("ccsim_obs", OBS_SCHEMA_VERSION)
+            .str("kind", "events")
+            .str("campaign", &meta.campaign)
+            .str("spec", &meta.spec_digest)
+            .str("worker", &meta.worker);
+        events.write_all(header.finish().as_bytes())?;
+        events.write_all(b"\n")?;
+        events.flush()?;
+        Ok(RunObs {
+            dir: dir.to_path_buf(),
+            manifest_file: manifest_file.to_owned(),
+            meta,
+            events: Some(events),
+            started: Instant::now(),
+            baseline: Snapshot::take(),
+            cells_done: 0,
+            bands_done: 0,
+            records_simulated: 0,
+            sim_wall_ns: 0,
+        })
+    }
+
+    /// Appends one event line (`ev`, nanoseconds since run start, then
+    /// `fields` in order). Best-effort: write failures are swallowed —
+    /// telemetry never fails the run it observes.
+    pub fn event(&mut self, ev: &str, fields: &[(&str, Field<'_>)]) {
+        let t_ns = self.started.elapsed().as_nanos() as u64;
+        let mut line = JsonObj::new();
+        line.str("ev", ev).u64("t_ns", t_ns);
+        for &(k, v) in fields {
+            match v {
+                Field::U64(n) => line.u64(k, n),
+                Field::Str(s) => line.str(k, s),
+                Field::Bool(b) => line.bool(k, b),
+            };
+        }
+        if let Some(events) = &mut self.events {
+            let _ = events.write_all(line.finish().as_bytes());
+            let _ = events.write_all(b"\n");
+            let _ = events.flush();
+        }
+    }
+
+    /// Accounts one finished band: `cells` simulated cells advancing
+    /// `records_simulated` engine-records over `sim_wall_ns` of
+    /// simulation wall-clock.
+    pub fn add_band(&mut self, cells: u64, records_simulated: u64, sim_wall_ns: u64) {
+        self.bands_done += 1;
+        self.cells_done += cells;
+        self.records_simulated += records_simulated;
+        self.sim_wall_ns += sim_wall_ns;
+    }
+
+    /// Cells simulated so far this run.
+    pub fn cells_done(&self) -> u64 {
+        self.cells_done
+    }
+
+    /// Engine-records simulated so far this run.
+    pub fn records_simulated(&self) -> u64 {
+        self.records_simulated
+    }
+
+    /// Renders the manifest document for the run so far.
+    pub fn manifest_json(&self) -> String {
+        let delta = Snapshot::take().delta(&self.baseline);
+        let mut counters = JsonObj::new();
+        for &(name, v) in &delta.counters {
+            counters.u64(name, v);
+        }
+        let mut gauges = JsonObj::new();
+        for &(name, v) in &delta.gauges {
+            gauges.u64(name, v);
+        }
+        let mut histograms = JsonObj::new();
+        for (name, h) in &delta.histograms {
+            let mut buckets = String::from("[");
+            let mut any = false;
+            for (i, &c) in h.buckets.iter().enumerate() {
+                if c > 0 {
+                    if any {
+                        buckets.push_str(", ");
+                    }
+                    any = true;
+                    buckets.push_str(&format!("[{i}, {c}]"));
+                }
+            }
+            buckets.push(']');
+            let mut hist = JsonObj::new();
+            hist.u64("count", h.count).u64("sum", h.sum).raw("buckets", &buckets);
+            histograms.raw(name, &hist.finish());
+        }
+        let mut doc = JsonObj::new();
+        doc.u64("ccsim_obs", OBS_SCHEMA_VERSION)
+            .str("kind", "manifest")
+            .str("campaign", &self.meta.campaign)
+            .str("spec", &self.meta.spec_digest)
+            .str("worker", &self.meta.worker)
+            .u64("cells_done", self.cells_done)
+            .u64("bands_done", self.bands_done)
+            .u64("records_simulated", self.records_simulated)
+            .u64("sim_wall_ns", self.sim_wall_ns)
+            .raw("counters", &counters.finish())
+            .raw("gauges", &gauges.finish())
+            .raw("histograms", &histograms.finish());
+        let mut out = doc.finish();
+        out.push('\n');
+        out
+    }
+
+    /// Writes the manifest atomically (temp file + rename), so watchers
+    /// polling the directory never observe a torn document.
+    pub fn write_manifest(&self) -> io::Result<()> {
+        let tmp = self.dir.join(format!("{}.tmp", self.manifest_file));
+        fs::write(&tmp, self.manifest_json())?;
+        fs::rename(&tmp, self.dir.join(&self.manifest_file))
+    }
+
+    /// Ends the run: logs `run_end` and writes the final manifest.
+    pub fn finish(mut self) -> io::Result<()> {
+        self.event(
+            "run_end",
+            &[
+                ("cells_done", Field::U64(self.cells_done)),
+                ("bands_done", Field::U64(self.bands_done)),
+                ("records_simulated", Field::U64(self.records_simulated)),
+                ("sim_wall_ns", Field::U64(self.sim_wall_ns)),
+            ],
+        );
+        if let Some(events) = &mut self.events {
+            events.flush()?;
+        }
+        self.write_manifest()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("ccsim_obs_{tag}_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn run_obs_writes_header_events_and_manifest() {
+        let dir = temp_dir("sink");
+        let meta = RunMeta {
+            campaign: "demo".into(),
+            spec_digest: "abc123".into(),
+            worker: "(solo)".into(),
+        };
+        let mut obs = RunObs::begin(&dir, meta, "run.obs.jsonl", "manifest.json").unwrap();
+        obs.event("band_start", &[("workload", Field::Str("w")), ("cells", Field::U64(2))]);
+        obs.add_band(2, 1000, 5_000);
+        obs.finish().unwrap();
+
+        let log = fs::read_to_string(dir.join("run.obs.jsonl")).unwrap();
+        let lines: Vec<&str> = log.lines().collect();
+        assert_eq!(lines.len(), 3, "header + 2 events: {log}");
+        assert!(lines[0].contains("\"ccsim_obs\": 1"));
+        assert!(lines[0].contains("\"kind\": \"events\""));
+        assert!(lines[1].contains("\"ev\": \"band_start\""));
+        assert!(lines[2].contains("\"ev\": \"run_end\""));
+
+        let manifest = fs::read_to_string(dir.join("manifest.json")).unwrap();
+        assert!(manifest.contains("\"ccsim_obs\": 1"));
+        assert!(manifest.contains("\"kind\": \"manifest\""));
+        assert!(manifest.contains("\"cells_done\": 2"));
+        assert!(manifest.contains("\"records_simulated\": 1000"));
+        assert!(manifest.ends_with("}\n"));
+        assert!(!dir.join("manifest.json.tmp").exists(), "temp file renamed away");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,187 @@
+//! Point-in-time views of the catalog: snapshots, deltas between two
+//! snapshots (run-scoped accounting), and Prometheus-style text
+//! exposition.
+
+use crate::metrics::{metrics, HISTOGRAM_BUCKETS};
+use crate::metrics::{Gauge, Histogram};
+
+/// A frozen view of one histogram.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Number of recorded samples.
+    pub count: u64,
+    /// Sum of recorded samples.
+    pub sum: u64,
+    /// Per-bucket sample counts, indexed by sample bit length.
+    pub buckets: [u64; HISTOGRAM_BUCKETS],
+}
+
+impl HistogramSnapshot {
+    fn take(h: &Histogram) -> HistogramSnapshot {
+        let mut buckets = [0u64; HISTOGRAM_BUCKETS];
+        for (i, b) in buckets.iter_mut().enumerate() {
+            *b = h.bucket(i);
+        }
+        HistogramSnapshot { count: h.count(), sum: h.sum(), buckets }
+    }
+
+    fn delta(&self, base: &HistogramSnapshot) -> HistogramSnapshot {
+        let mut buckets = [0u64; HISTOGRAM_BUCKETS];
+        for (i, b) in buckets.iter_mut().enumerate() {
+            *b = self.buckets[i].saturating_sub(base.buckets[i]);
+        }
+        HistogramSnapshot {
+            count: self.count.saturating_sub(base.count),
+            sum: self.sum.saturating_sub(base.sum),
+            buckets,
+        }
+    }
+
+    /// Mean sample value, or 0 with no samples.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// A frozen view of the whole catalog, in stable (declaration) order.
+///
+/// `Snapshot::take()` at run start plus [`Snapshot::delta`] at run end
+/// scopes process-wide totals to one run — how manifests stay accurate
+/// when several runs share a process (tests, long-lived workers).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Snapshot {
+    /// `(name, total)` per counter.
+    pub counters: Vec<(&'static str, u64)>,
+    /// `(name, value)` per gauge.
+    pub gauges: Vec<(&'static str, u64)>,
+    /// `(name, view)` per histogram.
+    pub histograms: Vec<(&'static str, HistogramSnapshot)>,
+}
+
+impl Snapshot {
+    /// Captures the catalog now.
+    pub fn take() -> Snapshot {
+        let m = metrics();
+        let mut counters = Vec::new();
+        m.visit_counters(&mut |name, c| counters.push((name, c.get())));
+        let mut gauges = Vec::new();
+        m.visit_gauges(&mut |name, g: &Gauge| gauges.push((name, g.get())));
+        let mut histograms = Vec::new();
+        m.visit_histograms(&mut |name, h| histograms.push((name, HistogramSnapshot::take(h))));
+        Snapshot { counters, gauges, histograms }
+    }
+
+    /// The change since `base`: counters and histograms subtract
+    /// (saturating); gauges keep their current value.
+    pub fn delta(&self, base: &Snapshot) -> Snapshot {
+        debug_assert_eq!(self.counters.len(), base.counters.len());
+        Snapshot {
+            counters: self
+                .counters
+                .iter()
+                .zip(&base.counters)
+                .map(|(&(name, now), &(_, then))| (name, now.saturating_sub(then)))
+                .collect(),
+            gauges: self.gauges.clone(),
+            histograms: self
+                .histograms
+                .iter()
+                .zip(&base.histograms)
+                .map(|((name, now), (_, then))| (*name, now.delta(then)))
+                .collect(),
+        }
+    }
+
+    /// Value of the named counter (0 if unknown).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.iter().find(|(n, _)| *n == name).map_or(0, |&(_, v)| v)
+    }
+
+    /// View of the named histogram, if present.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.iter().find(|(n, _)| *n == name).map(|(_, h)| h)
+    }
+
+    /// Renders the snapshot as Prometheus text exposition. Counters get
+    /// a `ccsim_` prefix and `_total` suffix; histogram buckets are
+    /// cumulative with `le` = the bucket's inclusive upper bound, and
+    /// empty trailing buckets are elided before the `+Inf` bucket.
+    pub fn exposition(&self) -> String {
+        let mut out = String::new();
+        for &(name, v) in &self.counters {
+            out.push_str(&format!("# TYPE ccsim_{name}_total counter\nccsim_{name}_total {v}\n"));
+        }
+        for &(name, v) in &self.gauges {
+            out.push_str(&format!("# TYPE ccsim_{name} gauge\nccsim_{name} {v}\n"));
+        }
+        for (name, h) in &self.histograms {
+            out.push_str(&format!("# TYPE ccsim_{name} histogram\n"));
+            let last = h.buckets.iter().rposition(|&c| c > 0).unwrap_or(0);
+            let mut cumulative = 0u64;
+            for (i, &c) in h.buckets.iter().enumerate().take(last + 1) {
+                cumulative += c;
+                let le = Histogram::bucket_bound(i);
+                out.push_str(&format!("ccsim_{name}_bucket{{le=\"{le}\"}} {cumulative}\n"));
+            }
+            out.push_str(&format!(
+                "ccsim_{name}_bucket{{le=\"+Inf\"}} {count}\nccsim_{name}_sum {sum}\nccsim_{name}_count {count}\n",
+                count = h.count,
+                sum = h.sum,
+            ));
+        }
+        out
+    }
+}
+
+/// Writes the current catalog as Prometheus text exposition to `path`
+/// (the `--metrics-out` sink).
+pub fn write_exposition(path: &std::path::Path) -> std::io::Result<()> {
+    std::fs::write(path, Snapshot::take().exposition())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::enabled_lock;
+
+    #[test]
+    fn delta_subtracts_counters_and_histograms() {
+        let _guard = enabled_lock();
+        let base = Snapshot::take();
+        metrics().sim_runs.add(3);
+        metrics().sim_wall_ns.record(100);
+        let now = Snapshot::take();
+        let d = now.delta(&base);
+        assert!(d.counter("sim_runs") >= 3);
+        let h = d.histogram("sim_wall_ns").unwrap();
+        assert!(h.count >= 1);
+        assert!(h.sum >= 100);
+        assert!(d.histogram("no_such_metric").is_none());
+    }
+
+    #[test]
+    fn exposition_is_prometheus_shaped() {
+        let _guard = enabled_lock();
+        metrics().cache_hits.inc();
+        metrics().cache_ensure_ns.record(1000);
+        let text = Snapshot::take().exposition();
+        assert!(text.contains("# TYPE ccsim_cache_hits_total counter\n"));
+        assert!(text.contains("# TYPE ccsim_cache_ensure_ns histogram\n"));
+        assert!(text.contains("ccsim_cache_ensure_ns_bucket{le=\"+Inf\"}"));
+        assert!(text.contains("ccsim_cache_ensure_ns_sum"));
+        // Cumulative buckets: the +Inf bucket equals the count line.
+        let count_line =
+            text.lines().find(|l| l.starts_with("ccsim_cache_ensure_ns_count ")).unwrap();
+        let inf_line = text
+            .lines()
+            .find(|l| l.starts_with("ccsim_cache_ensure_ns_bucket{le=\"+Inf\"}"))
+            .unwrap();
+        let count: u64 = count_line.rsplit(' ').next().unwrap().parse().unwrap();
+        let inf: u64 = inf_line.rsplit(' ').next().unwrap().parse().unwrap();
+        assert_eq!(count, inf);
+    }
+}

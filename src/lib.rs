@@ -26,7 +26,12 @@
 //!   lease-based workload-band claiming over a shared filesystem (each
 //!   claim is one one-pass grid replay), per-worker journal segments,
 //!   crash healing, and byte-identical report assembly from any worker
-//!   set.
+//!   set;
+//! * [`obs`] — the zero-allocation telemetry core: a process-wide
+//!   metric catalog (sharded counters, gauges, log-bucketed
+//!   histograms, span timers) feeding per-run JSONL event logs, run
+//!   manifests and Prometheus-style exposition, all consumed by
+//!   `ccsim campaign watch`.
 //!
 //! # Quickstart
 //!
@@ -49,6 +54,7 @@ pub use ccsim_core as core;
 pub use ccsim_dist as dist;
 pub use ccsim_graph as graph;
 pub use ccsim_ingest as ingest;
+pub use ccsim_obs as obs;
 pub use ccsim_policies as policies;
 pub use ccsim_trace as trace;
 pub use ccsim_workloads as workloads;

@@ -8,7 +8,10 @@
 //! for the one-pass lockstep grid driver (`GridReplay`), including its
 //! streamed chunk-decode loop, and a final check exercises the
 //! production differencing probe (`ccsim bench`'s alloc check) end to
-//! end.
+//! end. Telemetry is explicitly enabled for the measurement, and the
+//! `ccsim-obs` primitives themselves (counter, gauge, histogram, span)
+//! are hammered inside the measured region: the zero-alloc contract is
+//! pinned *with instrumentation on*, not on a stripped build.
 //!
 //! Everything lives in one `#[test]`: the counter is process-global, so
 //! concurrent tests in the same binary would pollute the measurement.
@@ -44,6 +47,9 @@ fn replay(hierarchy: &mut ccsim::core::Hierarchy, core: &mut ccsim::core::Core, 
 #[test]
 fn steady_state_replay_allocates_nothing() {
     assert!(counting_enabled(), "the counting allocator must be installed in this binary");
+    // Telemetry stays ON for the whole measurement: the zero-alloc
+    // contract covers the instrumented hot path, not a stripped one.
+    ccsim::obs::set_enabled(true);
 
     let config = SimConfig::cascade_lake();
     // Eviction-heavy: twice the LLC, so every level evicts on every fill;
@@ -109,6 +115,19 @@ fn steady_state_replay_allocates_nothing() {
     // header carries an owned workload name).
     let mut reader = ccsim::trace::TraceReader::new(&bytes[..]).unwrap();
     let before = allocations();
+    // replay_reader and replay_trace bump the grid chunk/record counters
+    // internally; hammer every telemetry primitive directly as well —
+    // sharded counter, gauge, histogram and span timer must all stay
+    // allocation-free with telemetry enabled.
+    let metrics = ccsim::obs::metrics();
+    for _ in 0..10_000 {
+        metrics.sim_records.add(3);
+        metrics.cache_hits.inc();
+        metrics.dist_held_leases.inc();
+        metrics.dist_held_leases.dec();
+        metrics.sim_wall_ns.record(1_234);
+        metrics.cache_ensure_ns.span().stop();
+    }
     grid.replay_reader(&mut reader).unwrap();
     grid.replay_trace(&mix);
     let during = allocations() - before;

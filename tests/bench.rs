@@ -1,6 +1,8 @@
-//! Pins the `ccsim bench --json` output schema (v1) against
-//! `tests/fixtures/bench_v1.json`, and the `ccsim bench --grid --json`
-//! schema (v2) against `tests/fixtures/bench_v2.json`.
+//! Pins the `ccsim bench --json` output schema against
+//! `tests/fixtures/bench_v1.json` (fixture name is historical; the
+//! document carries [`BENCH_SCHEMA_VERSION`]), and the
+//! `ccsim bench --grid --json` schema against
+//! `tests/fixtures/bench_v2.json`.
 //!
 //! Throughput *values* are machine-dependent, so unlike the campaign
 //! report fixture these are compared **structurally**: same keys, same
@@ -72,13 +74,25 @@ fn bench_json_schema_matches_pinned_fixture() {
         "the bench --json schema changed; bump BENCH_SCHEMA_VERSION and rebless the fixture"
     );
 
-    // The committed seed baseline carries the same schema, so perf gates
-    // can always compare current output against it.
+    // The committed seed baseline predates schema v2 and is never
+    // re-measured (it is this machine-independent anchor perf gates
+    // diff against), so compare it against the pinned schema *minus*
+    // the v2 additions: the cells and summary fields gates consume must
+    // still line up exactly.
     let seed =
         std::fs::read_to_string(Path::new(env!("CARGO_MANIFEST_DIR")).join("BENCH_seed.json"))
             .expect("BENCH_seed.json baseline missing");
     let seed = Json::parse(&seed).unwrap();
-    assert_eq!(shape(&seed), shape(&pinned), "BENCH_seed.json drifted from the pinned schema");
+    let v2_only = ["wall_clock_breakdown", "obs_overhead"];
+    let strip = |v: &Json| {
+        let Json::Obj(pairs) = v else { panic!("bench document must be an object") };
+        Json::Obj(pairs.iter().filter(|(k, _)| !v2_only.contains(&k.as_str())).cloned().collect())
+    };
+    assert_eq!(
+        shape(&strip(&seed)),
+        shape(&strip(&pinned)),
+        "BENCH_seed.json drifted from the pinned schema"
+    );
     assert!(
         seed.get("cells")
             .unwrap()

@@ -1,0 +1,205 @@
+//! Observability integration tests: the pinned `ccsim_obs` schema
+//! (version 1) for event logs and run manifests, exact concurrent
+//! metric accounting, and the `campaign watch` determinism contract.
+//!
+//! The event-log and manifest goldens are **structural** (key order and
+//! value kinds), since timings are machine-dependent; regenerate with
+//! `CCSIM_BLESS=1 cargo test --test obs` after an intentional schema
+//! change (and bump `ccsim_obs::OBS_SCHEMA_VERSION`). The watch
+//! document, by contrast, is a pure function of the shared directory's
+//! contents, so it is pinned **byte-identically** across re-polls.
+
+use std::path::PathBuf;
+
+use ccsim::campaign::{Campaign, CampaignSpec, Json};
+use ccsim::dist::{run_worker, Watcher, WorkerOptions};
+
+/// 2 workloads x 2 policies on the tiny platform: two bands, four
+/// cells — enough for two workers to split meaningfully.
+const SPEC: &str = r#"{
+    "name": "obs_itest",
+    "scale": "quick",
+    "base_config": "tiny",
+    "workloads": ["xsbench.small", "spec.stack"],
+    "policies": ["lru", "srrip"]
+}"#;
+
+fn spec() -> CampaignSpec {
+    CampaignSpec::from_json_str(SPEC).unwrap()
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ccsim_obs_itest_{}_{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn fixture_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures").join(name)
+}
+
+/// Structural signature of an obs JSON document: object keys in order
+/// and scalar kinds. Arrays collapse to a single token — histogram
+/// bucket lists vary with timing (and may be empty), so only their
+/// presence is pinned.
+fn shape(v: &Json) -> String {
+    match v {
+        Json::Null | Json::Num(_) => "num?".into(),
+        Json::Bool(_) => "bool".into(),
+        Json::Str(_) => "str".into(),
+        Json::Arr(_) => "[..]".into(),
+        Json::Obj(pairs) => {
+            let fields: Vec<String> =
+                pairs.iter().map(|(k, v)| format!("{k}:{}", shape(v))).collect();
+            format!("{{{}}}", fields.join(","))
+        }
+    }
+}
+
+/// One line of the event-log signature: the event name (or `header`)
+/// followed by its keys in order. Values are dropped — timings vary.
+fn event_signature(line: &str) -> String {
+    let doc = Json::parse(line).expect("event log lines must parse as JSON");
+    let Json::Obj(pairs) = &doc else { panic!("event log lines must be objects: {line}") };
+    let keys: Vec<&str> = pairs.iter().map(|(k, _)| k.as_str()).collect();
+    let ev = doc.get("ev").and_then(Json::as_str).unwrap_or("header");
+    format!("{ev}({})", keys.join(","))
+}
+
+fn compare_or_bless(fixture: &str, actual: &str, what: &str) {
+    let path = fixture_path(fixture);
+    if std::env::var_os("CCSIM_BLESS").is_some() {
+        std::fs::write(&path, actual).unwrap();
+    }
+    let pinned = std::fs::read_to_string(&path)
+        .unwrap_or_else(|_| panic!("{fixture} missing; run with CCSIM_BLESS=1 to create it"));
+    assert_eq!(
+        actual, pinned,
+        "{what} diverged from {fixture}; if intentional, bump OBS_SCHEMA_VERSION and rebless"
+    );
+}
+
+#[test]
+fn solo_run_emits_pinned_event_log_and_manifest_schemas() {
+    let dir = temp_dir("golden");
+    let outcome = Campaign::new(spec()).threads(2).obs_dir(&dir).run().unwrap();
+    assert_eq!(outcome.report.cells.len(), 4);
+
+    // Event log: header line + run_start + (band_start, band_done) per
+    // band + run_end, every line parseable, schema-versioned header.
+    let log = std::fs::read_to_string(dir.join("run.obs.jsonl")).unwrap();
+    let lines: Vec<&str> = log.lines().collect();
+    assert_eq!(lines.len(), 2 + 2 * 2 + 1, "header + run_start + 2 bands x 2 + run_end: {log}");
+    assert!(lines[0].starts_with("{\"ccsim_obs\": 1, \"kind\": \"events\""), "{}", lines[0]);
+    let signature: String = lines.iter().map(|l| format!("{}\n", event_signature(l))).collect();
+    compare_or_bless("obs_events_v1.txt", &signature, "the event-log line schema");
+
+    // Manifest: pinned document shape (keys in order, scalar kinds),
+    // plus the run accounting the watch dashboard consumes.
+    let manifest = std::fs::read_to_string(dir.join("manifest.json")).unwrap();
+    assert!(manifest.starts_with("{\"ccsim_obs\": 1, \"kind\": \"manifest\""), "{manifest}");
+    assert!(manifest.ends_with("}\n"));
+    let doc = Json::parse(&manifest).unwrap();
+    assert_eq!(doc.get("worker").and_then(Json::as_str), Some("(solo)"));
+    assert_eq!(doc.get("cells_done").and_then(Json::as_u64), Some(4));
+    assert_eq!(doc.get("bands_done").and_then(Json::as_u64), Some(2));
+    assert!(doc.get("records_simulated").and_then(Json::as_u64).unwrap() > 0);
+    assert!(doc.get("sim_wall_ns").and_then(Json::as_u64).unwrap() > 0);
+    compare_or_bless(
+        "obs_manifest_v1.json",
+        &format!("{}\n", shape(&doc)),
+        "the manifest document shape",
+    );
+
+    // A re-run into the same directory truncates and rewrites both
+    // files with the same schema (fresh baseline, not accumulation).
+    let again = Campaign::new(spec()).threads(2).obs_dir(&dir).run().unwrap();
+    assert_eq!(again.report.cells.len(), 4);
+    let doc2 = Json::parse(&std::fs::read_to_string(dir.join("manifest.json")).unwrap()).unwrap();
+    assert_eq!(doc2.get("cells_done").and_then(Json::as_u64), Some(4));
+    assert_eq!(shape(&doc2), shape(&doc));
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn concurrent_counter_and_histogram_increments_are_exact() {
+    // ingest_* metrics are untouched by every other test in this binary
+    // (no external traces anywhere), so exact deltas are assertable
+    // even with tests running concurrently.
+    ccsim::obs::set_enabled(true);
+    let m = ccsim::obs::metrics();
+    let count0 = m.ingest_records.get();
+    let h_count0 = m.ingest_wall_ns.count();
+    let h_sum0 = m.ingest_wall_ns.sum();
+    std::thread::scope(|s| {
+        for _ in 0..8 {
+            s.spawn(|| {
+                for _ in 0..10_000 {
+                    m.ingest_records.add(3);
+                    m.ingest_wall_ns.record(7);
+                }
+            });
+        }
+    });
+    assert_eq!(m.ingest_records.get() - count0, 8 * 10_000 * 3, "sharded counter lost updates");
+    assert_eq!(m.ingest_wall_ns.count() - h_count0, 8 * 10_000, "histogram lost samples");
+    assert_eq!(m.ingest_wall_ns.sum() - h_sum0, 8 * 10_000 * 7, "histogram sum drifted");
+}
+
+#[test]
+fn watch_json_over_a_two_worker_dir_is_byte_identical_across_polls() {
+    let dir = temp_dir("watch");
+    let shared = dir.join("shared");
+    let spec = spec();
+
+    // Two *sequential* workers so the division of labor is fixed: w1
+    // stops after one band (cell limit), w2 drains the rest.
+    let mut w1 = WorkerOptions::new("w1");
+    w1.max_cells = Some(2);
+    w1.threads = 2;
+    let first = run_worker(&spec, &shared, &w1).unwrap();
+    assert!(!first.campaign_done);
+    assert_eq!(first.completed, 2);
+    let second = run_worker(&spec, &shared, &WorkerOptions::new("w2")).unwrap();
+    assert!(second.campaign_done);
+    assert_eq!(second.completed, 2);
+    for f in ["obs.w1.jsonl", "manifest.w1.json", "obs.w2.jsonl", "manifest.w2.json"] {
+        assert!(shared.join(f).exists(), "worker telemetry file {f} missing");
+    }
+
+    // The watch document is a pure function of the directory: polling
+    // again through the same watcher (warm merge cursor) and through a
+    // cold one must produce identical bytes.
+    let mut watcher = Watcher::new();
+    let view = watcher.poll(&spec, &shared).unwrap();
+    let json = view.to_json();
+    assert_eq!(watcher.poll(&spec, &shared).unwrap().to_json(), json, "warm re-poll diverged");
+    assert_eq!(
+        Watcher::new().poll(&spec, &shared).unwrap().to_json(),
+        json,
+        "cold re-poll diverged"
+    );
+
+    assert!(json.starts_with("{\"ccsim_obs\": 1, \"kind\": \"watch\""), "{json}");
+    assert!(view.done());
+    let doc = Json::parse(&json).unwrap();
+    let cells = doc.get("cells").unwrap();
+    assert_eq!(cells.get("total").and_then(Json::as_u64), Some(4));
+    assert_eq!(cells.get("completed").and_then(Json::as_u64), Some(4));
+    assert_eq!(cells.get("leased").and_then(Json::as_u64), Some(0));
+    let workers = doc.get("workers").unwrap().as_array().unwrap();
+    assert_eq!(workers.len(), 2);
+    for w in workers {
+        assert_eq!(w.get("manifest"), Some(&Json::Bool(true)));
+        assert_eq!(w.get("completed").and_then(Json::as_u64), Some(2));
+        assert_eq!(w.get("cells_done").and_then(Json::as_u64), Some(2));
+        assert!(w.get("records_per_sec").and_then(Json::as_u64).unwrap() > 0);
+    }
+    let agg = doc.get("aggregate").unwrap();
+    assert!(agg.get("records_simulated").and_then(Json::as_u64).unwrap() > 0);
+    assert!(agg.get("records_per_sec").and_then(Json::as_u64).unwrap() > 0);
+    assert!(agg.get("mean_cell_sim_ns").and_then(Json::as_u64).unwrap() > 0);
+    assert_eq!(agg.get("eta_seconds").and_then(Json::as_u64), Some(0), "grid is drained");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
