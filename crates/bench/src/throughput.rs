@@ -311,6 +311,18 @@ fn measure_obs_overhead(trace: &Trace, config: &SimConfig, reps: u32) -> ObsOver
     }
 }
 
+/// CI validation knob: when this env var holds a factor > 1, every
+/// measured cell's records/sec is divided by it after measurement. A
+/// deterministic synthetic regression lets the trends-gate smoke test
+/// prove `ccsim trends check` actually fails on a real slowdown without
+/// burning CPU to fake one. Ignored (with no side effects) otherwise.
+pub const SYNTH_SLOWDOWN_ENV: &str = "CCSIM_BENCH_SYNTH_SLOWDOWN";
+
+fn synth_slowdown() -> Option<f64> {
+    let factor: f64 = std::env::var(SYNTH_SLOWDOWN_ENV).ok()?.parse().ok()?;
+    (factor > 1.0 && factor.is_finite()).then_some(factor)
+}
+
 /// Runs the full throughput matrix.
 pub fn run_throughput(options: &ThroughputOptions) -> BenchReport {
     let config = SimConfig::cascade_lake();
@@ -340,6 +352,12 @@ pub fn run_throughput(options: &ThroughputOptions) -> BenchReport {
         cells,
     };
     report.wall_clock_breakdown.report_ns = report_span.stop();
+    if let Some(factor) = synth_slowdown() {
+        for cell in &mut report.cells {
+            cell.best_rps /= factor;
+            cell.median_rps /= factor;
+        }
+    }
     report
 }
 
@@ -470,6 +488,18 @@ mod tests {
         assert!(json.contains(r#""wall_clock_breakdown":{"decode_ns":100,"#), "{json}");
         assert!(json.contains(r#""overhead_pct":1,"limit_pct":3,"status":"pass""#), "{json}");
         assert!(json.contains(r#""pattern":"llc_thrash""#));
+    }
+
+    #[test]
+    fn synth_slowdown_requires_a_real_factor() {
+        assert_eq!(synth_slowdown(), None, "unset: no slowdown");
+        std::env::set_var(SYNTH_SLOWDOWN_ENV, "2.5");
+        assert_eq!(synth_slowdown(), Some(2.5));
+        for bogus in ["1.0", "0.5", "-3", "nan", "fast"] {
+            std::env::set_var(SYNTH_SLOWDOWN_ENV, bogus);
+            assert_eq!(synth_slowdown(), None, "{bogus} must not slow anything down");
+        }
+        std::env::remove_var(SYNTH_SLOWDOWN_ENV);
     }
 
     #[test]

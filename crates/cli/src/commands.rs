@@ -38,11 +38,19 @@ USAGE:
               [--json] [--quiet]
     ccsim campaign status <spec.json> --shared-dir <dir>
     ccsim campaign watch <spec.json> --shared-dir <dir>
-              [--interval-ms <n>] [--once] [--json]
+              [--interval-ms <n>] [--max-idle-ms <n>] [--once] [--json]
     ccsim report-diff <a/report.json> <b/report.json> [--threshold <mpki>]
               [--json]
     ccsim bench [--quick] [--json] [--out <file>] [--policy <name>]...
               [--grid]
+    ccsim trends record --rev <rev> [--ledger <file>] [--label <s>]
+              [--timestamp <s>] [--from-bench <file>] [--from-diff <file>]
+              [--from-manifest <file>]... [--from-watch <file>]
+    ccsim trends table [--ledger <file>] [--last <n>]
+    ccsim trends check [--ledger <file>] [--window <n>] [--min-history <n>]
+              [--max-drop-pct <f>] [--max-rise-pct <f>]
+              [--max-overhead-rise-pp <f>] [--max-mpki-delta <f>] [--json]
+    ccsim trends gc [--ledger <file>] --keep <n>
     ccsim workloads
     ccsim policies
 
@@ -91,16 +99,35 @@ runbook in PAPER.md.
 Observability: every campaign run and worker writes a JSONL telemetry
 event log plus an atomically-rewritten manifest (run.obs.jsonl /
 manifest.json in the output dir, obs.<id>.jsonl / manifest.<id>.json
-in the shared dir) with a pinned schema (\"ccsim_obs\": 1);
+in the shared dir) with a pinned schema (\"ccsim_obs\": 2; manifest
+histograms carry p50/p90/p99/min/max quantile summaries);
 `--metrics-out <file>` additionally dumps the process-wide metric
-catalog as Prometheus-style text exposition on exit. `campaign watch`
-polls a shared dir and renders a live dashboard — completed / leased /
-stale cells per worker, records/sec, mean cell time and ETA from the
-manifests' completed-cell timings; `--once` prints one frame and
-exits, `--json` emits a machine document (byte-identical across polls
-of an unchanged directory). Watch polling is incremental: completed
-journal segments are never re-read. See the Observability runbook in
-PAPER.md.
+catalog as Prometheus-style text exposition on exit (histograms
+include `_quantile` gauges). `campaign watch` renders a live dashboard
+— completed / leased / stale cells per worker, records/sec, cell-time
+quantiles and ETA from the manifests' completed-cell timings; `--once`
+prints one frame and exits, `--json` emits a machine document
+(byte-identical across polls of an unchanged directory). By default
+the loop long-polls a cheap stat-level fingerprint of the shared dir
+with jittered exponential backoff (up to --max-idle-ms, default 2000),
+so an idle fleet costs near-zero I/O and activity re-renders within
+tens of ms; `--interval-ms <n>` forces the legacy fixed-interval
+re-scan. Watch polling is incremental: completed journal segments are
+never re-read. See the Observability runbook in PAPER.md.
+
+`trends` maintains an append-only cross-revision performance ledger
+(trends.jsonl, one entry per revision): `record` tags --rev/--label
+and distills any of `bench --json` output (--from-bench), `report-diff
+--json` (--from-diff), obs manifests (--from-manifest, repeatable) and
+`watch --once --json` (--from-watch) into one line; `table` renders
+tracked series across the last N revisions with sparklines (byte-
+deterministic for a fixed ledger); `check` is the regression gate —
+the newest entry is judged against the rolling median of the previous
+--window entries (throughput drop, latency/overhead creep, absolute
+MPKI budget) and the command exits non-zero on any failing series,
+with --json emitting the pinned verdict document; `gc` compacts the
+ledger to its most recent --keep entries. See the Continuous
+benchmarking runbook in PAPER.md.
 
 `report-diff` compares two report.json files over the same grid and
 prints per-cell LLC MPKI / miss-ratio / IPC deltas; it exits non-zero
@@ -785,38 +812,274 @@ fn campaign_status(args: &[String]) -> Result<(), String> {
 }
 
 /// `ccsim campaign watch <spec.json> --shared-dir <dir>
-/// [--interval-ms N] [--once] [--json]`
+/// [--interval-ms N] [--max-idle-ms N] [--once] [--json]`
+///
+/// Two pacing modes: by default the loop long-polls a stat-level
+/// fingerprint of the shared directory ([`ccsim_dist::dir_fingerprint`])
+/// and only re-collects a view when it moves, sleeping with jittered
+/// exponential backoff up to `--max-idle-ms` in between — an idle fleet
+/// costs a couple of `readdir`s per backoff cap instead of a full
+/// journal merge per tick. `--interval-ms` opts into the legacy
+/// fixed-interval re-scan (useful when mtime granularity on an exotic
+/// filesystem makes fingerprints unreliable).
 fn campaign_watch(args: &[String]) -> Result<(), String> {
     let (spec, shared) = dist_spec_and_shared_dir(
         args,
-        &["--shared-dir", "--interval-ms"],
+        &["--shared-dir", "--interval-ms", "--max-idle-ms"],
         &["--once", "--json"],
         "watch",
     )?;
-    let interval = std::time::Duration::from_millis(
-        parse_flag_value::<u64>(args, "--interval-ms")?.unwrap_or(1000).max(50),
-    );
+    let interval_ms = parse_flag_value::<u64>(args, "--interval-ms")?;
+    let max_idle_ms = parse_flag_value::<u64>(args, "--max-idle-ms")?.unwrap_or(2000);
     let once = args.iter().any(|a| a == "--once");
     let json = args.iter().any(|a| a == "--json");
     // One watcher for the whole loop: its merge cursor makes each poll
     // read only journal bytes appended since the previous poll.
     let mut watcher = ccsim_dist::Watcher::new();
-    loop {
-        let view = watcher.poll(&spec, &shared)?;
+    let show = |view: &ccsim_dist::WatchView| {
         if json {
             print!("{}", view.to_json());
         } else {
             println!("{}", view.render());
         }
-        if once {
-            return Ok(());
+    };
+    if let Some(ms) = interval_ms {
+        let interval = std::time::Duration::from_millis(ms.max(50));
+        loop {
+            let view = watcher.poll(&spec, &shared)?;
+            show(&view);
+            if once {
+                return Ok(());
+            }
+            if view.done() {
+                println!("campaign complete");
+                return Ok(());
+            }
+            std::thread::sleep(interval);
         }
-        if view.done() {
-            println!("campaign complete");
-            return Ok(());
-        }
-        std::thread::sleep(interval);
     }
+    let mut pacing = ccsim_dist::WatchPacing::new(max_idle_ms, u64::from(std::process::id()));
+    let mut last_fingerprint: Option<u64> = None;
+    loop {
+        let fingerprint = ccsim_dist::dir_fingerprint(&shared);
+        if last_fingerprint != Some(fingerprint) {
+            last_fingerprint = Some(fingerprint);
+            let view = watcher.poll(&spec, &shared)?;
+            show(&view);
+            if once {
+                return Ok(());
+            }
+            if view.done() {
+                println!("campaign complete");
+                return Ok(());
+            }
+            pacing.activity();
+        }
+        std::thread::sleep(pacing.idle_delay());
+    }
+}
+
+/// `ccsim trends <record|table|check|gc> ...` — the cross-revision
+/// performance ledger.
+pub fn trends(args: &[String]) -> Result<(), String> {
+    match args.first().map(String::as_str) {
+        Some("record") => trends_record(&args[1..]),
+        Some("table") => trends_table(&args[1..]),
+        Some("check") => trends_check(&args[1..]),
+        Some("gc") => trends_gc(&args[1..]),
+        _ => Err(format!("expected trends record|table|check|gc\n\n{USAGE}")),
+    }
+}
+
+/// The ledger path from `--ledger` (default `trends.jsonl`).
+fn trends_ledger_path(args: &[String]) -> Result<PathBuf, String> {
+    Ok(parse_flag_value::<PathBuf>(args, "--ledger")?
+        .unwrap_or_else(|| PathBuf::from(ccsim_trends::LEDGER_FILE)))
+}
+
+/// Reads and parses one JSON source document for `trends record`.
+fn trends_source_doc(path: &str) -> Result<Json, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    Json::parse(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+/// `ccsim trends record --rev <rev> [--ledger <file>] [--label <s>]
+/// [--timestamp <s>] [--from-bench <f>] [--from-diff <f>]
+/// [--from-manifest <f>]... [--from-watch <f>]`
+fn trends_record(args: &[String]) -> Result<(), String> {
+    let positional = positionals(
+        args,
+        &[
+            "--ledger",
+            "--rev",
+            "--label",
+            "--timestamp",
+            "--from-bench",
+            "--from-diff",
+            "--from-manifest",
+            "--from-watch",
+        ],
+        &[],
+    )?;
+    if let Some(extra) = positional.first() {
+        return Err(format!("unexpected argument {extra:?}\n\n{USAGE}"));
+    }
+    let ledger = trends_ledger_path(args)?;
+    let rev = parse_flag_value::<String>(args, "--rev")?
+        .ok_or_else(|| format!("trends record needs --rev <revision>\n\n{USAGE}"))?;
+    let label = parse_flag_value::<String>(args, "--label")?.unwrap_or_default();
+    let timestamp = match parse_flag_value::<String>(args, "--timestamp")? {
+        Some(t) => t,
+        None => std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map_or_else(|_| "0".to_owned(), |d| d.as_secs().to_string()),
+    };
+    let mut entry = ccsim_trends::TrendEntry::new(&rev, &label, &timestamp);
+    if let Some(path) = parse_flag_value::<String>(args, "--from-bench")? {
+        entry.bench = Some(
+            ccsim_trends::BenchSummary::from_doc(&trends_source_doc(&path)?)
+                .map_err(|e| format!("{path}: {e}"))?,
+        );
+    }
+    if let Some(path) = parse_flag_value::<String>(args, "--from-diff")? {
+        entry.diff = Some(
+            ccsim_trends::DiffSummary::from_doc(&trends_source_doc(&path)?)
+                .map_err(|e| format!("{path}: {e}"))?,
+        );
+    }
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--from-manifest" {
+            let path = it.next().ok_or("--from-manifest needs a value")?;
+            entry.manifests.push(
+                ccsim_trends::ManifestSummary::from_doc(&trends_source_doc(path)?)
+                    .map_err(|e| format!("{path}: {e}"))?,
+            );
+        }
+    }
+    if let Some(path) = parse_flag_value::<String>(args, "--from-watch")? {
+        entry.watch = Some(
+            ccsim_trends::WatchSummary::from_doc(&trends_source_doc(&path)?)
+                .map_err(|e| format!("{path}: {e}"))?,
+        );
+    }
+    ccsim_trends::Ledger::append(&ledger, &entry)?;
+    println!(
+        "recorded {} to {}: bench={}, diff={}, manifests={}, watch={}",
+        entry.rev,
+        ledger.display(),
+        if entry.bench.is_some() { "yes" } else { "no" },
+        if entry.diff.is_some() { "yes" } else { "no" },
+        entry.manifests.len(),
+        if entry.watch.is_some() { "yes" } else { "no" },
+    );
+    Ok(())
+}
+
+/// `ccsim trends table [--ledger <file>] [--last <n>]`
+fn trends_table(args: &[String]) -> Result<(), String> {
+    let positional = positionals(args, &["--ledger", "--last"], &[])?;
+    if let Some(extra) = positional.first() {
+        return Err(format!("unexpected argument {extra:?}\n\n{USAGE}"));
+    }
+    let last = parse_flag_value::<usize>(args, "--last")?.unwrap_or(10).max(1);
+    let ledger = ccsim_trends::Ledger::load(&trends_ledger_path(args)?)?;
+    if ledger.torn_tail() {
+        eprintln!("warning: ledger ended in a torn line (crashed writer?); it was skipped");
+    }
+    print!("{}", ccsim_trends::render_table(ledger.last_n(last)));
+    Ok(())
+}
+
+/// `ccsim trends check [--ledger <file>] [--window <n>]
+/// [--min-history <n>] [--max-drop-pct <f>] [--max-rise-pct <f>]
+/// [--max-overhead-rise-pp <f>] [--max-mpki-delta <f>] [--json]` —
+/// exits non-zero when any tracked series regresses.
+fn trends_check(args: &[String]) -> Result<(), String> {
+    let positional = positionals(
+        args,
+        &[
+            "--ledger",
+            "--window",
+            "--min-history",
+            "--max-drop-pct",
+            "--max-rise-pct",
+            "--max-overhead-rise-pp",
+            "--max-mpki-delta",
+        ],
+        &["--json"],
+    )?;
+    if let Some(extra) = positional.first() {
+        return Err(format!("unexpected argument {extra:?}\n\n{USAGE}"));
+    }
+    let mut options = ccsim_trends::CheckOptions::default();
+    if let Some(v) = parse_flag_value(args, "--window")? {
+        options.window = v;
+    }
+    if let Some(v) = parse_flag_value(args, "--min-history")? {
+        options.min_history = v;
+    }
+    if let Some(v) = parse_flag_value(args, "--max-drop-pct")? {
+        options.max_drop_pct = v;
+    }
+    if let Some(v) = parse_flag_value(args, "--max-rise-pct")? {
+        options.max_rise_pct = v;
+    }
+    if let Some(v) = parse_flag_value(args, "--max-overhead-rise-pp")? {
+        options.max_overhead_rise_pp = v;
+    }
+    if let Some(v) = parse_flag_value(args, "--max-mpki-delta")? {
+        options.max_mpki_delta = v;
+    }
+    if options.window == 0 || options.min_history == 0 {
+        return Err("--window and --min-history must be at least 1".into());
+    }
+    let ledger = ccsim_trends::Ledger::load(&trends_ledger_path(args)?)?;
+    let verdict = ccsim_trends::run_check(&ledger.entries, &options)?;
+    if args.iter().any(|a| a == "--json") {
+        println!("{}", verdict.to_json().to_pretty().trim_end());
+    } else {
+        println!("trends check @ {} (window {}):", verdict.rev, options.window);
+        for s in &verdict.series {
+            let fmt = |v: Option<f64>| v.map_or("-".to_owned(), |v| format!("{v:.3}"));
+            println!(
+                "  {:<28} {:<20} value {} median {} bound {}",
+                s.name,
+                s.status,
+                fmt(s.value),
+                fmt(s.median),
+                fmt(s.bound),
+            );
+        }
+    }
+    if verdict.pass() {
+        Ok(())
+    } else {
+        let failing: Vec<&str> =
+            verdict.series.iter().filter(|s| s.status == "fail").map(|s| s.name.as_str()).collect();
+        Err(format!("trends check failed: {} regressed", failing.join(", ")))
+    }
+}
+
+/// `ccsim trends gc [--ledger <file>] --keep <n>`
+fn trends_gc(args: &[String]) -> Result<(), String> {
+    let positional = positionals(args, &["--ledger", "--keep"], &[])?;
+    if let Some(extra) = positional.first() {
+        return Err(format!("unexpected argument {extra:?}\n\n{USAGE}"));
+    }
+    let keep: usize = parse_flag_value(args, "--keep")?
+        .ok_or_else(|| format!("trends gc needs --keep <n>\n\n{USAGE}"))?;
+    if keep == 0 {
+        return Err("--keep must be at least 1 (use `rm` to discard a ledger)".into());
+    }
+    let ledger = trends_ledger_path(args)?;
+    let dropped = ccsim_trends::Ledger::gc(&ledger, keep)?;
+    println!(
+        "gc {}: dropped {dropped} entr{}",
+        ledger.display(),
+        if dropped == 1 { "y" } else { "ies" }
+    );
+    Ok(())
 }
 
 /// `ccsim workloads`
@@ -1160,5 +1423,71 @@ mod tests {
     fn listings_do_not_fail() {
         list_workloads().unwrap();
         list_policies().unwrap();
+    }
+
+    #[test]
+    fn trends_record_table_check_gc_round_trip() {
+        let dir = std::env::temp_dir().join(format!("ccsim_cli_trends_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let ledger: String = dir.join("trends.jsonl").to_str().unwrap().into();
+        let bench_doc = |rps: f64| {
+            format!(
+                r#"{{"ccsim_bench": 2, "quick": true,
+                    "wall_clock_breakdown": {{"decode_ns": 10, "simulate_ns": 80, "report_ns": 10}},
+                    "obs_overhead": {{"overhead_pct": 1.0}},
+                    "cells": [{{"pattern": "llc_thrash", "policy": "lru", "records": 10,
+                                "best_rps": {rps}, "median_rps": {rps}}}]}}"#
+            )
+        };
+        let bench_path = dir.join("bench.json");
+        for (i, rps) in [100.0, 101.0, 99.0].iter().enumerate() {
+            std::fs::write(&bench_path, bench_doc(*rps)).unwrap();
+            trends(&[
+                "record".into(),
+                "--ledger".into(),
+                ledger.clone(),
+                "--rev".into(),
+                format!("rev{i}"),
+                "--label".into(),
+                "main".into(),
+                "--timestamp".into(),
+                format!("{i}"),
+                "--from-bench".into(),
+                bench_path.to_str().unwrap().into(),
+            ])
+            .unwrap();
+        }
+        trends(&["table".into(), "--ledger".into(), ledger.clone()]).unwrap();
+        trends(&["check".into(), "--ledger".into(), ledger.clone(), "--json".into()]).unwrap();
+
+        // A synthetic 50% regression must flip the gate to a hard error.
+        std::fs::write(&bench_path, bench_doc(50.0)).unwrap();
+        trends(&[
+            "record".into(),
+            "--ledger".into(),
+            ledger.clone(),
+            "--rev".into(),
+            "bad".into(),
+            "--timestamp".into(),
+            "9".into(),
+            "--from-bench".into(),
+            bench_path.to_str().unwrap().into(),
+        ])
+        .unwrap();
+        let err = trends(&["check".into(), "--ledger".into(), ledger.clone()]).unwrap_err();
+        assert!(err.contains("bench/llc_thrash/median_rps"), "{err}");
+
+        trends(&["gc".into(), "--ledger".into(), ledger.clone(), "--keep".into(), "2".into()])
+            .unwrap();
+        let text = std::fs::read_to_string(&ledger).unwrap();
+        assert_eq!(text.lines().count(), 2);
+        assert!(text.contains("\"rev\":\"bad\""));
+
+        // Flag hygiene: missing --rev / --keep and unknown subcommands fail.
+        assert!(trends(&["record".into(), "--ledger".into(), ledger.clone()]).is_err());
+        assert!(trends(&["gc".into(), "--ledger".into(), ledger.clone()]).is_err());
+        assert!(trends(&["frobnicate".into()]).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

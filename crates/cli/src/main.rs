@@ -11,6 +11,7 @@
 //! ccsim campaign status <spec.json>       distributed-campaign progress
 //! ccsim report-diff <a.json> <b.json>     per-cell deltas of two reports
 //! ccsim bench [--quick] [--json]          simulator throughput benchmark
+//! ccsim trends record|table|check|gc      cross-revision performance ledger
 //! ccsim workloads                         list available workload names
 //! ccsim policies                          list available policy names
 //! ```
@@ -42,6 +43,7 @@ fn main() -> ExitCode {
         Some("campaign") => commands::campaign(&args[1..]),
         Some("report-diff") => commands::report_diff(&args[1..]),
         Some("bench") => commands::bench(&args[1..]),
+        Some("trends") => commands::trends(&args[1..]),
         Some("workloads") => commands::list_workloads(),
         Some("policies") => commands::list_policies(),
         Some("--help") | Some("-h") | None => {

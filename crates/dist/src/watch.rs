@@ -19,16 +19,19 @@
 
 use std::collections::BTreeMap;
 use std::path::Path;
+use std::time::Duration;
 
 use ccsim_campaign::{CampaignSpec, Json, MergeCursor};
 use ccsim_core::experiment::Table;
 use ccsim_obs::json::JsonObj;
-use ccsim_obs::OBS_SCHEMA_VERSION;
+use ccsim_obs::{
+    records_per_sec, QuantileSummary, HISTOGRAM_BUCKETS, OBS_MIN_SCHEMA_VERSION, OBS_SCHEMA_VERSION,
+};
 
 use crate::status::{status_with_cursor, DistStatus};
 
 /// Throughput and timing a worker reported in its telemetry manifest.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct WorkerManifest {
     /// Cells the worker simulated this run.
     pub cells_done: u64,
@@ -38,6 +41,11 @@ pub struct WorkerManifest {
     pub records_simulated: u64,
     /// Simulation wall-clock the worker spent, in nanoseconds.
     pub sim_wall_ns: u64,
+    /// Per-cell simulation-time log₂ histogram buckets
+    /// (`campaign_cell_sim_ns`), for fleet-wide quantiles. Empty for a
+    /// v1 manifest that recorded no histogram, or one from a run with
+    /// telemetry disabled.
+    pub cell_sim_buckets: Vec<u64>,
 }
 
 /// One worker row of the dashboard: journal + lease facts from
@@ -59,8 +67,7 @@ impl WatchWorker {
     /// Records per second over this worker's own simulation wall-clock
     /// (0 when no manifest or no time accrued yet).
     pub fn records_per_sec(&self) -> u64 {
-        let m = self.manifest.unwrap_or_default();
-        per_sec(m.records_simulated, m.sim_wall_ns)
+        self.manifest.as_ref().map_or(0, |m| records_per_sec(m.records_simulated, m.sim_wall_ns))
     }
 }
 
@@ -81,11 +88,88 @@ pub struct Watcher {
     cursor: MergeCursor,
 }
 
-fn per_sec(records: u64, ns: u64) -> u64 {
-    if ns == 0 {
-        0
-    } else {
-        ((records as u128 * 1_000_000_000) / ns as u128) as u64
+/// A cheap stat-level fingerprint of a shared campaign directory: an
+/// FNV-1a hash over the (name, len, mtime) of every top-level entry and
+/// every lease file. Workers touch the directory on every journal
+/// append, manifest rewrite, and lease claim/heartbeat/release, so the
+/// fingerprint changes whenever a full re-poll could show anything new —
+/// the push-mode watch loop sleeps until it moves instead of re-merging
+/// journals on a fixed interval.
+pub fn dir_fingerprint(shared_dir: &Path) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut mix = |bytes: &[u8]| {
+        for &b in bytes {
+            hash ^= u64::from(b);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    let mut stat_dir = |dir: &Path| {
+        let Ok(entries) = std::fs::read_dir(dir) else { return };
+        // read_dir order is platform-arbitrary; sort so an unchanged
+        // directory always hashes identically.
+        let mut names: Vec<std::ffi::OsString> = entries.flatten().map(|e| e.file_name()).collect();
+        names.sort();
+        for name in names {
+            mix(name.as_encoded_bytes());
+            let Ok(meta) = std::fs::metadata(dir.join(&name)) else { continue };
+            mix(&meta.len().to_le_bytes());
+            if let Ok(mtime) = meta.modified() {
+                if let Ok(age) = mtime.duration_since(std::time::UNIX_EPOCH) {
+                    mix(&age.as_nanos().to_le_bytes());
+                }
+            }
+        }
+    };
+    stat_dir(shared_dir);
+    stat_dir(&crate::leases_dir(shared_dir));
+    hash
+}
+
+/// Sleep pacing for the push-mode watch loop: exponential backoff from
+/// [`WatchPacing::MIN_MS`] up to a cap while the directory fingerprint
+/// is unchanged, reset to the floor the moment it moves, plus a small
+/// deterministic jitter so a fleet of watchers never stats the shared
+/// (often NFS) directory in lockstep.
+#[derive(Debug, Clone)]
+pub struct WatchPacing {
+    cap_ms: u64,
+    cur_ms: u64,
+    tick: u64,
+    seed: u64,
+}
+
+impl WatchPacing {
+    /// Backoff floor: the delay right after observed activity.
+    pub const MIN_MS: u64 = 25;
+
+    /// A fresh pacer that backs off up to `cap_ms` between directory
+    /// stats (floored at [`WatchPacing::MIN_MS`]). `seed` decorrelates
+    /// jitter across watcher processes (pass the pid).
+    pub fn new(cap_ms: u64, seed: u64) -> WatchPacing {
+        WatchPacing { cap_ms: cap_ms.max(Self::MIN_MS), cur_ms: Self::MIN_MS, tick: 0, seed }
+    }
+
+    /// The next idle delay: current backoff plus up to 25% jitter.
+    /// Advances the backoff (doubling toward the cap), so call once per
+    /// unchanged poll.
+    pub fn idle_delay(&mut self) -> Duration {
+        let base = self.cur_ms;
+        self.cur_ms = (self.cur_ms * 2).min(self.cap_ms);
+        self.tick = self.tick.wrapping_add(1);
+        // splitmix64-style scramble of (seed, tick): deterministic per
+        // watcher, uncorrelated across watchers.
+        let mut z = self.seed.wrapping_add(self.tick.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+        let jitter = z % (base / 4).max(1);
+        Duration::from_millis(base + jitter)
+    }
+
+    /// Resets the backoff to the floor — call when the fingerprint
+    /// moved and the view was re-collected.
+    pub fn activity(&mut self) {
+        self.cur_ms = Self::MIN_MS;
     }
 }
 
@@ -118,7 +202,7 @@ impl Watcher {
                     worker: w.worker.clone(),
                     completed: w.completed,
                     claims: w.claims,
-                    manifest: manifests.get(&w.worker).copied(),
+                    manifest: manifests.get(&w.worker).cloned(),
                 },
             );
         }
@@ -127,7 +211,7 @@ impl Watcher {
                 worker: worker.clone(),
                 completed: 0,
                 claims: 0,
-                manifest: Some(*manifest),
+                manifest: Some(manifest.clone()),
             });
         }
         Ok(WatchView { status, workers: workers.into_values().collect() })
@@ -154,7 +238,11 @@ fn read_manifests(
         }
         let Ok(text) = std::fs::read_to_string(entry.path()) else { continue };
         let Ok(doc) = Json::parse(&text) else { continue };
-        let matches = doc.get("ccsim_obs").and_then(Json::as_u64) == Some(OBS_SCHEMA_VERSION)
+        let schema_ok = doc
+            .get("ccsim_obs")
+            .and_then(Json::as_u64)
+            .is_some_and(|v| (OBS_MIN_SCHEMA_VERSION..=OBS_SCHEMA_VERSION).contains(&v));
+        let matches = schema_ok
             && doc.get("kind").and_then(Json::as_str) == Some("manifest")
             && doc.get("campaign").and_then(Json::as_str) == Some(campaign)
             && doc.get("spec").and_then(Json::as_str) == Some(spec_digest);
@@ -170,10 +258,39 @@ fn read_manifests(
                 bands_done: field("bands_done"),
                 records_simulated: field("records_simulated"),
                 sim_wall_ns: field("sim_wall_ns"),
+                cell_sim_buckets: cell_sim_buckets(&doc),
             },
         );
     }
     out
+}
+
+/// Extracts the `campaign_cell_sim_ns` histogram's sparse `[index,
+/// count]` bucket pairs from a manifest into a dense bucket vector.
+/// Both v1 and v2 manifests carry raw buckets, so fleet quantiles work
+/// across a mixed-version fleet. Empty when the histogram is absent.
+fn cell_sim_buckets(doc: &Json) -> Vec<u64> {
+    let Some(pairs) = doc
+        .get("histograms")
+        .and_then(|h| h.get("campaign_cell_sim_ns"))
+        .and_then(|h| h.get("buckets"))
+        .and_then(Json::as_array)
+    else {
+        return Vec::new();
+    };
+    let mut buckets = vec![0u64; HISTOGRAM_BUCKETS];
+    for pair in pairs {
+        let Some(pair) = pair.as_array() else { continue };
+        let (Some(i), Some(c)) =
+            (pair.first().and_then(Json::as_u64), pair.get(1).and_then(Json::as_u64))
+        else {
+            continue;
+        };
+        if let Some(slot) = buckets.get_mut(i as usize) {
+            *slot = c;
+        }
+    }
+    buckets
 }
 
 impl WatchView {
@@ -185,19 +302,19 @@ impl WatchView {
 
     /// Engine-records simulated across all worker manifests.
     pub fn records_simulated(&self) -> u64 {
-        self.workers.iter().map(|w| w.manifest.unwrap_or_default().records_simulated).sum()
+        self.workers.iter().filter_map(|w| w.manifest.as_ref()).map(|m| m.records_simulated).sum()
     }
 
     /// Simulation wall-clock summed across all worker manifests, in
     /// nanoseconds.
     pub fn sim_wall_ns(&self) -> u64 {
-        self.workers.iter().map(|w| w.manifest.unwrap_or_default().sim_wall_ns).sum()
+        self.workers.iter().filter_map(|w| w.manifest.as_ref()).map(|m| m.sim_wall_ns).sum()
     }
 
     /// Aggregate records per second over the summed simulation
     /// wall-clock of all workers.
     pub fn records_per_sec(&self) -> u64 {
-        per_sec(self.records_simulated(), self.sim_wall_ns())
+        records_per_sec(self.records_simulated(), self.sim_wall_ns())
     }
 
     /// Mean simulation wall-clock per completed cell, in nanoseconds
@@ -205,8 +322,22 @@ impl WatchView {
     /// lands).
     pub fn mean_cell_sim_ns(&self) -> u64 {
         let cells: u64 =
-            self.workers.iter().map(|w| w.manifest.unwrap_or_default().cells_done).sum();
+            self.workers.iter().filter_map(|w| w.manifest.as_ref()).map(|m| m.cells_done).sum();
         self.sim_wall_ns().checked_div(cells).unwrap_or(0)
+    }
+
+    /// Fleet-wide per-cell simulation-time quantiles: the
+    /// `campaign_cell_sim_ns` buckets of every worker manifest summed,
+    /// then summarized. All-zero when no manifest carried the histogram
+    /// (telemetry disabled, or nothing simulated yet).
+    pub fn cell_sim_quantiles(&self) -> QuantileSummary {
+        let mut buckets = vec![0u64; HISTOGRAM_BUCKETS];
+        for m in self.workers.iter().filter_map(|w| w.manifest.as_ref()) {
+            for (slot, &c) in buckets.iter_mut().zip(&m.cell_sim_buckets) {
+                *slot += c;
+            }
+        }
+        QuantileSummary::from_buckets(&buckets)
     }
 
     /// Estimated seconds of simulation left: pending cells × mean cell
@@ -236,7 +367,7 @@ impl WatchView {
             if i > 0 {
                 workers.push_str(", ");
             }
-            let m = w.manifest.unwrap_or_default();
+            let m = w.manifest.clone().unwrap_or_default();
             let mut row = JsonObj::new();
             row.str("worker", &w.worker)
                 .u64("completed", w.completed as u64)
@@ -250,12 +381,22 @@ impl WatchView {
             workers.push_str(&row.finish());
         }
         workers.push(']');
+        let q = self.cell_sim_quantiles();
+        let mut cell_sim = JsonObj::new();
+        cell_sim
+            .u64("p50", q.p50)
+            .u64("p90", q.p90)
+            .u64("p99", q.p99)
+            .u64("min", q.min)
+            .u64("max", q.max)
+            .u64("count", q.count);
         let mut aggregate = JsonObj::new();
         aggregate
             .u64("records_simulated", self.records_simulated())
             .u64("sim_wall_ns", self.sim_wall_ns())
             .u64("records_per_sec", self.records_per_sec())
             .u64("mean_cell_sim_ns", self.mean_cell_sim_ns())
+            .raw("cell_sim_ns", &cell_sim.finish())
             .u64("eta_seconds", self.eta_seconds());
         let mut doc = JsonObj::new();
         doc.u64("ccsim_obs", OBS_SCHEMA_VERSION)
@@ -287,7 +428,7 @@ impl WatchView {
                 .collect(),
         );
         for w in &self.workers {
-            let m = w.manifest.unwrap_or_default();
+            let m = w.manifest.clone().unwrap_or_default();
             t.row(vec![
                 w.worker.clone(),
                 w.completed.to_string(),
@@ -301,10 +442,13 @@ impl WatchView {
             out.push('\n');
             out.push_str(&t.render());
         }
+        let q = self.cell_sim_quantiles();
         out.push_str(&format!(
-            "\naggregate: {} records/s, mean cell {} ms, eta {} s",
+            "\naggregate: {} records/s, mean cell {} ms (p50 {} / p99 {} ms), eta {} s",
             self.records_per_sec(),
             self.mean_cell_sim_ns() / 1_000_000,
+            q.p50 / 1_000_000,
+            q.p99 / 1_000_000,
             self.eta_seconds()
         ));
         for l in &s.stale_leases {
@@ -314,5 +458,69 @@ impl WatchView {
             ));
         }
         out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pacing_backs_off_and_resets() {
+        let mut p = WatchPacing::new(400, 7);
+        let d1 = p.idle_delay();
+        assert!(d1 >= Duration::from_millis(WatchPacing::MIN_MS));
+        assert!(d1 < Duration::from_millis(WatchPacing::MIN_MS + WatchPacing::MIN_MS / 4 + 1));
+        // Unchanged polls double toward the cap (jitter ≤ 25%).
+        let mut last = d1;
+        for _ in 0..6 {
+            last = p.idle_delay();
+        }
+        assert!(last >= Duration::from_millis(400), "reached cap: {last:?}");
+        assert!(last <= Duration::from_millis(500), "cap + 25% jitter: {last:?}");
+        p.activity();
+        assert!(p.idle_delay() < Duration::from_millis(2 * WatchPacing::MIN_MS));
+    }
+
+    #[test]
+    fn pacing_cap_is_floored() {
+        let mut p = WatchPacing::new(1, 0);
+        let d = p.idle_delay();
+        assert!(d >= Duration::from_millis(WatchPacing::MIN_MS));
+    }
+
+    #[test]
+    fn fingerprint_tracks_shared_dir_writes() {
+        let dir = std::env::temp_dir().join(format!("ccsim_watch_fp_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(crate::leases_dir(&dir)).unwrap();
+        let empty = dir_fingerprint(&dir);
+        assert_eq!(empty, dir_fingerprint(&dir), "stat-stable dir hashes identically");
+
+        std::fs::write(dir.join("journal.w1.jsonl"), "line\n").unwrap();
+        let with_journal = dir_fingerprint(&dir);
+        assert_ne!(empty, with_journal, "new top-level file moves the fingerprint");
+
+        std::fs::write(crate::leases_dir(&dir).join("cell-abc.lease"), "w1 1").unwrap();
+        assert_ne!(with_journal, dir_fingerprint(&dir), "lease churn moves the fingerprint");
+
+        std::fs::write(dir.join("journal.w1.jsonl"), "line\nline2\n").unwrap();
+        assert_ne!(with_journal, dir_fingerprint(&dir), "append moves the fingerprint");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn cell_sim_buckets_parses_sparse_pairs() {
+        let doc = Json::parse(
+            r#"{"histograms": {"campaign_cell_sim_ns": {"count": 3, "sum": 30,
+                "buckets": [[4, 2], [10, 1]]}}}"#,
+        )
+        .unwrap();
+        let buckets = cell_sim_buckets(&doc);
+        assert_eq!(buckets.len(), HISTOGRAM_BUCKETS);
+        assert_eq!(buckets[4], 2);
+        assert_eq!(buckets[10], 1);
+        assert_eq!(buckets.iter().sum::<u64>(), 3);
+        assert!(cell_sim_buckets(&Json::parse("{}").unwrap()).is_empty());
     }
 }

@@ -48,14 +48,38 @@ pub use metrics::{
     HISTOGRAM_BUCKETS,
 };
 pub use sink::{Field, RunMeta, RunObs};
-pub use snapshot::{write_exposition, HistogramSnapshot, Snapshot};
+pub use snapshot::{write_exposition, HistogramSnapshot, QuantileSummary, Snapshot};
 
 /// Schema version stamped into every obs document: the event-log
 /// header, the run manifest, and the `campaign watch --json` view.
-pub const OBS_SCHEMA_VERSION: u64 = 1;
+///
+/// v2 added bucket-derived quantile summaries ([`QuantileSummary`]) to
+/// every manifest histogram, `_quantile` gauges to the Prometheus
+/// exposition, and the aggregate `cell_sim_ns` quantile block to the
+/// watch document. Readers ([`ccsim trends`], `campaign watch`) accept
+/// the whole [`OBS_MIN_SCHEMA_VERSION`]..=[`OBS_SCHEMA_VERSION`] range.
+pub const OBS_SCHEMA_VERSION: u64 = 2;
+
+/// Oldest obs document schema readers still accept: v1 manifests carry
+/// the same scalar accounting and raw histogram buckets, just no
+/// pre-computed quantile block (consumers derive one from the buckets).
+pub const OBS_MIN_SCHEMA_VERSION: u64 = 1;
 
 /// Worker id used by single-process (non-dist) runs in obs documents.
 pub const SOLO_WORKER: &str = "(solo)";
+
+/// Integer records-per-second over a nanosecond wall clock (0 when no
+/// time has accrued). The **one** rate rule every consumer shares —
+/// worker manifests, `DistStatus`/`campaign watch` rows and aggregates,
+/// and the `ccsim trends` ledger all derive throughput through here, so
+/// two views of the same accounting can never round differently.
+pub fn records_per_sec(records: u64, wall_ns: u64) -> u64 {
+    if wall_ns == 0 {
+        0
+    } else {
+        ((records as u128 * 1_000_000_000) / wall_ns as u128) as u64
+    }
+}
 
 #[cfg(test)]
 pub(crate) mod test_support {

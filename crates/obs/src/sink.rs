@@ -1,5 +1,5 @@
 //! Run-scoped sinks: the per-run JSONL event log and the end-of-run
-//! manifest (`OBS_SCHEMA_VERSION` 1).
+//! manifest (stamped with [`OBS_SCHEMA_VERSION`]).
 //!
 //! A [`RunObs`] captures a catalog [`Snapshot`] when the run begins and
 //! manifests the **delta**, so process-wide totals stay correctly
@@ -155,8 +155,19 @@ impl RunObs {
                 }
             }
             buckets.push(']');
+            let q = h.quantiles();
+            let mut quantiles = JsonObj::new();
+            quantiles
+                .u64("p50", q.p50)
+                .u64("p90", q.p90)
+                .u64("p99", q.p99)
+                .u64("min", q.min)
+                .u64("max", q.max);
             let mut hist = JsonObj::new();
-            hist.u64("count", h.count).u64("sum", h.sum).raw("buckets", &buckets);
+            hist.u64("count", h.count)
+                .u64("sum", h.sum)
+                .raw("quantiles", &quantiles.finish())
+                .raw("buckets", &buckets);
             histograms.raw(name, &hist.finish());
         }
         let mut doc = JsonObj::new();
@@ -229,13 +240,13 @@ mod tests {
         let log = fs::read_to_string(dir.join("run.obs.jsonl")).unwrap();
         let lines: Vec<&str> = log.lines().collect();
         assert_eq!(lines.len(), 3, "header + 2 events: {log}");
-        assert!(lines[0].contains("\"ccsim_obs\": 1"));
+        assert!(lines[0].contains("\"ccsim_obs\": 2"));
         assert!(lines[0].contains("\"kind\": \"events\""));
         assert!(lines[1].contains("\"ev\": \"band_start\""));
         assert!(lines[2].contains("\"ev\": \"run_end\""));
 
         let manifest = fs::read_to_string(dir.join("manifest.json")).unwrap();
-        assert!(manifest.contains("\"ccsim_obs\": 1"));
+        assert!(manifest.contains("\"ccsim_obs\": 2"));
         assert!(manifest.contains("\"kind\": \"manifest\""));
         assert!(manifest.contains("\"cells_done\": 2"));
         assert!(manifest.contains("\"records_simulated\": 1000"));

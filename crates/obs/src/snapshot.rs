@@ -16,6 +16,65 @@ pub struct HistogramSnapshot {
     pub buckets: [u64; HISTOGRAM_BUCKETS],
 }
 
+/// Quantile and extremum summary derived purely from a histogram's log₂
+/// buckets: every value is a bucket bound, so the summary is an exact
+/// deterministic function of the bucket counts (within the ~2×
+/// resolution the buckets provide) — no sample retention, no
+/// interpolation, byte-stable across re-renders.
+///
+/// `p50`/`p90`/`p99` and `max` report the *upper* bound of the bucket
+/// holding that rank; `min` reports the *lower* bound of the first
+/// non-empty bucket. All fields are 0 when no samples were recorded.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct QuantileSummary {
+    /// Number of samples the summary covers.
+    pub count: u64,
+    /// Lower bound of the first non-empty bucket.
+    pub min: u64,
+    /// Upper bound of the last non-empty bucket.
+    pub max: u64,
+    /// Upper bound of the bucket holding the 50th-percentile sample.
+    pub p50: u64,
+    /// Upper bound of the bucket holding the 90th-percentile sample.
+    pub p90: u64,
+    /// Upper bound of the bucket holding the 99th-percentile sample.
+    pub p99: u64,
+}
+
+impl QuantileSummary {
+    /// Derives the summary from raw log₂ bucket counts. Buckets beyond
+    /// `buckets.len()` count as empty, so callers holding fewer than
+    /// [`HISTOGRAM_BUCKETS`] trailing buckets (elided zeros) work too.
+    pub fn from_buckets(buckets: &[u64]) -> QuantileSummary {
+        let count: u64 = buckets.iter().sum();
+        if count == 0 {
+            return QuantileSummary::default();
+        }
+        let first = buckets.iter().position(|&c| c > 0).unwrap_or(0);
+        let last = buckets.iter().rposition(|&c| c > 0).unwrap_or(0);
+        let rank_bound = |q_num: u64, q_den: u64| {
+            // The bucket holding the ceil(q * count)-th sample (1-based).
+            let rank = (count * q_num).div_ceil(q_den).max(1);
+            let mut cumulative = 0u64;
+            for (i, &c) in buckets.iter().enumerate() {
+                cumulative += c;
+                if cumulative >= rank {
+                    return Histogram::bucket_bound(i);
+                }
+            }
+            Histogram::bucket_bound(last)
+        };
+        QuantileSummary {
+            count,
+            min: if first == 0 { 0 } else { 1u64 << (first - 1) },
+            max: Histogram::bucket_bound(last),
+            p50: rank_bound(1, 2),
+            p90: rank_bound(9, 10),
+            p99: rank_bound(99, 100),
+        }
+    }
+}
+
 impl HistogramSnapshot {
     fn take(h: &Histogram) -> HistogramSnapshot {
         let mut buckets = [0u64; HISTOGRAM_BUCKETS];
@@ -44,6 +103,11 @@ impl HistogramSnapshot {
         } else {
             self.sum as f64 / self.count as f64
         }
+    }
+
+    /// The bucket-derived quantile summary of this view.
+    pub fn quantiles(&self) -> QuantileSummary {
+        QuantileSummary::from_buckets(&self.buckets)
     }
 }
 
@@ -132,6 +196,14 @@ impl Snapshot {
                 count = h.count,
                 sum = h.sum,
             ));
+            // Pre-computed quantile gauges (bucket-bound estimates) so
+            // scrape-side tooling gets p50/p90/p99 without re-deriving
+            // them from the bucket series.
+            let q = h.quantiles();
+            out.push_str(&format!("# TYPE ccsim_{name}_quantile gauge\n"));
+            for (label, v) in [("0.5", q.p50), ("0.9", q.p90), ("0.99", q.p99)] {
+                out.push_str(&format!("ccsim_{name}_quantile{{q=\"{label}\"}} {v}\n"));
+            }
         }
         out
     }
@@ -183,5 +255,50 @@ mod tests {
         let count: u64 = count_line.rsplit(' ').next().unwrap().parse().unwrap();
         let inf: u64 = inf_line.rsplit(' ').next().unwrap().parse().unwrap();
         assert_eq!(count, inf);
+        // Quantile gauges ride along, one per tracked percentile.
+        assert!(text.contains("# TYPE ccsim_cache_ensure_ns_quantile gauge\n"));
+        for q in ["0.5", "0.9", "0.99"] {
+            assert!(
+                text.contains(&format!("ccsim_cache_ensure_ns_quantile{{q=\"{q}\"}} ")),
+                "missing quantile {q}: {text}"
+            );
+        }
+    }
+
+    #[test]
+    fn quantiles_are_bucket_bound_estimates() {
+        // Empty histogram: all zeros.
+        assert_eq!(QuantileSummary::from_buckets(&[0u64; 4]), QuantileSummary::default());
+        // 100 samples in bucket 3 ([4, 7]), 1 outlier in bucket 10
+        // ([512, 1023]): p50/p90 land in bucket 3, p99 still in bucket 3
+        // (rank 100 of 101), max reports the outlier's bucket bound.
+        let mut buckets = [0u64; HISTOGRAM_BUCKETS];
+        buckets[3] = 100;
+        buckets[10] = 1;
+        let q = QuantileSummary::from_buckets(&buckets);
+        assert_eq!(q.count, 101);
+        assert_eq!(q.min, 4, "lower bound of bucket 3");
+        assert_eq!(q.max, 1023, "upper bound of bucket 10");
+        assert_eq!(q.p50, 7);
+        assert_eq!(q.p90, 7);
+        assert_eq!(q.p99, 7, "rank ceil(0.99*101)=100 is the last bucket-3 sample");
+        // Bucket 0 (zero samples) keeps min at 0.
+        let mut zeros = [0u64; HISTOGRAM_BUCKETS];
+        zeros[0] = 10;
+        let q = QuantileSummary::from_buckets(&zeros);
+        assert_eq!((q.min, q.max, q.p50, q.p99), (0, 0, 0, 0));
+        // A single sample pins every percentile to its bucket.
+        let q = QuantileSummary::from_buckets(&[0, 0, 1]);
+        assert_eq!((q.count, q.min, q.max, q.p50, q.p90, q.p99), (1, 2, 3, 3, 3, 3));
+        // Snapshot wiring: record through a live histogram.
+        let _guard = enabled_lock();
+        let h = Histogram::new();
+        for _ in 0..10 {
+            h.record(1000);
+        }
+        let q = HistogramSnapshot::take(&h).quantiles();
+        assert_eq!(q.count, 10);
+        assert_eq!(q.p50, 1023);
+        assert_eq!(q.min, 512);
     }
 }

@@ -1,0 +1,582 @@
+//! Ingest: distilling the workspace's machine-readable documents into
+//! the compact summaries a ledger entry stores.
+//!
+//! Each summary has two JSON faces: `from_doc` parses the *source*
+//! document (`ccsim bench --json`, `report-diff --json`, an obs
+//! manifest, or a watch view) and keeps only the fields trend tables
+//! and gates consume; `to_json` / `from_entry_json` round-trip the
+//! summary through the ledger line. Source parsing is strict about
+//! schema identity (wrong document kinds are errors, not zeros) but
+//! versions are accepted across the documented compatibility range —
+//! in particular a v1 obs manifest without the pre-computed quantile
+//! block still yields quantiles, derived from its raw histogram
+//! buckets.
+
+use ccsim_campaign::Json;
+use ccsim_obs::{
+    records_per_sec, QuantileSummary, HISTOGRAM_BUCKETS, OBS_MIN_SCHEMA_VERSION, OBS_SCHEMA_VERSION,
+};
+
+/// Oldest / newest `ccsim bench --json` schema this crate ingests
+/// (v1 predates `wall_clock_breakdown` and `obs_overhead`).
+pub const BENCH_MIN_SCHEMA: u64 = 1;
+/// Newest accepted bench schema.
+pub const BENCH_MAX_SCHEMA: u64 = 2;
+/// The `report-diff --json` schema this crate ingests.
+pub const DIFF_SCHEMA: u64 = 1;
+
+fn req_u64(doc: &Json, key: &str) -> Result<u64, String> {
+    doc.get(key).and_then(Json::as_u64).ok_or_else(|| format!("missing integer `{key}`"))
+}
+
+fn opt_u64(doc: &Json, key: &str) -> u64 {
+    doc.get(key).and_then(Json::as_u64).unwrap_or(0)
+}
+
+fn opt_f64(doc: &Json, key: &str) -> f64 {
+    doc.get(key).and_then(Json::as_f64).unwrap_or(0.0)
+}
+
+fn req_str(doc: &Json, key: &str) -> Result<String, String> {
+    doc.get(key)
+        .and_then(Json::as_str)
+        .map(str::to_owned)
+        .ok_or_else(|| format!("missing string `{key}`"))
+}
+
+fn schema_in(doc: &Json, field: &str, min: u64, max: u64) -> Result<u64, String> {
+    let v =
+        doc.get(field).and_then(Json::as_u64).ok_or_else(|| format!("not a `{field}` document"))?;
+    if (min..=max).contains(&v) {
+        Ok(v)
+    } else {
+        Err(format!("unsupported {field} schema {v} (supported: {min}..={max})"))
+    }
+}
+
+fn quantiles_to_json(q: &QuantileSummary) -> Json {
+    Json::obj(vec![
+        ("p50", Json::int(q.p50)),
+        ("p90", Json::int(q.p90)),
+        ("p99", Json::int(q.p99)),
+        ("min", Json::int(q.min)),
+        ("max", Json::int(q.max)),
+        ("count", Json::int(q.count)),
+    ])
+}
+
+fn quantiles_from_json(doc: &Json) -> QuantileSummary {
+    QuantileSummary {
+        p50: opt_u64(doc, "p50"),
+        p90: opt_u64(doc, "p90"),
+        p99: opt_u64(doc, "p99"),
+        min: opt_u64(doc, "min"),
+        max: opt_u64(doc, "max"),
+        count: opt_u64(doc, "count"),
+    }
+}
+
+/// The `campaign_cell_sim_ns` quantiles of one obs document: the
+/// pre-computed v2 `quantiles` block when present, else derived from
+/// the raw sparse `[index, count]` buckets (the v1 read path). `None`
+/// when the histogram is absent entirely (telemetry disabled).
+fn cell_sim_quantiles(doc: &Json) -> Option<QuantileSummary> {
+    let hist = doc.get("histograms")?.get("campaign_cell_sim_ns")?;
+    if let Some(q) = hist.get("quantiles") {
+        // The manifest's quantile block sits next to the histogram's
+        // own `count` and does not repeat it.
+        return Some(QuantileSummary { count: opt_u64(hist, "count"), ..quantiles_from_json(q) });
+    }
+    let pairs = hist.get("buckets")?.as_array()?;
+    let mut buckets = vec![0u64; HISTOGRAM_BUCKETS];
+    for pair in pairs {
+        let pair = pair.as_array()?;
+        let (i, c) = (pair.first()?.as_u64()?, pair.get(1)?.as_u64()?);
+        if let Some(slot) = buckets.get_mut(i as usize) {
+            *slot = c;
+        }
+    }
+    Some(QuantileSummary::from_buckets(&buckets))
+}
+
+/// One measured (pattern × policy) bench cell, as stored in the ledger.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchCellSummary {
+    /// Pattern name (`llc_thrash`, `random_churn`, `l1_hot`).
+    pub pattern: String,
+    /// Policy name.
+    pub policy: String,
+    /// Trace records replayed per repetition.
+    pub records: u64,
+    /// Best records/second across the timed repetitions.
+    pub best_rps: f64,
+    /// Median records/second across the timed repetitions.
+    pub median_rps: f64,
+}
+
+/// What a ledger entry keeps of one `ccsim bench --json` report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchSummary {
+    /// Whether reduced-scale inputs were used (quick runs and full runs
+    /// are different suites; gates only compare like against like).
+    pub quick: bool,
+    /// Telemetry hot-path overhead, percent (0 for a v1 report).
+    pub overhead_pct: f64,
+    /// Wall clock spent synthesizing traces, nanoseconds.
+    pub decode_ns: u64,
+    /// Wall clock spent in the measured simulation matrix, nanoseconds.
+    pub simulate_ns: u64,
+    /// Wall clock spent on checks and report assembly, nanoseconds.
+    pub report_ns: u64,
+    /// Measured cells, in report order.
+    pub cells: Vec<BenchCellSummary>,
+}
+
+impl BenchSummary {
+    /// Distills a `ccsim bench --json` document.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the document is not a bench report of a
+    /// supported schema or a cell is malformed.
+    pub fn from_doc(doc: &Json) -> Result<BenchSummary, String> {
+        schema_in(doc, "ccsim_bench", BENCH_MIN_SCHEMA, BENCH_MAX_SCHEMA)?;
+        let wall = doc.get("wall_clock_breakdown");
+        let overhead_pct = doc.get("obs_overhead").map_or(0.0, |o| opt_f64(o, "overhead_pct"));
+        let mut cells = Vec::new();
+        for cell in doc.get("cells").and_then(Json::as_array).unwrap_or(&[]) {
+            cells.push(BenchCellSummary {
+                pattern: req_str(cell, "pattern")?,
+                policy: req_str(cell, "policy")?,
+                records: req_u64(cell, "records")?,
+                best_rps: opt_f64(cell, "best_rps"),
+                median_rps: opt_f64(cell, "median_rps"),
+            });
+        }
+        Ok(BenchSummary {
+            quick: matches!(doc.get("quick"), Some(Json::Bool(true))),
+            overhead_pct,
+            decode_ns: wall.map_or(0, |w| opt_u64(w, "decode_ns")),
+            simulate_ns: wall.map_or(0, |w| opt_u64(w, "simulate_ns")),
+            report_ns: wall.map_or(0, |w| opt_u64(w, "report_ns")),
+            cells,
+        })
+    }
+
+    /// The ledger representation.
+    pub fn to_json(&self) -> Json {
+        let cells = self
+            .cells
+            .iter()
+            .map(|c| {
+                Json::obj(vec![
+                    ("pattern", Json::str(&c.pattern)),
+                    ("policy", Json::str(&c.policy)),
+                    ("records", Json::int(c.records)),
+                    ("best_rps", Json::num(c.best_rps)),
+                    ("median_rps", Json::num(c.median_rps)),
+                ])
+            })
+            .collect();
+        Json::obj(vec![
+            ("quick", Json::Bool(self.quick)),
+            ("overhead_pct", Json::num(self.overhead_pct)),
+            ("decode_ns", Json::int(self.decode_ns)),
+            ("simulate_ns", Json::int(self.simulate_ns)),
+            ("report_ns", Json::int(self.report_ns)),
+            ("cells", Json::Arr(cells)),
+        ])
+    }
+
+    /// Parses the ledger representation back.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on a malformed cell.
+    pub fn from_entry_json(doc: &Json) -> Result<BenchSummary, String> {
+        let mut cells = Vec::new();
+        for cell in doc.get("cells").and_then(Json::as_array).unwrap_or(&[]) {
+            cells.push(BenchCellSummary {
+                pattern: req_str(cell, "pattern")?,
+                policy: req_str(cell, "policy")?,
+                records: opt_u64(cell, "records"),
+                best_rps: opt_f64(cell, "best_rps"),
+                median_rps: opt_f64(cell, "median_rps"),
+            });
+        }
+        Ok(BenchSummary {
+            quick: matches!(doc.get("quick"), Some(Json::Bool(true))),
+            overhead_pct: opt_f64(doc, "overhead_pct"),
+            decode_ns: opt_u64(doc, "decode_ns"),
+            simulate_ns: opt_u64(doc, "simulate_ns"),
+            report_ns: opt_u64(doc, "report_ns"),
+            cells,
+        })
+    }
+}
+
+/// What a ledger entry keeps of one `report-diff --json` comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiffSummary {
+    /// First campaign name.
+    pub campaign_a: String,
+    /// Second campaign name.
+    pub campaign_b: String,
+    /// Whether both reports covered exactly the same grid.
+    pub same_grid: bool,
+    /// The MPKI threshold the diff was taken at.
+    pub threshold: f64,
+    /// Largest absolute per-cell LLC-MPKI delta.
+    pub max_abs_mpki_delta: f64,
+    /// Cells whose absolute delta exceeded the threshold.
+    pub cells_over_threshold: u64,
+    /// Common cells compared.
+    pub cells: u64,
+}
+
+impl DiffSummary {
+    /// Distills a `report-diff --json` document.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the document is not a diff of the
+    /// supported schema.
+    pub fn from_doc(doc: &Json) -> Result<DiffSummary, String> {
+        schema_in(doc, "ccsim_report_diff", DIFF_SCHEMA, DIFF_SCHEMA)?;
+        Ok(DiffSummary {
+            campaign_a: req_str(doc, "campaign_a")?,
+            campaign_b: req_str(doc, "campaign_b")?,
+            same_grid: matches!(doc.get("same_grid"), Some(Json::Bool(true))),
+            threshold: opt_f64(doc, "threshold"),
+            max_abs_mpki_delta: opt_f64(doc, "max_abs_mpki_delta"),
+            cells_over_threshold: opt_u64(doc, "cells_over_threshold"),
+            cells: doc.get("cells").and_then(Json::as_array).map_or(0, |c| c.len() as u64),
+        })
+    }
+
+    /// The ledger representation.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("campaign_a", Json::str(&self.campaign_a)),
+            ("campaign_b", Json::str(&self.campaign_b)),
+            ("same_grid", Json::Bool(self.same_grid)),
+            ("threshold", Json::num(self.threshold)),
+            ("max_abs_mpki_delta", Json::num(self.max_abs_mpki_delta)),
+            ("cells_over_threshold", Json::int(self.cells_over_threshold)),
+            ("cells", Json::int(self.cells)),
+        ])
+    }
+
+    /// Parses the ledger representation back.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on missing campaign names.
+    pub fn from_entry_json(doc: &Json) -> Result<DiffSummary, String> {
+        Ok(DiffSummary {
+            campaign_a: req_str(doc, "campaign_a")?,
+            campaign_b: req_str(doc, "campaign_b")?,
+            same_grid: matches!(doc.get("same_grid"), Some(Json::Bool(true))),
+            threshold: opt_f64(doc, "threshold"),
+            max_abs_mpki_delta: opt_f64(doc, "max_abs_mpki_delta"),
+            cells_over_threshold: opt_u64(doc, "cells_over_threshold"),
+            cells: opt_u64(doc, "cells"),
+        })
+    }
+}
+
+/// What a ledger entry keeps of one per-worker obs manifest.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ManifestSummary {
+    /// Worker id (`(solo)` for single-process runs).
+    pub worker: String,
+    /// Cells the worker simulated.
+    pub cells_done: u64,
+    /// Engine-records advanced.
+    pub records_simulated: u64,
+    /// Simulation wall-clock, nanoseconds.
+    pub sim_wall_ns: u64,
+    /// Per-cell simulation-time quantiles (`campaign_cell_sim_ns`);
+    /// `None` when the manifest carried no histogram.
+    pub cell_sim: Option<QuantileSummary>,
+}
+
+impl ManifestSummary {
+    /// Records per second over this worker's simulation wall-clock.
+    pub fn records_per_sec(&self) -> u64 {
+        records_per_sec(self.records_simulated, self.sim_wall_ns)
+    }
+
+    /// Distills an obs manifest document (v1 or v2 — quantiles are
+    /// derived from raw buckets when the pre-computed block is absent).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the document is not a manifest of a
+    /// supported obs schema.
+    pub fn from_doc(doc: &Json) -> Result<ManifestSummary, String> {
+        schema_in(doc, "ccsim_obs", OBS_MIN_SCHEMA_VERSION, OBS_SCHEMA_VERSION)?;
+        if doc.get("kind").and_then(Json::as_str) != Some("manifest") {
+            return Err("not a manifest document (kind != \"manifest\")".to_owned());
+        }
+        Ok(ManifestSummary {
+            worker: req_str(doc, "worker")?,
+            cells_done: opt_u64(doc, "cells_done"),
+            records_simulated: opt_u64(doc, "records_simulated"),
+            sim_wall_ns: opt_u64(doc, "sim_wall_ns"),
+            cell_sim: cell_sim_quantiles(doc),
+        })
+    }
+
+    /// The ledger representation.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("worker", Json::str(&self.worker)),
+            ("cells_done", Json::int(self.cells_done)),
+            ("records_simulated", Json::int(self.records_simulated)),
+            ("sim_wall_ns", Json::int(self.sim_wall_ns)),
+            ("records_per_sec", Json::int(self.records_per_sec())),
+            ("cell_sim", self.cell_sim.as_ref().map_or(Json::Null, quantiles_to_json)),
+        ])
+    }
+
+    /// Parses the ledger representation back.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on a missing worker id.
+    pub fn from_entry_json(doc: &Json) -> Result<ManifestSummary, String> {
+        Ok(ManifestSummary {
+            worker: req_str(doc, "worker")?,
+            cells_done: opt_u64(doc, "cells_done"),
+            records_simulated: opt_u64(doc, "records_simulated"),
+            sim_wall_ns: opt_u64(doc, "sim_wall_ns"),
+            cell_sim: match doc.get("cell_sim") {
+                None | Some(Json::Null) => None,
+                Some(q) => Some(quantiles_from_json(q)),
+            },
+        })
+    }
+}
+
+/// What a ledger entry keeps of one `campaign watch --once --json`
+/// aggregate view.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WatchSummary {
+    /// Campaign name.
+    pub campaign: String,
+    /// Whether the grid was fully journaled at capture time.
+    pub done: bool,
+    /// Engine-records simulated across the fleet.
+    pub records_simulated: u64,
+    /// Summed fleet simulation wall-clock, nanoseconds.
+    pub sim_wall_ns: u64,
+    /// Mean simulation wall-clock per completed cell, nanoseconds.
+    pub mean_cell_sim_ns: u64,
+    /// Fleet-wide per-cell sim-time quantiles (`None` for a v1 watch
+    /// document, which predates the aggregate quantile block).
+    pub cell_sim: Option<QuantileSummary>,
+}
+
+impl WatchSummary {
+    /// Fleet records per second over the summed simulation wall-clock.
+    pub fn records_per_sec(&self) -> u64 {
+        records_per_sec(self.records_simulated, self.sim_wall_ns)
+    }
+
+    /// Distills a watch document.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the document is not a watch view of a
+    /// supported obs schema or lacks the aggregate block.
+    pub fn from_doc(doc: &Json) -> Result<WatchSummary, String> {
+        schema_in(doc, "ccsim_obs", OBS_MIN_SCHEMA_VERSION, OBS_SCHEMA_VERSION)?;
+        if doc.get("kind").and_then(Json::as_str) != Some("watch") {
+            return Err("not a watch document (kind != \"watch\")".to_owned());
+        }
+        let agg = doc.get("aggregate").ok_or("watch document lacks `aggregate`")?;
+        Ok(WatchSummary {
+            campaign: req_str(doc, "campaign")?,
+            done: matches!(doc.get("done"), Some(Json::Bool(true))),
+            records_simulated: opt_u64(agg, "records_simulated"),
+            sim_wall_ns: opt_u64(agg, "sim_wall_ns"),
+            mean_cell_sim_ns: opt_u64(agg, "mean_cell_sim_ns"),
+            cell_sim: agg.get("cell_sim_ns").map(quantiles_from_json),
+        })
+    }
+
+    /// The ledger representation.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("campaign", Json::str(&self.campaign)),
+            ("done", Json::Bool(self.done)),
+            ("records_simulated", Json::int(self.records_simulated)),
+            ("sim_wall_ns", Json::int(self.sim_wall_ns)),
+            ("records_per_sec", Json::int(self.records_per_sec())),
+            ("mean_cell_sim_ns", Json::int(self.mean_cell_sim_ns)),
+            ("cell_sim", self.cell_sim.as_ref().map_or(Json::Null, quantiles_to_json)),
+        ])
+    }
+
+    /// Parses the ledger representation back.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message on a missing campaign name.
+    pub fn from_entry_json(doc: &Json) -> Result<WatchSummary, String> {
+        Ok(WatchSummary {
+            campaign: req_str(doc, "campaign")?,
+            done: matches!(doc.get("done"), Some(Json::Bool(true))),
+            records_simulated: opt_u64(doc, "records_simulated"),
+            sim_wall_ns: opt_u64(doc, "sim_wall_ns"),
+            mean_cell_sim_ns: opt_u64(doc, "mean_cell_sim_ns"),
+            cell_sim: match doc.get("cell_sim") {
+                None | Some(Json::Null) => None,
+                Some(q) => Some(quantiles_from_json(q)),
+            },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_doc_distills_to_summary() {
+        let doc = Json::parse(
+            r#"{"ccsim_bench": 2, "quick": true, "warmup": 1, "reps": 3,
+                "wall_clock_breakdown": {"decode_ns": 100, "simulate_ns": 900, "report_ns": 50},
+                "obs_overhead": {"baseline_rps": 100.0, "enabled_rps": 99.0,
+                                 "overhead_pct": 1.0, "limit_pct": 3.0, "status": "pass"},
+                "cells": [{"pattern": "llc_thrash", "policy": "lru", "records": 10,
+                           "reps": 3, "best_rps": 100.5, "median_rps": 90.25}]}"#,
+        )
+        .unwrap();
+        let s = BenchSummary::from_doc(&doc).unwrap();
+        assert!(s.quick);
+        assert_eq!(s.overhead_pct, 1.0);
+        assert_eq!(s.simulate_ns, 900);
+        assert_eq!(s.cells.len(), 1);
+        assert_eq!(s.cells[0].policy, "lru");
+        assert_eq!(s.cells[0].median_rps, 90.25);
+        let round = BenchSummary::from_entry_json(&Json::parse(&s.to_json().to_string()).unwrap());
+        assert_eq!(round.unwrap(), s);
+    }
+
+    #[test]
+    fn bench_v1_without_overhead_block_is_accepted() {
+        let doc = Json::parse(
+            r#"{"ccsim_bench": 1, "quick": false,
+                "cells": [{"pattern": "llc_thrash", "policy": "lru",
+                           "records": 10, "best_rps": 5.0, "median_rps": 4.0}]}"#,
+        )
+        .unwrap();
+        let s = BenchSummary::from_doc(&doc).unwrap();
+        assert_eq!(s.overhead_pct, 0.0);
+        assert_eq!(s.simulate_ns, 0);
+        assert_eq!(s.cells.len(), 1);
+        let err = BenchSummary::from_doc(&Json::parse(r#"{"ccsim_bench": 9}"#).unwrap());
+        assert!(err.unwrap_err().contains("unsupported"));
+        let not = BenchSummary::from_doc(&Json::parse("{}").unwrap());
+        assert!(not.unwrap_err().contains("ccsim_bench"));
+    }
+
+    #[test]
+    fn diff_doc_distills_to_summary() {
+        let doc = Json::parse(
+            r#"{"ccsim_report_diff": 1, "campaign_a": "m1", "campaign_b": "m2",
+                "same_grid": true, "threshold": 0.5, "max_abs_mpki_delta": 0.25,
+                "cells_over_threshold": 0,
+                "cells": [{"id": "x"}, {"id": "y"}], "only_in_a": [], "only_in_b": []}"#,
+        )
+        .unwrap();
+        let s = DiffSummary::from_doc(&doc).unwrap();
+        assert!(s.same_grid);
+        assert_eq!(s.cells, 2);
+        assert_eq!(s.max_abs_mpki_delta, 0.25);
+        let round = DiffSummary::from_entry_json(&Json::parse(&s.to_json().to_string()).unwrap());
+        assert_eq!(round.unwrap(), s);
+    }
+
+    #[test]
+    fn v2_manifest_uses_precomputed_quantiles() {
+        let doc = Json::parse(
+            r#"{"ccsim_obs": 2, "kind": "manifest", "campaign": "c", "spec": "s",
+                "worker": "w1", "cells_done": 4, "bands_done": 2,
+                "records_simulated": 1000, "sim_wall_ns": 2000000000,
+                "histograms": {"campaign_cell_sim_ns": {"count": 4, "sum": 40,
+                    "quantiles": {"p50": 15, "p90": 31, "p99": 31, "min": 8, "max": 31},
+                    "buckets": [[4, 3], [5, 1]]}}}"#,
+        )
+        .unwrap();
+        let s = ManifestSummary::from_doc(&doc).unwrap();
+        assert_eq!(s.worker, "w1");
+        assert_eq!(s.records_per_sec(), 500);
+        let q = s.cell_sim.unwrap();
+        assert_eq!((q.p50, q.max), (15, 31));
+    }
+
+    #[test]
+    fn v1_manifest_derives_quantiles_from_buckets() {
+        let doc = Json::parse(
+            r#"{"ccsim_obs": 1, "kind": "manifest", "campaign": "c", "spec": "s",
+                "worker": "w1", "cells_done": 4, "records_simulated": 100, "sim_wall_ns": 50,
+                "histograms": {"campaign_cell_sim_ns": {"count": 4, "sum": 40,
+                    "buckets": [[4, 3], [5, 1]]}}}"#,
+        )
+        .unwrap();
+        let s = ManifestSummary::from_doc(&doc).unwrap();
+        let q = s.cell_sim.unwrap();
+        assert_eq!(q.count, 4);
+        assert_eq!(q.p50, 15, "bucket 4 upper bound");
+        assert_eq!(q.max, 31, "bucket 5 upper bound");
+        let round =
+            ManifestSummary::from_entry_json(&Json::parse(&s.to_json().to_string()).unwrap());
+        assert_eq!(round.unwrap(), s);
+
+        // No histogram at all (telemetry disabled): no quantiles.
+        let bare = Json::parse(
+            r#"{"ccsim_obs": 1, "kind": "manifest", "worker": "w2",
+                "records_simulated": 0, "sim_wall_ns": 0}"#,
+        )
+        .unwrap();
+        assert_eq!(ManifestSummary::from_doc(&bare).unwrap().cell_sim, None);
+        // Wrong kind is an error, not an empty summary.
+        let events = Json::parse(r#"{"ccsim_obs": 2, "kind": "events", "worker": "w"}"#).unwrap();
+        assert!(ManifestSummary::from_doc(&events).is_err());
+    }
+
+    #[test]
+    fn watch_doc_distills_to_summary() {
+        let doc = Json::parse(
+            r#"{"ccsim_obs": 2, "kind": "watch", "campaign": "demo", "done": true,
+                "cells": {"total": 2, "completed": 2},
+                "workers": [],
+                "aggregate": {"records_simulated": 4000, "sim_wall_ns": 1000000000,
+                    "records_per_sec": 4000, "mean_cell_sim_ns": 250,
+                    "cell_sim_ns": {"p50": 255, "p90": 511, "p99": 511,
+                                    "min": 128, "max": 511, "count": 4},
+                    "eta_seconds": 0}}"#,
+        )
+        .unwrap();
+        let s = WatchSummary::from_doc(&doc).unwrap();
+        assert!(s.done);
+        assert_eq!(s.records_per_sec(), 4000);
+        assert_eq!(s.cell_sim.unwrap().p90, 511);
+        let round = WatchSummary::from_entry_json(&Json::parse(&s.to_json().to_string()).unwrap());
+        assert_eq!(round.unwrap(), s);
+
+        // A v1 watch document has no aggregate quantile block: still
+        // ingestible, just without quantiles.
+        let v1 = Json::parse(
+            r#"{"ccsim_obs": 1, "kind": "watch", "campaign": "demo", "done": false,
+                "aggregate": {"records_simulated": 10, "sim_wall_ns": 10,
+                              "records_per_sec": 1000000000, "mean_cell_sim_ns": 5,
+                              "eta_seconds": 1}}"#,
+        )
+        .unwrap();
+        assert_eq!(WatchSummary::from_doc(&v1).unwrap().cell_sim, None);
+    }
+}

@@ -29,9 +29,13 @@
 //!   set;
 //! * [`obs`] — the zero-allocation telemetry core: a process-wide
 //!   metric catalog (sharded counters, gauges, log-bucketed
-//!   histograms, span timers) feeding per-run JSONL event logs, run
-//!   manifests and Prometheus-style exposition, all consumed by
-//!   `ccsim campaign watch`.
+//!   histograms with quantile summaries, span timers) feeding per-run
+//!   JSONL event logs, run manifests and Prometheus-style exposition,
+//!   all consumed by `ccsim campaign watch`;
+//! * [`trends`] — the cross-revision performance ledger behind
+//!   `ccsim trends`: append-only `trends.jsonl` entries distilled
+//!   from bench reports, report diffs and obs manifests, deterministic
+//!   trend tables with sparklines, and rolling-median regression gates.
 //!
 //! # Quickstart
 //!
@@ -57,6 +61,7 @@ pub use ccsim_ingest as ingest;
 pub use ccsim_obs as obs;
 pub use ccsim_policies as policies;
 pub use ccsim_trace as trace;
+pub use ccsim_trends as trends;
 pub use ccsim_workloads as workloads;
 
 /// The most commonly used items, for glob import.

@@ -1,5 +1,6 @@
 //! Observability integration tests: the pinned `ccsim_obs` schema
-//! (version 1) for event logs and run manifests, exact concurrent
+//! (version 2: manifest histograms carry precomputed quantile
+//! summaries) for event logs and run manifests, exact concurrent
 //! metric accounting, and the `campaign watch` determinism contract.
 //!
 //! The event-log and manifest goldens are **structural** (key order and
@@ -91,14 +92,14 @@ fn solo_run_emits_pinned_event_log_and_manifest_schemas() {
     let log = std::fs::read_to_string(dir.join("run.obs.jsonl")).unwrap();
     let lines: Vec<&str> = log.lines().collect();
     assert_eq!(lines.len(), 2 + 2 * 2 + 1, "header + run_start + 2 bands x 2 + run_end: {log}");
-    assert!(lines[0].starts_with("{\"ccsim_obs\": 1, \"kind\": \"events\""), "{}", lines[0]);
+    assert!(lines[0].starts_with("{\"ccsim_obs\": 2, \"kind\": \"events\""), "{}", lines[0]);
     let signature: String = lines.iter().map(|l| format!("{}\n", event_signature(l))).collect();
     compare_or_bless("obs_events_v1.txt", &signature, "the event-log line schema");
 
     // Manifest: pinned document shape (keys in order, scalar kinds),
     // plus the run accounting the watch dashboard consumes.
     let manifest = std::fs::read_to_string(dir.join("manifest.json")).unwrap();
-    assert!(manifest.starts_with("{\"ccsim_obs\": 1, \"kind\": \"manifest\""), "{manifest}");
+    assert!(manifest.starts_with("{\"ccsim_obs\": 2, \"kind\": \"manifest\""), "{manifest}");
     assert!(manifest.ends_with("}\n"));
     let doc = Json::parse(&manifest).unwrap();
     assert_eq!(doc.get("worker").and_then(Json::as_str), Some("(solo)"));
@@ -107,10 +108,25 @@ fn solo_run_emits_pinned_event_log_and_manifest_schemas() {
     assert!(doc.get("records_simulated").and_then(Json::as_u64).unwrap() > 0);
     assert!(doc.get("sim_wall_ns").and_then(Json::as_u64).unwrap() > 0);
     compare_or_bless(
-        "obs_manifest_v1.json",
+        "obs_manifest_v2.json",
         &format!("{}\n", shape(&doc)),
         "the manifest document shape",
     );
+
+    // v2 histograms carry a precomputed quantile summary consistent with
+    // the raw buckets, so v1-era consumers can ignore it and v2 readers
+    // never re-derive. The cell-sim histogram records one per-cell
+    // estimate per band: 2 bands here.
+    let cell_hist = doc.get("histograms").unwrap().get("campaign_cell_sim_ns").unwrap();
+    assert_eq!(cell_hist.get("count").and_then(Json::as_u64), Some(2));
+    let q = cell_hist.get("quantiles").expect("v2 manifests precompute quantiles");
+    let (p50, p99) = (
+        q.get("p50").and_then(Json::as_u64).unwrap(),
+        q.get("p99").and_then(Json::as_u64).unwrap(),
+    );
+    assert!(p50 > 0 && p50 <= p99, "p50 {p50} / p99 {p99}");
+    assert!(q.get("min").and_then(Json::as_u64).unwrap() <= p50);
+    assert!(q.get("max").and_then(Json::as_u64).unwrap() >= p99);
 
     // A re-run into the same directory truncates and rewrites both
     // files with the same schema (fresh baseline, not accumulation).
@@ -181,7 +197,7 @@ fn watch_json_over_a_two_worker_dir_is_byte_identical_across_polls() {
         "cold re-poll diverged"
     );
 
-    assert!(json.starts_with("{\"ccsim_obs\": 1, \"kind\": \"watch\""), "{json}");
+    assert!(json.starts_with("{\"ccsim_obs\": 2, \"kind\": \"watch\""), "{json}");
     assert!(view.done());
     let doc = Json::parse(&json).unwrap();
     let cells = doc.get("cells").unwrap();
@@ -200,6 +216,16 @@ fn watch_json_over_a_two_worker_dir_is_byte_identical_across_polls() {
     assert!(agg.get("records_simulated").and_then(Json::as_u64).unwrap() > 0);
     assert!(agg.get("records_per_sec").and_then(Json::as_u64).unwrap() > 0);
     assert!(agg.get("mean_cell_sim_ns").and_then(Json::as_u64).unwrap() > 0);
+    // Fleet-wide cell-sim quantiles, summed over both workers' buckets:
+    // one per-cell sample per band, one band per worker here, ordered
+    // p50 <= p99, ingestible by `trends record --from-watch`.
+    let cs = agg.get("cell_sim_ns").expect("watch aggregate carries cell_sim_ns quantiles");
+    assert_eq!(cs.get("count").and_then(Json::as_u64), Some(2));
+    let (p50, p99) = (
+        cs.get("p50").and_then(Json::as_u64).unwrap(),
+        cs.get("p99").and_then(Json::as_u64).unwrap(),
+    );
+    assert!(p50 > 0 && p50 <= p99, "p50 {p50} / p99 {p99}");
     assert_eq!(agg.get("eta_seconds").and_then(Json::as_u64), Some(0), "grid is drained");
     std::fs::remove_dir_all(&dir).unwrap();
 }

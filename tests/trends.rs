@@ -1,0 +1,309 @@
+//! Trends integration tests: the pinned `ccsim_trends` ledger-line,
+//! table and check-verdict formats, rolling-median gate behavior over
+//! a realistic multi-source history, torn-tail recovery with
+//! byte-preserving gc, and cross-schema ingest (a v1 obs manifest
+//! without the pre-computed quantile block, and a freshly produced v2
+//! manifest from a real campaign run).
+//!
+//! Unlike the obs goldens, every trends artifact is a pure function of
+//! its inputs — no clocks, no timing — so all three fixtures are
+//! pinned **byte-identically**. Regenerate with
+//! `CCSIM_BLESS=1 cargo test --test trends` after an intentional
+//! format change (and bump the relevant schema constant).
+
+use std::path::PathBuf;
+
+use ccsim::campaign::{Campaign, CampaignSpec, Json};
+use ccsim::obs::QuantileSummary;
+use ccsim::trends::{
+    render_table, run_check, BenchCellSummary, BenchSummary, CheckOptions, DiffSummary, Ledger,
+    ManifestSummary, TrendEntry, WatchSummary,
+};
+
+fn fixture_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures").join(name)
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ccsim_trends_itest_{}_{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn compare_or_bless(fixture: &str, actual: &str, what: &str) {
+    let path = fixture_path(fixture);
+    if std::env::var_os("CCSIM_BLESS").is_some() {
+        std::fs::write(&path, actual).unwrap();
+    }
+    let pinned = std::fs::read_to_string(&path)
+        .unwrap_or_else(|_| panic!("{fixture} missing; run with CCSIM_BLESS=1 to create it"));
+    assert_eq!(
+        actual, pinned,
+        "{what} diverged from {fixture}; if intentional, bump the schema constant and rebless"
+    );
+}
+
+/// One fully populated synthetic revision: bench (two patterns x two
+/// policies), a clean golden diff, two worker manifests and the watch
+/// aggregate over them. `step` drifts throughput mildly upward and
+/// overhead mildly upward, both inside the default gate budgets.
+fn revision(step: u64) -> TrendEntry {
+    let rps = 1_200_000.0 + step as f64 * 10_000.0;
+    let mut e = TrendEntry::new(
+        &format!("feedc0de{step:08}"),
+        "main",
+        &format!("{}", 1_754_600_000 + step * 3600),
+    );
+    let cell = |pattern: &str, policy: &str, median: f64| BenchCellSummary {
+        pattern: pattern.to_owned(),
+        policy: policy.to_owned(),
+        records: 400_000,
+        best_rps: median * 1.05,
+        median_rps: median,
+    };
+    e.bench = Some(BenchSummary {
+        quick: true,
+        overhead_pct: 1.0 + step as f64 * 0.05,
+        decode_ns: 2_000_000_000,
+        simulate_ns: 16_000_000_000,
+        report_ns: 2_000_000_000,
+        cells: vec![
+            cell("llc_thrash", "lru", rps),
+            cell("llc_thrash", "srrip", rps * 0.98),
+            cell("l1_hot", "lru", rps * 3.0),
+            cell("l1_hot", "srrip", rps * 3.1),
+        ],
+    });
+    e.diff = Some(DiffSummary {
+        campaign_a: "golden".into(),
+        campaign_b: "golden".into(),
+        same_grid: true,
+        threshold: 0.0,
+        max_abs_mpki_delta: 0.0,
+        cells_over_threshold: 0,
+        cells: 6,
+    });
+    let worker_q = QuantileSummary {
+        count: 2,
+        min: 4_294_967_296,
+        max: 8_589_934_591,
+        p50: 8_589_934_591,
+        p90: 8_589_934_591,
+        p99: 8_589_934_591,
+    };
+    for worker in ["w1", "w2"] {
+        e.manifests.push(ManifestSummary {
+            worker: worker.to_owned(),
+            cells_done: 2,
+            records_simulated: 40_000_000,
+            sim_wall_ns: 16_000_000_000,
+            cell_sim: Some(worker_q),
+        });
+    }
+    e.watch = Some(WatchSummary {
+        campaign: "obs_itest".into(),
+        done: true,
+        records_simulated: 80_000_000,
+        sim_wall_ns: 32_000_000_000,
+        mean_cell_sim_ns: 8_000_000_000,
+        cell_sim: Some(QuantileSummary { count: 4, ..worker_q }),
+    });
+    e
+}
+
+fn history() -> Vec<TrendEntry> {
+    (0..5).map(revision).collect()
+}
+
+#[test]
+fn golden_ledger_pins_the_line_format_and_round_trips() {
+    let dir = temp_dir("ledger");
+    let path = dir.join("trends.jsonl");
+    for e in history() {
+        Ledger::append(&path, &e).unwrap();
+    }
+    let text = std::fs::read_to_string(&path).unwrap();
+    compare_or_bless("trends_ledger_v1.jsonl", &text, "the ledger line format");
+
+    // Loading the pinned fixture reconstructs the exact in-memory
+    // entries: nothing is lost or reinterpreted across the line format.
+    let ledger = Ledger::load(&fixture_path("trends_ledger_v1.jsonl")).unwrap();
+    assert!(!ledger.torn_tail());
+    assert_eq!(ledger.entries, history());
+    assert_eq!(ledger.entries[0].short_rev(), "feedc0de00");
+    assert_eq!(ledger.entries[4].fleet_records_per_sec(), Some(2_500_000));
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn golden_table_is_byte_deterministic() {
+    let entries = history();
+    let table = render_table(&entries);
+    assert_eq!(render_table(&entries), table, "same slice, same bytes");
+    compare_or_bless("trends_table_v1.txt", &table, "the trend table");
+    // Every gated series plus the wall-split rows render a column per
+    // revision and a sparkline.
+    for row in [
+        "bench/llc_thrash/median_rps",
+        "bench/l1_hot/median_rps",
+        "bench/obs_overhead_pct",
+        "fleet/records_per_sec",
+        "fleet/cell_sim_p99_ns",
+        "diff/max_abs_mpki_delta",
+        "bench/wall/simulate_pct",
+    ] {
+        assert!(table.contains(row), "missing {row} in:\n{table}");
+    }
+    assert!(table.contains("feedc0de00 (main)"), "{table}");
+}
+
+#[test]
+fn golden_check_verdict_pins_the_schema_and_passes_on_mild_drift() {
+    let verdict = run_check(&history(), &CheckOptions::default()).unwrap();
+    assert!(verdict.pass(), "mild upward drift is inside every budget");
+    let json = verdict.to_json().to_pretty();
+    compare_or_bless("trends_check_v1.json", &json, "the check verdict document");
+    let doc = Json::parse(&json).unwrap();
+    assert_eq!(doc.get("ccsim_trends_check").and_then(Json::as_u64), Some(1));
+    assert_eq!(doc.get("status").and_then(Json::as_str), Some("pass"));
+    assert_eq!(doc.get("rev").and_then(Json::as_str), Some("feedc0de00000004"));
+    let series = doc.get("series").unwrap().as_array().unwrap();
+    assert_eq!(series.len(), 6, "4 bench-suite/overhead + 2 fleet + 1 diff minus none");
+    for s in series {
+        assert_eq!(s.get("status").and_then(Json::as_str), Some("pass"), "{json}");
+    }
+}
+
+#[test]
+fn gate_fails_on_throughput_collapse_and_latency_spike() {
+    // A 20% throughput drop on one bench suite: that series (and only
+    // the bench series it hits) fails.
+    let mut entries = history();
+    let mut bad = revision(5);
+    for c in &mut bad.bench.as_mut().unwrap().cells {
+        if c.pattern == "llc_thrash" {
+            c.median_rps *= 0.8;
+        }
+    }
+    entries.push(bad);
+    let verdict = run_check(&entries, &CheckOptions::default()).unwrap();
+    assert!(!verdict.pass());
+    let failed: Vec<&str> =
+        verdict.series.iter().filter(|s| s.status == "fail").map(|s| s.name.as_str()).collect();
+    assert_eq!(failed, ["bench/llc_thrash/median_rps"]);
+
+    // A fleet per-cell p99 spike past the 25% rise budget fails the
+    // latency series.
+    let mut entries = history();
+    let mut slow = revision(5);
+    slow.watch.as_mut().unwrap().cell_sim.as_mut().unwrap().p99 = 17_179_869_183;
+    entries.push(slow);
+    let verdict = run_check(&entries, &CheckOptions::default()).unwrap();
+    let p99 = verdict.series.iter().find(|s| s.name == "fleet/cell_sim_p99_ns").unwrap();
+    assert_eq!(p99.status, "fail", "2x the median p99");
+
+    // An entry recorded with no sources at all reports no_data
+    // everywhere and does not fail the gate.
+    let mut entries = history();
+    entries.push(TrendEntry::new("feedc0de00000005", "main", "0"));
+    let verdict = run_check(&entries, &CheckOptions::default()).unwrap();
+    assert!(verdict.pass());
+    assert!(verdict.series.iter().all(|s| s.status == "no_data"));
+
+    // Two entries only: one prior value is below the default
+    // min_history, so relative series bootstrap instead of failing.
+    let verdict = run_check(&history()[..2], &CheckOptions::default()).unwrap();
+    assert!(verdict.pass());
+    let rps = verdict.series.iter().find(|s| s.name == "fleet/records_per_sec").unwrap();
+    assert_eq!(rps.status, "insufficient_history");
+}
+
+#[test]
+fn torn_tail_recovers_and_gc_preserves_surviving_bytes() {
+    let dir = temp_dir("torn");
+    let path = dir.join("trends.jsonl");
+    let pinned = std::fs::read_to_string(fixture_path("trends_ledger_v1.jsonl")).unwrap();
+    // A recorder died mid-append after the pinned history.
+    std::fs::write(&path, format!("{pinned}{{\"ccsim_trends\":1,\"rev\":\"fe")).unwrap();
+
+    let ledger = Ledger::load(&path).unwrap();
+    assert!(ledger.torn_tail(), "partial final line is a torn append");
+    assert_eq!(ledger.entries, history(), "intact prefix fully recovered");
+
+    // gc drops the torn tail and keeps survivors byte-for-byte, so the
+    // compacted file equals the pinned fixture again.
+    let dropped = Ledger::gc(&path, 5).unwrap();
+    assert_eq!(dropped, 1, "just the torn tail");
+    assert_eq!(std::fs::read_to_string(&path).unwrap(), pinned);
+
+    // Appending after recovery continues the line protocol cleanly.
+    Ledger::append(&path, &revision(5)).unwrap();
+    let ledger = Ledger::load(&path).unwrap();
+    assert!(!ledger.torn_tail());
+    assert_eq!(ledger.entries.len(), 6);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn v1_manifest_fixture_ingests_with_derived_quantiles() {
+    // A pre-quantile (obs schema 1) worker manifest: the summary must
+    // still carry cell-sim quantiles, derived from the raw log2
+    // buckets.
+    let text = std::fs::read_to_string(fixture_path("trends_manifest_v1.json")).unwrap();
+    let doc = Json::parse(&text).unwrap();
+    assert_eq!(doc.get("ccsim_obs").and_then(Json::as_u64), Some(1));
+    assert!(text.find("\"quantiles\"").is_none(), "fixture must predate quantile blocks");
+
+    let m = ManifestSummary::from_doc(&doc).unwrap();
+    assert_eq!(m.worker, "w1");
+    assert_eq!(m.records_per_sec(), 2_500_000);
+    let q = m.cell_sim.expect("quantiles derived from buckets");
+    assert_eq!(q.count, 2);
+    assert_eq!(q.p50, 8_589_934_591, "bucket 33 upper bound");
+    assert_eq!(q.p99, 17_179_869_183, "bucket 34 upper bound");
+    assert_eq!(q.min, 4_294_967_296, "bucket 33 lower bound");
+
+    // And it rides a ledger line unchanged.
+    let mut e = TrendEntry::new("deadbeef00", "compat", "0");
+    e.manifests.push(m);
+    assert_eq!(TrendEntry::from_json_line(&e.to_json_line()).unwrap(), e);
+    assert_eq!(e.fleet_cell_sim_p99_ns(), Some(17_179_869_183));
+}
+
+#[test]
+fn freshly_produced_v2_manifest_ingests_end_to_end() {
+    let dir = temp_dir("v2_ingest");
+    let spec = CampaignSpec::from_json_str(
+        r#"{
+            "name": "trends_itest",
+            "scale": "quick",
+            "base_config": "tiny",
+            "workloads": ["xsbench.small"],
+            "policies": ["lru", "srrip"]
+        }"#,
+    )
+    .unwrap();
+    Campaign::new(spec).threads(2).obs_dir(&dir).run().unwrap();
+
+    let text = std::fs::read_to_string(dir.join("manifest.json")).unwrap();
+    let m = ManifestSummary::from_doc(&Json::parse(&text).unwrap()).unwrap();
+    assert_eq!(m.worker, "(solo)");
+    assert_eq!(m.cells_done, 2);
+    assert!(m.records_simulated > 0 && m.sim_wall_ns > 0);
+    let q = m.cell_sim.expect("v2 manifests always carry quantiles");
+    assert!(q.count > 0 && q.p50 <= q.p99 && q.min <= q.max);
+
+    // Record it and gate a single-entry ledger: relative series report
+    // insufficient history, nothing fails.
+    let path = dir.join("trends.jsonl");
+    let mut e = TrendEntry::new("e2e0000001", "itest", "0");
+    e.manifests.push(m);
+    Ledger::append(&path, &e).unwrap();
+    let ledger = Ledger::load(&path).unwrap();
+    let verdict = run_check(&ledger.entries, &CheckOptions::default()).unwrap();
+    assert!(verdict.pass());
+    assert!(verdict.series.iter().all(|s| s.status == "insufficient_history"));
+    assert!(render_table(ledger.last_n(10)).contains("fleet/records_per_sec"));
+    std::fs::remove_dir_all(&dir).unwrap();
+}
