@@ -26,7 +26,10 @@
 //! column is the machine-independent part: on cold storage (the
 //! multi-gigabyte ingested traces campaigns exist for) each avoided pass
 //! is an avoided full read of the file, and I/O — not simulation — is
-//! what the `cells`-fold amortization removes.
+//! what the `cells`-fold amortization removes. One-pass chunk sizes
+//! default to the footprint-aware autotuner
+//! ([`ccsim_core::autotune_chunk_records`]); `chunk_records` forces a
+//! specific size for sensitivity studies (`--chunk-records`).
 //!
 //! Results serialize to a pinned JSON schema
 //! ([`GRID_BENCH_SCHEMA_VERSION`], fixture `tests/fixtures/bench_v2.json`)
@@ -44,7 +47,11 @@ use ccsim_trace::synth::{PatternGen, SequentialStream};
 use ccsim_trace::{write_trace, Trace, TraceBuffer, TraceReader};
 
 /// Version of the `ccsim bench --grid --json` output schema.
-pub const GRID_BENCH_SCHEMA_VERSION: u64 = 2;
+///
+/// v3 added `grid.chunk_records`: the chunk size the one-pass mode was
+/// asked to use (`0` = autotuned from the grid's combined tag-state
+/// footprint against the host LLC budget).
+pub const GRID_BENCH_SCHEMA_VERSION: u64 = 3;
 
 /// Options for a grid replay benchmark run.
 #[derive(Debug, Clone)]
@@ -59,6 +66,9 @@ pub struct GridBenchOptions {
     pub warmup: u32,
     /// Timed repetitions per (workload × mode); the best is reported.
     pub reps: u32,
+    /// Records per one-pass chunk; `0` autotunes from the grid's
+    /// combined tag-state footprint (the `--chunk-records` override).
+    pub chunk_records: usize,
 }
 
 impl GridBenchOptions {
@@ -71,6 +81,7 @@ impl GridBenchOptions {
             llc_scales: vec![1, 2, 4, 8],
             warmup: 1,
             reps: if quick { 2 } else { 3 },
+            chunk_records: 0,
         }
     }
 
@@ -136,6 +147,8 @@ pub struct GridBenchReport {
     pub llc_scales: Vec<u32>,
     /// Total grid cells (`policies × llc_scales`).
     pub cells: usize,
+    /// Requested one-pass chunk size (`0` = autotuned per workload).
+    pub chunk_records: usize,
     /// Per-workload comparisons, in declaration order.
     pub workloads: Vec<GridWorkloadResult>,
 }
@@ -187,8 +200,9 @@ fn per_cell_pass(
 fn grid_pass(
     path: &std::path::Path,
     cells: &[(SimConfig, PolicyKind)],
+    chunk_records: usize,
 ) -> Result<Vec<SimResult>, String> {
-    simulate_grid_stream(open_reader(path)?, cells, 0).map_err(|e| e.to_string())
+    simulate_grid_stream(open_reader(path)?, cells, chunk_records).map_err(|e| e.to_string())
 }
 
 fn time_mode(
@@ -254,7 +268,7 @@ pub fn run_grid_bench(options: &GridBenchOptions) -> Result<GridBenchReport, Str
                 cells.len(),
                 options.warmup,
                 options.reps,
-                || grid_pass(&path, &cells),
+                || grid_pass(&path, &cells, options.chunk_records),
             )?;
             Ok::<_, String>(GridWorkloadResult {
                 workload: name,
@@ -278,6 +292,7 @@ pub fn run_grid_bench(options: &GridBenchOptions) -> Result<GridBenchReport, Str
         policies: options.policies.clone(),
         llc_scales: options.llc_scales.clone(),
         cells: cells.len(),
+        chunk_records: options.chunk_records,
         workloads,
     })
 }
@@ -332,6 +347,7 @@ impl GridBenchReport {
                         Json::Arr(self.llc_scales.iter().map(|&s| Json::int(s as u64)).collect()),
                     ),
                     ("cells", Json::int(self.cells as u64)),
+                    ("chunk_records", Json::int(self.chunk_records as u64)),
                 ]),
             ),
             ("workloads", Json::Arr(workloads)),
@@ -392,6 +408,7 @@ mod tests {
             llc_scales: vec![1, 2],
             warmup: 0,
             reps: 1,
+            chunk_records: 17,
         };
         let report = run_grid_bench(&options).unwrap();
         assert_eq!(report.cells, 4);
@@ -403,7 +420,10 @@ mod tests {
             assert!(w.per_cell.best_cell_rps > 0.0 && w.grid.best_cell_rps > 0.0);
         }
         let json = report.to_json().to_string();
-        assert!(json.starts_with(r#"{"ccsim_bench":2,"mode":"grid","#), "{json}");
+        assert!(json.starts_with(r#"{"ccsim_bench":3,"mode":"grid","#), "{json}");
+        // A forced odd chunk size must not change results — chunking is
+        // invisible to the simulation.
+        assert!(json.contains(r#""chunk_records":17"#), "{json}");
         let rendered = report.render();
         assert!(rendered.contains("block_hot"), "{rendered}");
         assert!(rendered.contains("4→1"), "{rendered}");

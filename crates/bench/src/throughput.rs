@@ -16,6 +16,11 @@
 //! * `l1_hot` — a loop over an L1-resident buffer: the pure hit path
 //!   (lookup + policy promotion, no victim queries).
 //!
+//! Alongside the end-to-end matrix, [`run_probe_scan`] times the LLC
+//! tag-array scan in isolation (resident vs absent probes over a full
+//! cascade-lake LLC) so tag-store changes show up undiluted by the
+//! rest of the hierarchy.
+//!
 //! Each (pattern × policy) cell runs `warmup` untimed repetitions followed
 //! by `reps` timed ones; the best and median records/sec are reported (the
 //! best approximates the noise floor, the median guards against a lucky
@@ -26,8 +31,8 @@
 use std::time::Instant;
 
 use ccsim_campaign::Json;
-use ccsim_core::{simulate, SimConfig};
-use ccsim_policies::PolicyKind;
+use ccsim_core::{simulate, Cache, SimConfig};
+use ccsim_policies::{AccessInfo, AccessType, PolicyKind};
 use ccsim_trace::synth::{PatternGen, RandomAccess, SequentialStream};
 use ccsim_trace::{Trace, TraceBuffer};
 
@@ -37,8 +42,9 @@ use crate::alloc_track;
 ///
 /// v2 added `wall_clock_breakdown` (decode vs simulate vs report wall
 /// time from the `bench_*_ns` span timers) and `obs_overhead` (the
-/// telemetry hot-path overhead gate).
-pub const BENCH_SCHEMA_VERSION: u64 = 2;
+/// telemetry hot-path overhead gate). v3 added `probe_scan`, the direct
+/// tag-array scan microbench over the SoA packed tag words.
+pub const BENCH_SCHEMA_VERSION: u64 = 3;
 
 /// Maximum tolerated telemetry hot-path overhead, in percent, for the
 /// `obs_overhead` gate CI asserts on.
@@ -160,6 +166,96 @@ impl ObsOverhead {
     }
 }
 
+/// Direct tag-array scan microbench over one LLC-geometry [`Cache`].
+///
+/// The end-to-end cells above measure the whole hierarchy (L1/L2
+/// filtering, MSHRs, DRAM timing), which dilutes the LLC tag-scan
+/// share of a record to a few percent. This section times
+/// [`Cache::probe`] *alone* — the branch-free match-mask sweep over
+/// the packed SoA tag words — on a fully occupied cascade-lake LLC,
+/// in the two regimes that bracket its cost: a resident sweep (every
+/// probe hits; the scan stops accumulating at the matching way only
+/// logically — it still reads the full valid prefix) and an absent
+/// sweep (every probe misses; the full `ways`-wide prefix is scanned
+/// and no mask bit ever sets). Miss probes are the upper bound the
+/// eviction-heavy patterns pay on every level of every access.
+#[derive(Debug, Clone, Copy)]
+pub struct ProbeScanBench {
+    /// LLC sets scanned.
+    pub sets: u32,
+    /// LLC ways per set (the scan width at full occupancy).
+    pub ways: u32,
+    /// Probes issued per timed repetition.
+    pub probes: u64,
+    /// Best probes/second over resident blocks (every probe hits).
+    pub hit_rps: f64,
+    /// Best probes/second over absent blocks (every probe misses).
+    pub miss_rps: f64,
+}
+
+impl ProbeScanBench {
+    /// Nanoseconds per probe at the best repetition of the given sweep.
+    fn ns_per_probe(rps: f64) -> f64 {
+        if rps == 0.0 {
+            return 0.0;
+        }
+        1e9 / rps
+    }
+}
+
+/// Runs the tag-array scan microbench: fills a cascade-lake-geometry
+/// LLC to full occupancy (way-major, so no fill ever triggers a victim
+/// query), then times resident and absent probe sweeps over every set.
+pub fn run_probe_scan(quick: bool, reps: u32) -> ProbeScanBench {
+    let llc = SimConfig::cascade_lake().llc;
+    let (sets, ways) = (llc.sets, llc.ways);
+    let mut cache = Cache::new("probe_scan", llc, PolicyKind::Lru.build_dispatch(sets, ways));
+    let block_at = |way: u64, set: u64| (way << 32) | set;
+    for way in 0..ways as u64 {
+        for set in 0..sets as u64 {
+            let block = block_at(way, set);
+            cache.fill(&AccessInfo {
+                pc: 0x400,
+                block,
+                set: cache.set_of(block),
+                kind: AccessType::Load,
+            });
+        }
+    }
+    debug_assert_eq!(cache.occupancy(), (sets * ways) as usize);
+    // Stride way-major across sets so consecutive probes touch distinct
+    // sets (no same-set value reuse for the optimizer to exploit).
+    let resident: Vec<u64> = (0..ways as u64)
+        .flat_map(|way| (0..sets as u64).map(move |set| block_at(way, set)))
+        .collect();
+    let absent: Vec<u64> =
+        resident.iter().map(|&b| block_at((b >> 32) + ways as u64 + 1, b & 0xFFFF_FFFF)).collect();
+    let laps: u32 = if quick { 8 } else { 32 };
+    let time_sweep = |blocks: &[u64], expect_hits: bool| -> f64 {
+        let mut best = f64::INFINITY;
+        for _ in 0..reps.max(1) {
+            let start = Instant::now();
+            let mut hits = 0u64;
+            for _ in 0..laps {
+                for &block in blocks {
+                    hits += u64::from(cache.probe(block).is_some());
+                }
+            }
+            best = best.min(start.elapsed().as_secs_f64().max(1e-9));
+            let want = if expect_hits { laps as u64 * blocks.len() as u64 } else { 0 };
+            assert_eq!(std::hint::black_box(hits), want, "probe sweep disagrees with residency");
+        }
+        laps as f64 * blocks.len() as f64 / best
+    };
+    ProbeScanBench {
+        sets,
+        ways,
+        probes: laps as u64 * resident.len() as u64,
+        hit_rps: time_sweep(&resident, true),
+        miss_rps: time_sweep(&absent, false),
+    }
+}
+
 /// A full throughput report.
 #[derive(Debug, Clone)]
 pub struct BenchReport {
@@ -179,6 +275,8 @@ pub struct BenchReport {
     pub wall_clock_breakdown: WallClockBreakdown,
     /// Telemetry hot-path overhead gate.
     pub obs_overhead: ObsOverhead,
+    /// Direct tag-array scan microbench.
+    pub probe_scan: ProbeScanBench,
     /// Measured cells, pattern-major in declaration order, policy-minor in
     /// option order.
     pub cells: Vec<BenchCell>,
@@ -338,6 +436,7 @@ pub fn run_throughput(options: &ThroughputOptions) -> BenchReport {
         }
     }
     let obs_overhead = measure_obs_overhead(&traces[0].1, &config, options.reps);
+    let probe_scan = run_probe_scan(options.quick, options.reps);
     let simulate_ns = simulate_span.stop();
     let report_span = m.bench_report_ns.span();
     let mut report = BenchReport {
@@ -349,6 +448,7 @@ pub fn run_throughput(options: &ThroughputOptions) -> BenchReport {
         alloc_check: steady_state_alloc_check(),
         wall_clock_breakdown: WallClockBreakdown { decode_ns, simulate_ns, report_ns: 0 },
         obs_overhead,
+        probe_scan,
         cells,
     };
     report.wall_clock_breakdown.report_ns = report_span.stop();
@@ -404,6 +504,18 @@ impl BenchReport {
             ("limit_pct", Json::num(OBS_OVERHEAD_LIMIT_PCT)),
             ("status", Json::str(if self.obs_overhead.pass() { "pass" } else { "fail" })),
         ]);
+        let probe = Json::obj(vec![
+            ("sets", Json::int(self.probe_scan.sets as u64)),
+            ("ways", Json::int(self.probe_scan.ways as u64)),
+            ("probes", Json::int(self.probe_scan.probes)),
+            ("hit_rps", Json::num(self.probe_scan.hit_rps)),
+            ("miss_rps", Json::num(self.probe_scan.miss_rps)),
+            ("hit_ns_per_probe", Json::num(ProbeScanBench::ns_per_probe(self.probe_scan.hit_rps))),
+            (
+                "miss_ns_per_probe",
+                Json::num(ProbeScanBench::ns_per_probe(self.probe_scan.miss_rps)),
+            ),
+        ]);
         Json::obj(vec![
             ("ccsim_bench", Json::int(BENCH_SCHEMA_VERSION)),
             ("platform", Json::str(&self.platform)),
@@ -414,6 +526,7 @@ impl BenchReport {
             ("alloc_check", alloc),
             ("wall_clock_breakdown", wall),
             ("obs_overhead", obs),
+            ("probe_scan", probe),
             ("cells", Json::Arr(cells)),
         ])
     }
@@ -473,6 +586,13 @@ mod tests {
                 report_ns: 50,
             },
             obs_overhead: ObsOverhead { baseline_rps: 100.0, enabled_rps: 99.0, overhead_pct: 1.0 },
+            probe_scan: ProbeScanBench {
+                sets: 2048,
+                ways: 11,
+                probes: 1000,
+                hit_rps: 4e8,
+                miss_rps: 5e8,
+            },
             cells: vec![BenchCell {
                 pattern: "llc_thrash",
                 policy: PolicyKind::Lru,
@@ -483,11 +603,24 @@ mod tests {
             }],
         };
         let json = report.to_json().to_string();
-        assert!(json.starts_with(r#"{"ccsim_bench":2,"#), "{json}");
+        assert!(json.starts_with(r#"{"ccsim_bench":3,"#), "{json}");
         assert!(json.contains(r#""alloc_check":{"status":"pass","allocs_per_record":0}"#));
         assert!(json.contains(r#""wall_clock_breakdown":{"decode_ns":100,"#), "{json}");
         assert!(json.contains(r#""overhead_pct":1,"limit_pct":3,"status":"pass""#), "{json}");
+        assert!(json.contains(r#""probe_scan":{"sets":2048,"ways":11,"probes":1000,"#), "{json}");
+        assert!(json.contains(r#""hit_ns_per_probe":2.5,"#), "{json}");
         assert!(json.contains(r#""pattern":"llc_thrash""#));
+    }
+
+    #[test]
+    fn probe_scan_sweeps_a_full_llc_in_both_regimes() {
+        let bench = run_probe_scan(true, 1);
+        let llc = SimConfig::cascade_lake().llc;
+        assert_eq!((bench.sets, bench.ways), (llc.sets, llc.ways));
+        assert_eq!(bench.probes, 8 * (llc.sets as u64) * (llc.ways as u64));
+        assert!(bench.hit_rps > 0.0 && bench.miss_rps > 0.0);
+        assert!(ProbeScanBench::ns_per_probe(bench.hit_rps) > 0.0);
+        assert_eq!(ProbeScanBench::ns_per_probe(0.0), 0.0);
     }
 
     #[test]

@@ -95,12 +95,21 @@ impl AcquiredTrace {
     }
 
     /// Runs a whole band of grid cells over this trace in one pass per
-    /// shard: the cells are split into `min(threads, cells)` contiguous
-    /// shards, and each shard replays the trace **once**, advancing all
-    /// its cells in lockstep ([`ccsim_core::GridReplay`]) — a streamed
-    /// multi-gigabyte trace is read and decoded `threads` times instead
-    /// of once per cell. Results come back in `cells` order and are
-    /// bit-identical to [`AcquiredTrace::simulate_cell`] per cell.
+    /// shard: the cells are split into `min(threads, cells)` shards, and
+    /// each shard replays the trace **once**, advancing all its cells in
+    /// lockstep ([`ccsim_core::GridReplay`]) — a streamed multi-gigabyte
+    /// trace is read and decoded `threads` times instead of once per
+    /// cell. Cells are ordered by descending LLC capacity (the dominant
+    /// cost proxy — a scaled-up LLC means proportionally more tag state
+    /// and victim work) and dealt round-robin across shards, so one
+    /// shard never inherits all the giant-LLC cells of a heterogeneous
+    /// band. Results come back in `cells` order and are bit-identical to
+    /// [`AcquiredTrace::simulate_cell`] per cell (each cell's engine is
+    /// independent, so shard assignment never affects results).
+    ///
+    /// `chunk_records` is the lockstep chunk length per shard; `0`
+    /// autotunes it against the shard's combined tag-state footprint
+    /// ([`ccsim_core::autotune_chunk_records`]).
     ///
     /// # Errors
     ///
@@ -110,30 +119,39 @@ impl AcquiredTrace {
         &self,
         cells: &[(SimConfig, PolicyKind)],
         threads: usize,
+        chunk_records: usize,
     ) -> Result<Vec<SimResult>, String> {
         if cells.is_empty() {
             return Ok(Vec::new());
         }
         let shards = threads.clamp(1, cells.len());
+        let mut order: Vec<usize> = (0..cells.len()).collect();
+        order.sort_by_key(|&i| std::cmp::Reverse(cells[i].0.llc.capacity_bytes()));
+        let assignment: Vec<Vec<usize>> =
+            (0..shards).map(|s| order[s..].iter().step_by(shards).copied().collect()).collect();
         let shard_results = run_jobs(shards, shards, |s| {
-            let shard = &cells[s * cells.len() / shards..(s + 1) * cells.len() / shards];
+            let shard: Vec<(SimConfig, PolicyKind)> =
+                assignment[s].iter().map(|&i| cells[i]).collect();
             match &self.0 {
-                Acquired::InMemory(trace) => Ok(simulate_grid(trace, shard, 0)),
+                Acquired::InMemory(trace) => Ok(simulate_grid(trace, &shard, chunk_records)),
                 Acquired::Streamed { path, .. } => {
                     let file = File::open(path)
                         .map_err(|e| format!("opening trace {}: {e}", path.display()))?;
                     let reader = TraceReader::new(BufReader::new(file))
                         .map_err(|e| format!("decoding trace {}: {e}", path.display()))?;
-                    simulate_grid_stream(reader, shard, 0)
+                    simulate_grid_stream(reader, &shard, chunk_records)
                         .map_err(|e| format!("streaming trace {}: {e}", path.display()))
                 }
             }
         });
-        let mut results = Vec::with_capacity(cells.len());
-        for shard in shard_results {
-            results.extend(shard?);
+        // Scatter shard results back into `cells` order.
+        let mut results: Vec<Option<SimResult>> = (0..cells.len()).map(|_| None).collect();
+        for (indices, shard) in assignment.iter().zip(shard_results) {
+            for (&cell, result) in indices.iter().zip(shard?) {
+                results[cell] = Some(result);
+            }
         }
-        Ok(results)
+        Ok(results.into_iter().map(|r| r.expect("every cell lands in exactly one shard")).collect())
     }
 
     /// Trace passes [`AcquiredTrace::simulate_cells`] makes for a band
@@ -255,6 +273,7 @@ pub struct Campaign {
     extra_completed: std::collections::BTreeSet<String>,
     verbose: bool,
     per_cell: bool,
+    chunk_records: usize,
 }
 
 /// A cell lease as seen by [`Campaign::plan`] — who holds it and whether
@@ -436,6 +455,7 @@ impl Campaign {
             extra_completed: Default::default(),
             verbose: false,
             per_cell: false,
+            chunk_records: 0,
         }
     }
 
@@ -484,6 +504,16 @@ impl Campaign {
     /// reports; this is an escape hatch for comparison and debugging.
     pub fn per_cell(mut self, per_cell: bool) -> Campaign {
         self.per_cell = per_cell;
+        self
+    }
+
+    /// Fixes the lockstep chunk length of the one-pass grid driver
+    /// (`ccsim campaign --chunk-records`). `0` — the default — autotunes
+    /// it per band against the combined engines' tag-state footprint
+    /// ([`ccsim_core::autotune_chunk_records`]). Chunking never affects
+    /// report bytes, only wall-clock.
+    pub fn chunk_records(mut self, chunk_records: usize) -> Campaign {
+        self.chunk_records = chunk_records;
         self
     }
 
@@ -741,7 +771,11 @@ impl Campaign {
                         .iter()
                         .map(|cell| (grid.configs[cell.config_index].1, cell.policy))
                         .collect();
-                    trace.simulate_cells(&band, self.threads)?.into_iter().map(Ok).collect()
+                    trace
+                        .simulate_cells(&band, self.threads, self.chunk_records)?
+                        .into_iter()
+                        .map(Ok)
+                        .collect()
                 };
                 let band_ns = band_start.elapsed().as_nanos() as u64;
                 let records_simulated = trace.records() * pending.len() as u64;
@@ -872,6 +906,10 @@ mod tests {
         let one_pass = Campaign::new(tiny_spec()).threads(3).run().unwrap();
         let per_cell = Campaign::new(tiny_spec()).threads(3).per_cell(true).run().unwrap();
         assert_eq!(one_pass.report, per_cell.report);
+        // An explicit chunk length changes batching mechanics only —
+        // report bytes must not move.
+        let chunked = Campaign::new(tiny_spec()).threads(3).chunk_records(17).run().unwrap();
+        assert_eq!(one_pass.report, chunked.report);
     }
 
     #[test]
@@ -884,10 +922,32 @@ mod tests {
         let reference: Vec<SimResult> =
             band.iter().map(|(cfg, policy)| trace.simulate_cell(cfg, *policy).unwrap()).collect();
         for threads in [1, 2, 3, 16] {
-            assert_eq!(trace.simulate_cells(&band, threads).unwrap(), reference, "{threads}");
+            assert_eq!(trace.simulate_cells(&band, threads, 0).unwrap(), reference, "{threads}");
             assert!(trace.passes_for(band.len(), threads) <= band.len());
         }
-        assert!(trace.simulate_cells(&[], 4).unwrap().is_empty());
+        assert!(trace.simulate_cells(&[], 4, 0).unwrap().is_empty());
+    }
+
+    #[test]
+    fn heterogeneous_band_balancing_preserves_cell_order_and_results() {
+        // A band mixing LLC scales 1/2/4 across policies: balancing
+        // orders cells by descending LLC capacity and deals them
+        // round-robin, so every shard gets at most one more giant-LLC
+        // cell than any other — and the scatter must restore results to
+        // `cells` order exactly.
+        let campaign = Campaign::new(tiny_spec());
+        let trace = campaign.acquire("xsbench.small").unwrap();
+        let mut band = Vec::new();
+        for scale in [4u32, 1, 2, 1, 4, 2, 1] {
+            for policy in [PolicyKind::Lru, PolicyKind::Mpppb] {
+                band.push((SimConfig::tiny().with_llc_scale(scale), policy));
+            }
+        }
+        let reference: Vec<SimResult> =
+            band.iter().map(|(cfg, policy)| trace.simulate_cell(cfg, *policy).unwrap()).collect();
+        for threads in [1, 2, 3, 5, 14, 100] {
+            assert_eq!(trace.simulate_cells(&band, threads, 0).unwrap(), reference, "{threads}");
+        }
     }
 
     fn temp_dir(tag: &str) -> PathBuf {

@@ -29,7 +29,7 @@ USAGE:
     ccsim campaign <spec.json> [--threads <n>] [--out <dir>]
               [--cache-dir <dir>] [--no-cache] [--fresh] [--json] [--quiet]
               [--dry-run] [--shared-dir <dir>] [--per-cell]
-              [--metrics-out <file>]
+              [--chunk-records <n>] [--metrics-out <file>]
     ccsim campaign worker <spec.json> --shared-dir <dir>
               [--worker-id <id>] [--ttl-secs <n>] [--threads <n>]
               [--backoff-ms <n>] [--max-cells <n>] [--quiet]
@@ -42,8 +42,8 @@ USAGE:
     ccsim report-diff <a/report.json> <b/report.json> [--threshold <mpki>]
               [--json]
     ccsim bench [--quick] [--json] [--out <file>] [--policy <name>]...
-              [--grid]
-    ccsim trends record --rev <rev> [--ledger <file>] [--label <s>]
+              [--grid [--chunk-records <n>]]
+    ccsim trends record [--rev <rev>] [--ledger <file>] [--label <s>]
               [--timestamp <s>] [--from-bench <file>] [--from-diff <file>]
               [--from-manifest <file>]... [--from-watch <file>]
     ccsim trends table [--ledger <file>] [--last <n>]
@@ -117,7 +117,8 @@ never re-read. See the Observability runbook in PAPER.md.
 
 `trends` maintains an append-only cross-revision performance ledger
 (trends.jsonl, one entry per revision): `record` tags --rev/--label
-and distills any of `bench --json` output (--from-bench), `report-diff
+(--rev defaults to `git rev-parse HEAD`, or \"unknown\" outside a
+repository) and distills any of `bench --json` output (--from-bench), `report-diff
 --json` (--from-diff), obs manifests (--from-manifest, repeatable) and
 `watch --once --json` (--from-watch) into one line; `table` renders
 tracked series across the last N revisions with sparklines (byte-
@@ -137,15 +138,20 @@ dashboards (summary fields mirror the exit-code conditions).
 
 `bench` measures *simulator* throughput (trace records replayed per
 second) per (pattern x policy) cell, including the eviction-heavy
-`llc_thrash` sweep perf gates compare against BENCH_seed.json, and
-verifies the zero-allocations-per-record hot-path contract with the
-binary's counting allocator. `--json` emits the pinned machine schema
+`llc_thrash` sweep perf gates compare against BENCH_seed.json, times
+the LLC tag-array scan in isolation (the `probe_scan` section: hit
+and miss probe sweeps over a full cascade-lake LLC), and verifies the
+zero-allocations-per-record hot-path contract with the binary's
+counting allocator. `--json` emits the pinned machine schema
 (tests/fixtures/bench_v1.json); `--out` also writes it to a file.
 `bench --grid` instead measures the one-pass grid replay engine:
 per-cell streamed replay vs one lockstep pass over the same on-disk
 trace and policy x LLC-scale grid, reporting passes, records*cells/sec,
 speedup and cross-mode bit-identity per workload (schema
-tests/fixtures/bench_v2.json).
+tests/fixtures/bench_v2.json). One-pass chunks are autotuned from the
+grid's combined tag-state footprint (CCSIM_HOST_LLC_BYTES overrides
+the assumed host LLC budget); `--chunk-records <n>` — here and on
+`ccsim campaign` — forces a specific chunk size instead.
 ";
 
 /// Builds the named workload's trace.
@@ -348,15 +354,23 @@ pub fn report_diff(args: &[String]) -> Result<(), String> {
 }
 
 /// `ccsim bench [--quick] [--json] [--out <file>] [--policy <name>]...
-/// [--grid]`
+/// [--grid [--chunk-records <n>]]`
 pub fn bench(args: &[String]) -> Result<(), String> {
-    let positional = positionals(args, &["--policy", "--out"], &["--quick", "--json", "--grid"])?;
+    let positional = positionals(
+        args,
+        &["--policy", "--out", "--chunk-records"],
+        &["--quick", "--json", "--grid"],
+    )?;
     if let Some(extra) = positional.first() {
         return Err(format!("unexpected argument {extra:?}\n\n{USAGE}"));
     }
     let quick = args.iter().any(|a| a == "--quick");
     let json = args.iter().any(|a| a == "--json");
     let out: Option<PathBuf> = parse_flag_value(args, "--out")?;
+    let chunk_records: Option<usize> = parse_flag_value(args, "--chunk-records")?;
+    if chunk_records.is_some() && !args.iter().any(|a| a == "--grid") {
+        return Err("--chunk-records only applies to bench --grid".into());
+    }
     let mut chosen: Vec<PolicyKind> = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -370,6 +384,7 @@ pub fn bench(args: &[String]) -> Result<(), String> {
         if !chosen.is_empty() {
             options.policies = chosen;
         }
+        options.chunk_records = chunk_records.unwrap_or(0);
         let report = ccsim_bench::gridbench::run_grid_bench(&options)?;
         let doc = report.to_json().to_pretty();
         if let Some(path) = &out {
@@ -410,6 +425,13 @@ pub fn bench(args: &[String]) -> Result<(), String> {
             ccsim_bench::throughput::AllocCheck::Unavailable =>
                 "unavailable (no counting allocator)".to_owned(),
         }
+    );
+    println!(
+        "probe scan ({} sets x {} ways, full LLC): hit {} Mprobe/s, miss {} Mprobe/s",
+        report.probe_scan.sets,
+        report.probe_scan.ways,
+        fmt_f(report.probe_scan.hit_rps / 1e6, 1),
+        fmt_f(report.probe_scan.miss_rps / 1e6, 1),
     );
     let mut table = Table::new(vec![
         "pattern".into(),
@@ -537,7 +559,7 @@ pub fn sim(args: &[String]) -> Result<(), String> {
 
 /// `ccsim campaign <spec.json> [--threads N] [--out DIR] [--cache-dir DIR]
 /// [--no-cache] [--fresh] [--json] [--quiet] [--dry-run]
-/// [--shared-dir DIR] [--per-cell]` — plus the distributed subcommands
+/// [--shared-dir DIR] [--per-cell] [--chunk-records N]` — plus the distributed subcommands
 /// `campaign worker`, `campaign assemble` and `campaign status`.
 pub fn campaign(args: &[String]) -> Result<(), String> {
     match args.first().map(String::as_str) {
@@ -549,7 +571,7 @@ pub fn campaign(args: &[String]) -> Result<(), String> {
     }
     let positional = positionals(
         args,
-        &["--threads", "--out", "--cache-dir", "--shared-dir", "--metrics-out"],
+        &["--threads", "--out", "--cache-dir", "--shared-dir", "--metrics-out", "--chunk-records"],
         &["--no-cache", "--fresh", "--json", "--quiet", "--dry-run", "--per-cell"],
     )?;
     let [spec_path] = positional[..] else {
@@ -650,7 +672,8 @@ pub fn campaign(args: &[String]) -> Result<(), String> {
         .journal(&journal_path)
         .verbose(!quiet)
         .obs_dir(&out_dir)
-        .per_cell(args.iter().any(|a| a == "--per-cell"));
+        .per_cell(args.iter().any(|a| a == "--per-cell"))
+        .chunk_records(parse_flag_value(args, "--chunk-records")?.unwrap_or(0));
     if !args.iter().any(|a| a == "--no-cache") {
         let cache = TraceCache::new(&cache_dir)
             .map_err(|e| format!("opening trace cache {}: {e}", cache_dir.display()))?;
@@ -903,7 +926,23 @@ fn trends_source_doc(path: &str) -> Result<Json, String> {
     Json::parse(&text).map_err(|e| format!("{path}: {e}"))
 }
 
-/// `ccsim trends record --rev <rev> [--ledger <file>] [--label <s>]
+/// Resolves the revision `trends record` tags its entry with when
+/// `--rev` is omitted: `git rev-parse HEAD` in the current directory,
+/// falling back to `"unknown"` outside a git repository (or when git
+/// itself is unavailable) so recording never fails on the tag.
+fn default_trends_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "HEAD"])
+        .output()
+        .ok()
+        .filter(|out| out.status.success())
+        .and_then(|out| String::from_utf8(out.stdout).ok())
+        .map(|rev| rev.trim().to_owned())
+        .filter(|rev| !rev.is_empty())
+        .unwrap_or_else(|| "unknown".to_owned())
+}
+
+/// `ccsim trends record [--rev <rev>] [--ledger <file>] [--label <s>]
 /// [--timestamp <s>] [--from-bench <f>] [--from-diff <f>]
 /// [--from-manifest <f>]... [--from-watch <f>]`
 fn trends_record(args: &[String]) -> Result<(), String> {
@@ -925,8 +964,7 @@ fn trends_record(args: &[String]) -> Result<(), String> {
         return Err(format!("unexpected argument {extra:?}\n\n{USAGE}"));
     }
     let ledger = trends_ledger_path(args)?;
-    let rev = parse_flag_value::<String>(args, "--rev")?
-        .ok_or_else(|| format!("trends record needs --rev <revision>\n\n{USAGE}"))?;
+    let rev = parse_flag_value::<String>(args, "--rev")?.unwrap_or_else(default_trends_rev);
     let label = parse_flag_value::<String>(args, "--label")?.unwrap_or_default();
     let timestamp = match parse_flag_value::<String>(args, "--timestamp")? {
         Some(t) => t,
@@ -1484,10 +1522,45 @@ mod tests {
         assert_eq!(text.lines().count(), 2);
         assert!(text.contains("\"rev\":\"bad\""));
 
-        // Flag hygiene: missing --rev / --keep and unknown subcommands fail.
-        assert!(trends(&["record".into(), "--ledger".into(), ledger.clone()]).is_err());
+        // `--rev` is now optional: omitting it tags the entry with the
+        // repository HEAD (or "unknown" outside a repository) instead of
+        // failing.
+        let expected_rev = default_trends_rev();
+        assert!(!expected_rev.is_empty());
+        trends(&[
+            "record".into(),
+            "--ledger".into(),
+            ledger.clone(),
+            "--timestamp".into(),
+            "10".into(),
+        ])
+        .unwrap();
+        let text = std::fs::read_to_string(&ledger).unwrap();
+        let last = text.lines().last().unwrap();
+        assert!(last.contains(&format!("\"rev\":\"{expected_rev}\"")), "{last}");
+
+        // Flag hygiene: missing --keep and unknown subcommands fail.
         assert!(trends(&["gc".into(), "--ledger".into(), ledger.clone()]).is_err());
         assert!(trends(&["frobnicate".into()]).is_err());
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn default_trends_rev_resolves_head_or_unknown() {
+        let rev = default_trends_rev();
+        // Inside this repository the fallback resolves a full commit
+        // hash; anywhere else it degrades to the sentinel. Either way it
+        // is non-empty and single-line.
+        assert!(
+            rev == "unknown" || (rev.len() == 40 && rev.chars().all(|c| c.is_ascii_hexdigit())),
+            "{rev}"
+        );
+    }
+
+    #[test]
+    fn bench_rejects_chunk_records_without_grid() {
+        let err = bench(&["--chunk-records".into(), "512".into()]).unwrap_err();
+        assert!(err.contains("--grid"), "{err}");
+        assert!(bench(&["--grid".into(), "--chunk-records".into(), "none".into()]).is_err());
     }
 }

@@ -1,15 +1,16 @@
 //! Cache line state.
 //!
-//! The tag array stores [`ccsim_policies::LineView`] directly: the same
-//! struct the replacement-policy trait receives on victim queries. Keeping
-//! one representation lets [`Cache::fill`](crate::Cache::fill) lend the
-//! policy a slice of the live tag array instead of materializing a copy —
-//! the victim path is zero-copy and allocation-free.
+//! The tag array itself is a struct-of-arrays (packed `u64` tag words
+//! plus a dirty bitmap, see [`crate::Cache`]); `LineView` is the
+//! *policy-facing* per-line representation. When a victim query needs
+//! line views, [`Cache::fill`](crate::Cache::fill) reconstructs them
+//! from the SoA store into a fixed stack buffer — bounded by
+//! [`crate::MAX_WAYS`], so the lending path stays allocation-free.
 
 /// One cache line: validity, dirtiness and the block it holds.
 ///
-/// An alias of [`ccsim_policies::LineView`]; see the module docs for why
-/// the two are the same type.
+/// An alias of [`ccsim_policies::LineView`]; see the module docs for how
+/// views relate to the SoA tag store.
 pub type CacheLine = ccsim_policies::LineView;
 
 #[cfg(test)]

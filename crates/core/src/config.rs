@@ -6,6 +6,15 @@
 
 use std::fmt;
 
+/// Compile-time ceiling on cache associativity.
+///
+/// The SoA tag store's probe builds a one-bit-per-way match mask in a
+/// `u64`, and victim queries that need [`ccsim_policies::LineView`]s
+/// reconstruct them into a fixed `[LineView; MAX_WAYS]` stack buffer —
+/// both cap the ways per set at 64. [`CacheConfig::validate`] enforces
+/// the bound, so every constructed cache can rely on it.
+pub const MAX_WAYS: u32 = 64;
+
 /// Geometry and timing of one cache level.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CacheConfig {
@@ -29,14 +38,19 @@ impl CacheConfig {
     ///
     /// # Errors
     ///
-    /// Returns a message if sets/ways/mshrs are zero or sets is not a power
-    /// of two (the set-index mapping requires it).
+    /// Returns a message if sets/ways/mshrs are zero, sets is not a power
+    /// of two (the set-index mapping requires it), or ways exceeds
+    /// [`MAX_WAYS`] (the probe match mask and victim stack buffer
+    /// require it).
     pub fn validate(&self) -> Result<(), String> {
         if self.sets == 0 || self.ways == 0 {
             return Err("cache must have non-zero sets and ways".into());
         }
         if !self.sets.is_power_of_two() {
             return Err(format!("sets must be a power of two, got {}", self.sets));
+        }
+        if self.ways > MAX_WAYS {
+            return Err(format!("ways must be <= {MAX_WAYS}, got {}", self.ways));
         }
         if self.mshrs == 0 {
             return Err("cache must have at least one mshr".into());
@@ -240,6 +254,16 @@ mod tests {
         c.llc.sets = 3;
         let err = c.validate().unwrap_err();
         assert!(err.contains("llc") && err.contains("power of two"));
+    }
+
+    #[test]
+    fn oversized_associativity_rejected() {
+        let mut c = SimConfig::tiny();
+        c.llc.ways = MAX_WAYS + 1;
+        let err = c.validate().unwrap_err();
+        assert!(err.contains("llc") && err.contains("ways must be <= 64"), "{err}");
+        c.llc.ways = MAX_WAYS;
+        assert!(c.validate().is_ok());
     }
 
     #[test]

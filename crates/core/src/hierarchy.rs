@@ -92,6 +92,13 @@ impl Hierarchy {
         self.llc.policy_diag()
     }
 
+    /// Combined hot tag-state footprint of the three levels (see
+    /// [`Cache::hot_state_bytes`]) — what one replay engine keeps warm
+    /// per record, and the per-cell input to the grid chunk autotuner.
+    pub fn hot_state_bytes(&self) -> u64 {
+        self.l1d.hot_state_bytes() + self.l2.hot_state_bytes() + self.llc.hot_state_bytes()
+    }
+
     /// Issues a demand access (load or store) at cycle `at`; returns the
     /// cycle its data is available.
     pub fn demand_access(&mut self, pc: u64, vaddr: u64, is_store: bool, at: u64) -> u64 {

@@ -33,8 +33,12 @@
 /// with. Surfaced by `ccsim bench --json` (and grepped by CI) so
 /// throughput baselines record which implementation produced them.
 /// `BENCH_seed.json` was recorded at `boxed_dyn_v0` (per-fill `Vec`
-/// allocation, `Box<dyn>` policy dispatch, SipHash MSHR map).
-pub const HOT_PATH: &str = "scratch_enum_dispatch_v1";
+/// allocation, `Box<dyn>` policy dispatch, SipHash MSHR map);
+/// `BENCH_soa.json` at `soa_tags_v2` (struct-of-arrays tag store:
+/// packed `u64` tag words + dirty bitmaps, branch-free vectorizable
+/// probe, stack-buffer view lending), whose predecessor
+/// `scratch_enum_dispatch_v1` stored AoS `LineView` tag arrays.
+pub const HOT_PATH: &str = "soa_tags_v2";
 
 pub mod cache;
 mod config;
@@ -45,11 +49,14 @@ mod hierarchy;
 mod result;
 mod simulator;
 
-pub use cache::{Cache, CacheStats, FillOutcome};
-pub use config::{CacheConfig, CoreConfig, DramConfig, SimConfig};
+pub use cache::{Cache, CacheStats, FillOutcome, TAG_INVALID};
+pub use config::{CacheConfig, CoreConfig, DramConfig, SimConfig, MAX_WAYS};
 pub use cpu::Core;
 pub use dram::{Dram, DramStats};
-pub use experiment::grid::{simulate_grid, simulate_grid_stream, GridReplay};
+pub use experiment::grid::{
+    autotune_chunk_records, autotune_chunk_records_for_budget, simulate_grid, simulate_grid_stream,
+    GridReplay, DEFAULT_CHUNK_RECORDS, MAX_CHUNK_RECORDS,
+};
 pub use hierarchy::{Hierarchy, Level};
 pub use result::{geomean, geomean_speedup_percent, SimResult};
 pub use simulator::{simulate, simulate_stream, simulate_with_llc_log};

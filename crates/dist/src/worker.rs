@@ -316,7 +316,7 @@ pub fn run_worker(
                         );
                     }
                     let sim_started = Instant::now();
-                    trace.simulate_cells(&cells, opts.threads).map(|results| {
+                    trace.simulate_cells(&cells, opts.threads, 0).map(|results| {
                         (results, trace.records(), sim_started.elapsed().as_nanos() as u64)
                     })
                 });

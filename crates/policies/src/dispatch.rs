@@ -107,6 +107,18 @@ impl PolicyDispatch {
         each_policy!(self, p => p.name())
     }
 
+    /// Whether victim queries must materialize `lines` (see
+    /// [`ReplacementPolicy::inspects_lines`]). Every built-in policy
+    /// ranks victims from its own metadata and never reads the slice, so
+    /// only the boxed escape hatch can ask for reconstructed views.
+    #[inline]
+    pub fn inspects_lines(&self) -> bool {
+        match self {
+            PolicyDispatch::Custom(p) => p.inspects_lines(),
+            _ => false,
+        }
+    }
+
     /// Chooses a victim way (or a bypass) for `info` in a full `set`.
     #[inline]
     pub fn victim(&mut self, set: u32, info: &AccessInfo, lines: &[LineView]) -> Victim {
@@ -142,6 +154,10 @@ impl PolicyDispatch {
 impl ReplacementPolicy for PolicyDispatch {
     fn name(&self) -> &'static str {
         PolicyDispatch::name(self)
+    }
+
+    fn inspects_lines(&self) -> bool {
+        PolicyDispatch::inspects_lines(self)
     }
 
     fn victim(&mut self, set: u32, info: &AccessInfo, lines: &[LineView]) -> Victim {
@@ -209,6 +225,17 @@ mod tests {
         p.on_fill(0, 1, &info(0), None);
         p.on_hit(0, 0, &info(0));
         assert_eq!(p.victim(0, &info(0), &[]), Victim::Way(1));
+    }
+
+    #[test]
+    fn built_ins_skip_line_reconstruction_but_custom_defaults_to_views() {
+        for kind in PolicyKind::ALL {
+            assert!(!PolicyDispatch::from_kind(kind, 8, 2).inspects_lines(), "{kind}");
+        }
+        // The boxed escape hatch keeps the conservative trait default:
+        // external policies get real views unless they opt out.
+        let boxed: Box<dyn ReplacementPolicy> = Box::new(Lru::new(8, 2));
+        assert!(PolicyDispatch::from(boxed).inspects_lines());
     }
 
     #[test]

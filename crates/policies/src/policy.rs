@@ -60,9 +60,12 @@ impl AccessInfo {
 
 /// A policy's view of one cache line when asked for a victim.
 ///
-/// This is also the cache's own tag-array entry (`ccsim_core` stores its
-/// lines as `LineView`s), so victim queries lend the policy a slice of
-/// the live tag array directly — zero copies, zero allocations.
+/// The cache's own tag store is a struct-of-arrays (packed tag words +
+/// dirty bitmap); victim queries that need these views get them
+/// reconstructed into a fixed stack buffer — zero heap allocations —
+/// and policies that rank victims from their own metadata opt out of
+/// the reconstruction entirely via
+/// [`ReplacementPolicy::inspects_lines`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct LineView {
     /// Whether the line holds a valid block.
@@ -108,7 +111,24 @@ pub trait ReplacementPolicy: fmt::Debug {
     /// Short stable identifier (`"lru"`, `"srrip"`, ...).
     fn name(&self) -> &'static str;
 
+    /// Whether victim queries need materialized [`LineView`]s in `lines`.
+    ///
+    /// The cache keeps its tags in a struct-of-arrays layout (packed tag
+    /// words + a dirty bitmap), so lending `lines` means reconstructing
+    /// the views into a stack buffer on every victim query. All built-in
+    /// policies rank victims purely from their own metadata and never
+    /// read `lines`; a policy that keeps the default `true` receives
+    /// faithfully reconstructed views, while overriding to `false` lets
+    /// the cache skip the reconstruction and pass an empty slice.
+    fn inspects_lines(&self) -> bool {
+        true
+    }
+
     /// Chooses a victim way for `info` in a full `set`.
+    ///
+    /// `lines` holds the set's lines in way order — unless
+    /// [`inspects_lines`](ReplacementPolicy::inspects_lines) returned
+    /// `false`, in which case the cache may pass an empty slice.
     fn victim(&mut self, set: u32, info: &AccessInfo, lines: &[LineView]) -> Victim;
 
     /// Chooses a victim way for `info` in a full `set` when bypassing is

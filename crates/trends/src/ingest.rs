@@ -18,10 +18,11 @@ use ccsim_obs::{
 };
 
 /// Oldest / newest `ccsim bench --json` schema this crate ingests
-/// (v1 predates `wall_clock_breakdown` and `obs_overhead`).
+/// (v1 predates `wall_clock_breakdown` and `obs_overhead`; v3 adds the
+/// `probe_scan` section, which the ledger does not distill yet).
 pub const BENCH_MIN_SCHEMA: u64 = 1;
 /// Newest accepted bench schema.
-pub const BENCH_MAX_SCHEMA: u64 = 2;
+pub const BENCH_MAX_SCHEMA: u64 = 3;
 /// The `report-diff --json` schema this crate ingests.
 pub const DIFF_SCHEMA: u64 = 1;
 
@@ -481,6 +482,26 @@ mod tests {
         assert!(err.unwrap_err().contains("unsupported"));
         let not = BenchSummary::from_doc(&Json::parse("{}").unwrap());
         assert!(not.unwrap_err().contains("ccsim_bench"));
+    }
+
+    #[test]
+    fn bench_v3_with_probe_scan_is_accepted() {
+        // v3 adds `probe_scan`; the ledger ignores it but must not
+        // reject the document (CI records v3 reports via trends).
+        let doc = Json::parse(
+            r#"{"ccsim_bench": 3, "quick": true,
+                "wall_clock_breakdown": {"decode_ns": 1, "simulate_ns": 2, "report_ns": 3},
+                "obs_overhead": {"overhead_pct": 0.5, "limit_pct": 3.0, "status": "pass"},
+                "probe_scan": {"sets": 2048, "ways": 11, "probes": 1000,
+                               "hit_rps": 1.0e8, "miss_rps": 9.0e7,
+                               "hit_ns_per_probe": 10.0, "miss_ns_per_probe": 11.1},
+                "cells": [{"pattern": "llc_thrash", "policy": "lru",
+                           "records": 10, "best_rps": 5.0, "median_rps": 4.0}]}"#,
+        )
+        .unwrap();
+        let s = BenchSummary::from_doc(&doc).unwrap();
+        assert_eq!(s.overhead_pct, 0.5);
+        assert_eq!(s.cells.len(), 1);
     }
 
     #[test]

@@ -5,7 +5,9 @@
 //! `Hierarchy` + `Core` pair — the exact record loop `simulate` runs —
 //! across a second full pass of an eviction-heavy trace, asserting the
 //! allocation counter does not move at all. The same is then asserted
-//! for the one-pass lockstep grid driver (`GridReplay`), including its
+//! for boxed (`PolicyDispatch::Custom`) policies — the path where every
+//! full-set fill reconstructs `LineView`s from the SoA tag store into a
+//! stack buffer — and for the one-pass lockstep grid driver (`GridReplay`), including its
 //! streamed chunk-decode loop, and a final check exercises the
 //! production differencing probe (`ccsim bench`'s alloc check) end to
 //! end. Telemetry is explicitly enabled for the measurement, and the
@@ -88,6 +90,35 @@ fn steady_state_replay_allocates_nothing() {
             during,
             0,
             "{kind}: {during} heap allocations across {} steady-state records",
+            thrash.len() + mix.len(),
+        );
+    }
+
+    // The boxed-policy (`PolicyDispatch::Custom`) path is the one route
+    // where victim queries still lend reconstructed `LineView`s: built-in
+    // enum dispatch opts out via `inspects_lines()`, but a boxed policy
+    // conservatively receives real views, rebuilt from the SoA tag words
+    // and dirty bitmap into a fixed stack buffer on *every* full-set
+    // fill. Hammer that lending path explicitly: it must be exactly as
+    // allocation-free as the opted-out fast path.
+    for kind in [PolicyKind::Lru, PolicyKind::Hawkeye, PolicyKind::Mpppb] {
+        let boxed: ccsim::policies::PolicyDispatch =
+            kind.build(config.llc.sets, config.llc.ways).into();
+        assert!(boxed.inspects_lines(), "boxed policies must get reconstructed views");
+        let mut hierarchy = ccsim::core::Hierarchy::new(&config, boxed);
+        let mut core = ccsim::core::Core::new(config.core);
+        replay(&mut hierarchy, &mut core, &thrash);
+        replay(&mut hierarchy, &mut core, &mix);
+
+        let before = allocations();
+        replay(&mut hierarchy, &mut core, &thrash);
+        replay(&mut hierarchy, &mut core, &mix);
+        let during = allocations() - before;
+        assert_eq!(
+            during,
+            0,
+            "boxed {kind}: {during} heap allocations across {} steady-state records \
+             on the view-lending path",
             thrash.len() + mix.len(),
         );
     }

@@ -77,32 +77,47 @@ fn bench_json_schema_matches_pinned_fixture() {
     // The committed seed baseline predates schema v2 and is never
     // re-measured (it is this machine-independent anchor perf gates
     // diff against), so compare it against the pinned schema *minus*
-    // the v2 additions: the cells and summary fields gates consume must
-    // still line up exactly.
+    // the later additions: the cells and summary fields gates consume
+    // must still line up exactly. BENCH_soa.json was recorded at v3 and
+    // is compared in full.
+    let post_v1 = ["wall_clock_breakdown", "obs_overhead", "probe_scan"];
+    let strip = |v: &Json| {
+        let Json::Obj(pairs) = v else { panic!("bench document must be an object") };
+        Json::Obj(pairs.iter().filter(|(k, _)| !post_v1.contains(&k.as_str())).cloned().collect())
+    };
+    let covers_eviction_heavy = |doc: &Json, which: &str| {
+        assert!(
+            doc.get("cells")
+                .unwrap()
+                .as_array()
+                .unwrap()
+                .iter()
+                .any(|c| c.get("pattern").and_then(Json::as_str)
+                    == Some(ccsim_bench::throughput::EVICTION_HEAVY_PATTERN)),
+            "{which} baseline must cover the eviction-heavy microbench"
+        );
+    };
     let seed =
         std::fs::read_to_string(Path::new(env!("CARGO_MANIFEST_DIR")).join("BENCH_seed.json"))
             .expect("BENCH_seed.json baseline missing");
     let seed = Json::parse(&seed).unwrap();
-    let v2_only = ["wall_clock_breakdown", "obs_overhead"];
-    let strip = |v: &Json| {
-        let Json::Obj(pairs) = v else { panic!("bench document must be an object") };
-        Json::Obj(pairs.iter().filter(|(k, _)| !v2_only.contains(&k.as_str())).cloned().collect())
-    };
     assert_eq!(
         shape(&strip(&seed)),
         shape(&strip(&pinned)),
         "BENCH_seed.json drifted from the pinned schema"
     );
-    assert!(
-        seed.get("cells")
-            .unwrap()
-            .as_array()
-            .unwrap()
-            .iter()
-            .any(|c| c.get("pattern").and_then(Json::as_str)
-                == Some(ccsim_bench::throughput::EVICTION_HEAVY_PATTERN)),
-        "seed baseline must cover the eviction-heavy microbench"
+    covers_eviction_heavy(&seed, "seed");
+
+    let soa = std::fs::read_to_string(Path::new(env!("CARGO_MANIFEST_DIR")).join("BENCH_soa.json"))
+        .expect("BENCH_soa.json baseline missing");
+    let soa = Json::parse(&soa).unwrap();
+    assert_eq!(shape(&soa), shape(&pinned), "BENCH_soa.json drifted from the pinned schema");
+    assert_eq!(
+        soa.get("hot_path").and_then(Json::as_str),
+        Some(ccsim::core::HOT_PATH),
+        "BENCH_soa.json must be recorded at the current hot-path generation"
     );
+    covers_eviction_heavy(&soa, "soa");
 }
 
 #[test]
@@ -113,6 +128,7 @@ fn grid_bench_json_schema_matches_pinned_fixture_and_reports_pass_counts() {
         llc_scales: vec![1, 2],
         warmup: 0,
         reps: 1,
+        chunk_records: 0,
     };
     let report = run_grid_bench(&options).unwrap();
     assert_eq!(report.cells, 4, "2 policies x 2 LLC scales");

@@ -9,6 +9,7 @@ use std::io::BufReader;
 use std::path::Path;
 
 use ccsim::prelude::*;
+use ccsim::trace::synth::{PatternGen, RandomAccess, SequentialStream};
 use ccsim::trace::{write_trace, AccessKind, TraceReader, TraceRecord};
 use proptest::prelude::*;
 
@@ -107,7 +108,7 @@ fn golden_ingest_fixture_grid_replays_identically() {
     let mut cells: Vec<(SimConfig, PolicyKind)> = Vec::new();
     for scale in [1u32, 4] {
         let config = SimConfig::cascade_lake().with_llc_scale(scale);
-        for policy in [PolicyKind::Lru, PolicyKind::Ship, PolicyKind::Hawkeye, PolicyKind::Mpppb] {
+        for policy in PolicyKind::ALL {
             cells.push((config, policy));
         }
     }
@@ -127,6 +128,67 @@ fn golden_ingest_fixture_grid_replays_identically() {
     // scales and policies agree on it — the proptests above cover
     // divergent grids.)
     assert!(reference[0].llc.demand_misses > 0, "golden fixture never reached the LLC");
+}
+
+/// Differential golden for the tag-store layout: a deterministic
+/// eviction-heavy trace replayed through **all 12 policies** on a
+/// mixed-scale grid must reproduce the committed per-cell counter table
+/// exactly. The fixture was blessed from the AoS `Vec<CacheLine>` engine
+/// immediately before the SoA tag-array refactor, so any drift in
+/// probe/fill/victim behaviour — however subtle — fails here at the
+/// first diverging counter. Rebless with
+/// `CCSIM_BLESS=1 cargo test --test grid_replay` only for an intentional
+/// behavioural change.
+#[test]
+fn tag_store_differential_golden_pins_all_policies() {
+    use std::fmt::Write as _;
+
+    let mut buf = TraceBuffer::new("tag-golden");
+    // Two laps over 2x the scaled-LLC footprint force evictions (and
+    // dirty writebacks) at every level and scale...
+    SequentialStream::new(0x1000_0000, 8 * 1024).stride(64).store_every(7).laps(3).emit(&mut buf);
+    // ...and a seeded random mix drives victim queries, bypass decisions
+    // and writeback-bypass overrides across set-index entropy.
+    RandomAccess::new(0x8000_0000, 512, 64, 20_000)
+        .store_fraction(0.25)
+        .seed(0xC0FFEE)
+        .emit(&mut buf);
+    let trace = buf.finish();
+
+    let mut cells: Vec<(SimConfig, PolicyKind)> = Vec::new();
+    for scale in [1u32, 2, 4] {
+        let config = SimConfig::tiny().with_llc_scale(scale);
+        for policy in PolicyKind::ALL {
+            cells.push((config, policy));
+        }
+    }
+    let results = simulate_grid(&trace, &cells, 0);
+
+    let mut table = String::new();
+    for ((config, policy), r) in cells.iter().zip(&results) {
+        writeln!(
+            table,
+            "{policy} x{} cycles={} llc_miss={} llc_hit={} evict={} wb_out={} bypass={} \
+             wb_override={}",
+            config.llc.sets / SimConfig::tiny().llc.sets,
+            r.cycles,
+            r.llc.demand_misses,
+            r.llc.demand_hits,
+            r.llc.evictions,
+            r.llc.writebacks_out,
+            r.llc.bypasses,
+            r.llc.writeback_bypass_overrides,
+        )
+        .unwrap();
+    }
+
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/tag_store_golden_v1.txt");
+    if std::env::var_os("CCSIM_BLESS").is_some() {
+        std::fs::write(&path, &table).unwrap();
+    }
+    let pinned = std::fs::read_to_string(&path)
+        .expect("fixture missing; run with CCSIM_BLESS=1 to create it");
+    assert_eq!(table, pinned, "tag-store behaviour drifted from the pre-SoA golden");
 }
 
 /// The `GridReplay` driver itself is reusable across explicit chunk
